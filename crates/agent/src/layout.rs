@@ -1,0 +1,224 @@
+//! Memory layouts of the agent's fabric contexts.
+//!
+//! The GPU context holds the camera image, perception intermediates, and
+//! constant lookup tables; the CPU context holds the waypoint buffer,
+//! controller state, and outputs. Addresses are word offsets.
+
+/// GPU-context memory layout, derived from the camera geometry.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct GpuLayout {
+    /// Image width (px).
+    pub w: usize,
+    /// Image height (px).
+    pub h: usize,
+    /// Conv-grid width: `(w/2) - 1` (interior stride-2 samples).
+    pub w2: usize,
+    /// Conv-grid height: `(h/2) - 1`.
+    pub h2: usize,
+    /// Base of the red channel plane (`w*h` floats).
+    pub img_r: usize,
+    /// Base of the green channel plane.
+    pub img_g: usize,
+    /// Base of the blue channel plane.
+    pub img_b: usize,
+    /// Base of the in-lane weight mask (constant, `w*h`).
+    pub lanew: usize,
+    /// Base of the vehicle-mask plane (`w*h`).
+    pub mask: usize,
+    /// Base of the stride-2 3×3 conv output (`w2*h2`).
+    pub conv: usize,
+    /// Base of the per-conv-row maxima (`h2`).
+    pub rowmax: usize,
+    /// Base of the per-conv-row activation sums (`h2`) — the continuous
+    /// evidence pathway of the planning head.
+    pub rowsum: usize,
+    /// Base of the per-column lane-marking scores (`w`).
+    pub lane: usize,
+    /// Base of the conv-row → ground-distance LUT (constant, `h2`).
+    pub dist: usize,
+    /// Base of the detection-history buffer (2 words, persistent agent
+    /// state): the two previous raw distance estimates feeding the
+    /// temporal median filter.
+    pub hist: usize,
+    /// Base of the runtime parameter block.
+    pub params: usize,
+    /// Base of the output block (see `OUT_*` constants).
+    pub out: usize,
+    /// Total words needed.
+    pub total: usize,
+}
+
+/// Parameter-block slots (offsets from [`GpuLayout::params`]).
+pub mod param {
+    /// Blueness bias subtracted before ReLU (plus per-step jitter).
+    pub const BIAS: usize = 0;
+    /// Conv-activation threshold for vehicle presence.
+    pub const THRESH: usize = 1;
+    /// Car-following gain: `v_des = kd * (d - d_min)`.
+    pub const KD: usize = 2;
+    /// Minimum following distance (m).
+    pub const D_MIN: usize = 3;
+    /// Emergency distance: below this, `v_des = 0`.
+    pub const D_EMERG: usize = 4;
+    /// Steering gain on lane-centroid pixel error.
+    pub const KS: usize = 5;
+    /// Steering feed-forward gain on route curvature.
+    pub const KC: usize = 6;
+    /// Planner speed limit (m/s), updated every step.
+    pub const LIMIT: usize = 7;
+    /// Route curvature hint (1/m), updated every step.
+    pub const CURV: usize = 8;
+    /// Route-following gain on the localization lateral offset.
+    pub const KL: usize = 9;
+    /// Ego lateral offset from the route (m), updated every step.
+    pub const LAT_OFF: usize = 10;
+    /// Route-following gain on the heading error (damping term).
+    pub const KH: usize = 11;
+    /// Ego heading error relative to the route (rad), updated every step.
+    pub const HEAD_ERR: usize = 12;
+    /// Caution gain on the continuous vehicle-evidence sum.
+    pub const KV: usize = 13;
+    /// Reference value of the constant calibration pathway.
+    pub const CAL_REF: usize = 14;
+    /// Gain applied to calibration drift (bounded steering trim).
+    pub const KCAL: usize = 15;
+    /// Number of parameter slots.
+    pub const COUNT: usize = 16;
+}
+
+/// Output-block slots (offsets from [`GpuLayout::out`]).
+pub mod out {
+    /// Four waypoints: (x, y) pairs, 8 floats.
+    pub const WP: usize = 0;
+    /// Estimated distance to the closest in-path vehicle (m).
+    pub const DIST: usize = 8;
+    /// Lane-centroid pixel error.
+    pub const LAT_ERR: usize = 9;
+    /// Planned speed (m/s).
+    pub const V_DES: usize = 10;
+    /// Feed-forward steering command.
+    pub const STEER_FF: usize = 11;
+    /// Number of output slots.
+    pub const COUNT: usize = 12;
+}
+
+impl GpuLayout {
+    /// Compute the layout for a `w × h` camera image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image is smaller than 8×8 pixels.
+    pub fn new(w: usize, h: usize) -> Self {
+        assert!(w >= 8 && h >= 8, "image too small: {w}x{h}");
+        let n = w * h;
+        let w2 = w / 2 - 1;
+        let h2 = h / 2 - 1;
+        let img_r = 0;
+        let img_g = img_r + n;
+        let img_b = img_g + n;
+        let lanew = img_b + n;
+        let mask = lanew + n;
+        let conv = mask + n;
+        let rowmax = conv + w2 * h2;
+        let rowsum = rowmax + h2;
+        let lane = rowsum + h2;
+        let dist = lane + w;
+        let hist = dist + h2;
+        let params = hist + 2;
+        let out = params + param::COUNT;
+        let total = out + out::COUNT;
+        GpuLayout {
+            w, h, w2, h2, img_r, img_g, img_b, lanew, mask, conv, rowmax, rowsum, lane, dist,
+            hist, params, out, total,
+        }
+    }
+}
+
+/// CPU-context memory layout (fixed).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub struct CpuLayout;
+
+/// CPU-context slots.
+pub mod cpu {
+    /// Waypoint buffer: 4 × (x, y), copied from the GPU output block.
+    pub const WP: usize = 0;
+    /// Speedometer reading (m/s).
+    pub const SPEED: usize = 8;
+    /// Control period (s).
+    pub const DT: usize = 9;
+    /// IMU yaw rate (rad/s).
+    pub const YAW_RATE: usize = 10;
+    /// PID integrator (persistent agent state).
+    pub const INTEG: usize = 12;
+    /// Smoothed planned speed (persistent agent state).
+    pub const VDES_EMA: usize = 13;
+    /// Smoothed steering command (persistent agent state).
+    pub const STEER_EMA: usize = 14;
+    /// Output: throttle.
+    pub const OUT_THROTTLE: usize = 16;
+    /// Output: brake.
+    pub const OUT_BRAKE: usize = 17;
+    /// Output: steer.
+    pub const OUT_STEER: usize = 18;
+    /// Guard region: a range-assertion load lands here (4 words).
+    pub const GUARD: usize = 20;
+    /// First parameter slot.
+    pub const PARAMS: usize = 24;
+    /// Parameters: kp, ki, kb, ema_alpha, yaw damping, integrator clamp,
+    /// steering smoothing factor.
+    pub const PARAM_COUNT: usize = 7;
+    /// Total words of CPU context memory.
+    pub const TOTAL: usize = PARAMS + PARAM_COUNT;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_disjoint_and_ordered() {
+        let l = GpuLayout::new(64, 48);
+        let bounds = [
+            (l.img_r, 64 * 48),
+            (l.img_g, 64 * 48),
+            (l.img_b, 64 * 48),
+            (l.lanew, 64 * 48),
+            (l.mask, 64 * 48),
+            (l.conv, l.w2 * l.h2),
+            (l.rowmax, l.h2),
+            (l.rowsum, l.h2),
+            (l.lane, l.w),
+            (l.dist, l.h2),
+            (l.hist, 2),
+            (l.params, param::COUNT),
+            (l.out, out::COUNT),
+        ];
+        for w in bounds.windows(2) {
+            assert_eq!(w[0].0 + w[0].1, w[1].0, "regions must be contiguous");
+        }
+        assert_eq!(l.total, bounds.last().unwrap().0 + bounds.last().unwrap().1);
+    }
+
+    #[test]
+    fn conv_grid_avoids_borders() {
+        let l = GpuLayout::new(64, 48);
+        assert_eq!(l.w2, 31);
+        assert_eq!(l.h2, 23);
+        // The farthest tap of the last conv sample stays inside the image:
+        // x = 2*30+1 + 1 = 62 ≤ 63, y = 2*22+1 + 1 = 46 ≤ 47.
+        assert!(2 * (l.w2 - 1) + 2 < l.w);
+        assert!(2 * (l.h2 - 1) + 2 < l.h);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_image_panics() {
+        let _ = GpuLayout::new(4, 4);
+    }
+
+    #[test]
+    fn cpu_layout_slots_fit() {
+        assert!(cpu::GUARD + 4 <= cpu::PARAMS);
+        assert_eq!(cpu::TOTAL, cpu::PARAMS + cpu::PARAM_COUNT);
+    }
+}

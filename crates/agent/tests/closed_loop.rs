@@ -1,0 +1,244 @@
+//! Closed-loop tests: the agent drives the simulated world fault-free.
+//!
+//! These are the substrate-level sanity checks the whole evaluation rests
+//! on: the agent must lane-keep, car-follow, stop for braking leads, and
+//! handle the cut-in and front-accident scenarios without collisions.
+
+use diverseav_agent::{AgentConfig, SensorimotorAgent};
+use diverseav_fabric::{Fabric, FaultModel, Op, Profile};
+use diverseav_simworld::{
+    front_accident, ghost_cut_in, lead_slowdown, long_route, Controls, Scenario, SensorConfig,
+    World, WorldStatus,
+};
+
+/// Drive a scenario with a single agent at the full 40 Hz rate.
+/// Returns the world after the run and whether a fabric error occurred.
+fn drive(scenario: Scenario, seed: u64) -> World {
+    let mut world = World::new(scenario, SensorConfig::default(), seed);
+    let mut agent = SensorimotorAgent::new(AgentConfig::default(), seed ^ 0x5A);
+    let mut gpu = Fabric::new(Profile::Gpu);
+    let mut cpu = Fabric::new(Profile::Cpu);
+    let mut controls = Controls::default();
+    while !world.finished() {
+        let frame = world.sense();
+        let hint = world.route_hint();
+        controls = agent
+            .step(&frame, hint, 0.025, &mut gpu, &mut cpu)
+            .expect("fault-free run must not trap");
+        if world.step(controls) == WorldStatus::Collision {
+            break;
+        }
+    }
+    world
+}
+
+#[test]
+fn agent_survives_lead_slowdown() {
+    let world = drive(lead_slowdown(), 11);
+    assert!(
+        world.collision_time().is_none(),
+        "collision at t={:?}, min CVIP {:.2}",
+        world.collision_time(),
+        world.min_cvip()
+    );
+    assert!(world.min_cvip() < 30.0, "the agent actually followed the lead");
+}
+
+#[test]
+fn agent_survives_ghost_cut_in() {
+    let world = drive(ghost_cut_in(), 12);
+    assert!(
+        world.collision_time().is_none(),
+        "collision at t={:?}, min CVIP {:.2}",
+        world.collision_time(),
+        world.min_cvip()
+    );
+}
+
+#[test]
+fn agent_survives_front_accident() {
+    let world = drive(front_accident(), 13);
+    assert!(
+        world.collision_time().is_none(),
+        "collision at t={:?}, min CVIP {:.2}",
+        world.collision_time(),
+        world.min_cvip()
+    );
+}
+
+#[test]
+fn agent_lane_keeps_on_long_route() {
+    let world = drive(long_route(0, 45.0), 14);
+    assert!(world.collision_time().is_none(), "no collision on the training route");
+    // Lane discipline: final lateral offset within the ego lane.
+    let track = &world.scenario().track;
+    let (_, lat) = track.project_near(world.ego_state().pose.pos, world.ego_s(), 30.0);
+    assert!(lat.abs() < 1.5, "ended {lat:.2} m off lane center");
+    assert!(world.ego_s() > 100.0, "made progress: s = {:.1}", world.ego_s());
+}
+
+#[test]
+fn agent_reaches_cruise_speed_on_empty_road() {
+    let mut scenario = lead_slowdown();
+    scenario.npcs.clear();
+    let mut world = World::new(scenario, SensorConfig::default(), 15);
+    let mut agent = SensorimotorAgent::new(AgentConfig::default(), 99);
+    let mut gpu = Fabric::new(Profile::Gpu);
+    let mut cpu = Fabric::new(Profile::Cpu);
+    let mut speeds = Vec::new();
+    while !world.finished() {
+        let frame = world.sense();
+        let hint = world.route_hint();
+        let c = agent.step(&frame, hint, 0.025, &mut gpu, &mut cpu).expect("no trap");
+        world.step(c);
+        speeds.push(world.ego_state().speed);
+    }
+    let late_avg = speeds[speeds.len() - 200..].iter().sum::<f64>() / 200.0;
+    assert!((late_avg - 8.0).abs() < 1.0, "cruise speed settled at {late_avg:.2}");
+}
+
+#[test]
+fn perception_estimates_lead_distance() {
+    let mut world = World::new(lead_slowdown(), SensorConfig::default(), 16);
+    let mut agent = SensorimotorAgent::new(AgentConfig::default(), 1);
+    let mut gpu = Fabric::new(Profile::Gpu);
+    let mut cpu = Fabric::new(Profile::Cpu);
+    // Three frames so the temporal median filter confirms the detection.
+    for _ in 0..3 {
+        let frame = world.sense();
+        let hint = world.route_hint();
+        let c = agent.step(&frame, hint, 0.025, &mut gpu, &mut cpu).expect("no trap");
+        world.step(c);
+    }
+    let dbg = agent.perception_debug();
+    // True bumper gap is ~20.5 m (25 m center-to-center); row quantization
+    // near the horizon makes the estimate coarse.
+    assert!(
+        dbg.distance > 8.0 && dbg.distance < 60.0,
+        "distance estimate {:.1} m for a lead 25 m ahead",
+        dbg.distance
+    );
+}
+
+#[test]
+fn perception_reports_no_vehicle_on_empty_road() {
+    let mut scenario = lead_slowdown();
+    scenario.npcs.clear();
+    let mut world = World::new(scenario, SensorConfig::default(), 17);
+    let mut agent = SensorimotorAgent::new(AgentConfig::default(), 2);
+    let mut gpu = Fabric::new(Profile::Gpu);
+    let mut cpu = Fabric::new(Profile::Cpu);
+    let frame = world.sense();
+    let hint = world.route_hint();
+    agent.step(&frame, hint, 0.025, &mut gpu, &mut cpu).expect("no trap");
+    assert!(agent.perception_debug().distance > 100.0, "no vehicle → huge distance");
+}
+
+#[test]
+fn agent_memory_accounting_is_plausible() {
+    let agent = SensorimotorAgent::new(AgentConfig::default(), 3);
+    let (vram, ram) = agent.memory_bytes();
+    assert!(vram > 50_000, "GPU context holds image planes: {vram}");
+    assert!(ram < 4_096, "CPU context is small: {ram}");
+}
+
+#[test]
+fn permanent_fmul_gpu_fault_perturbs_actuation() {
+    let mut world = World::new(lead_slowdown(), SensorConfig::default(), 18);
+    let mut clean_agent = SensorimotorAgent::new(AgentConfig::default(), 4);
+    let mut faulty_agent = SensorimotorAgent::new(AgentConfig::default(), 4);
+    let mut gpu_clean = Fabric::new(Profile::Gpu);
+    let mut gpu_faulty = Fabric::new(Profile::Gpu);
+    gpu_faulty.inject(FaultModel::Permanent { op: Op::FFma, mask: 1 << 30 });
+    let mut cpu1 = Fabric::new(Profile::Cpu);
+    let mut cpu2 = Fabric::new(Profile::Cpu);
+    // Several frames so corruption passes the temporal median filter.
+    let (mut clean, mut faulty) = (Ok(Default::default()), Ok(Default::default()));
+    for _ in 0..3 {
+        let frame = world.sense();
+        let hint = world.route_hint();
+        clean = clean_agent.step(&frame, hint, 0.025, &mut gpu_clean, &mut cpu1);
+        faulty = faulty_agent.step(&frame, hint, 0.025, &mut gpu_faulty, &mut cpu2);
+        if faulty.is_err() {
+            break;
+        }
+        world.step(clean.clone().expect("clean run"));
+    }
+    match (clean, faulty) {
+        (Ok(_), Ok(_)) => {
+            // Actuation may saturate identically; the perception state must
+            // differ under an always-on FMA corruption.
+            assert_ne!(
+                clean_agent.perception_debug(),
+                faulty_agent.perception_debug(),
+                "a permanent FFma fault must perturb perception"
+            );
+        }
+        (Ok(_), Err(_)) => {} // crash/hang is also an acceptable manifestation
+        other => panic!("unexpected outcomes: {other:?}"),
+    }
+}
+
+#[test]
+fn corrupted_cpu_loop_counter_hangs_or_crashes() {
+    let mut world = World::new(lead_slowdown(), SensorConfig::default(), 19);
+    let mut agent = SensorimotorAgent::new(AgentConfig::default(), 5);
+    let mut gpu = Fabric::new(Profile::Gpu);
+    let mut cpu = Fabric::new(Profile::Cpu);
+    cpu.inject(FaultModel::Permanent { op: Op::IAdd, mask: 1 });
+    let frame = world.sense();
+    let hint = world.route_hint();
+    let res = agent.step(&frame, hint, 0.025, &mut gpu, &mut cpu);
+    assert!(res.is_err(), "permanent IAdd corruption must trap, got {res:?}");
+    let err = res.unwrap_err();
+    assert_eq!(err.fabric, Profile::Cpu);
+}
+
+#[test]
+fn agent_state_is_private_between_instances() {
+    // Two agents stepping on the same fabrics keep independent PID state.
+    let mut world = World::new(lead_slowdown(), SensorConfig::default(), 20);
+    let mut a = SensorimotorAgent::new(AgentConfig::default(), 6);
+    let mut b = SensorimotorAgent::new(AgentConfig::default(), 7);
+    let mut gpu = Fabric::new(Profile::Gpu);
+    let mut cpu = Fabric::new(Profile::Cpu);
+    for _ in 0..5 {
+        let frame = world.sense();
+        let hint = world.route_hint();
+        let ca = a.step(&frame, hint, 0.025, &mut gpu, &mut cpu).expect("a ok");
+        let cb = b.step(&frame, hint, 0.025, &mut gpu, &mut cpu).expect("b ok");
+        // Outputs are close (same inputs) but jitter keeps them distinct
+        // over several steps; state must not leak between contexts.
+        let _ = (ca, cb);
+        world.step(ca);
+    }
+    assert_eq!(a.steps(), 5);
+    assert_eq!(b.steps(), 5);
+}
+
+#[test]
+#[ignore = "diagnostic trace for gain tuning"]
+fn debug_lane_trace() {
+    let scenario = long_route(0, 45.0);
+    let mut world = World::new(scenario, SensorConfig::default(), 14);
+    let mut agent = SensorimotorAgent::new(AgentConfig::default(), 14 ^ 0x5A);
+    let mut gpu = Fabric::new(Profile::Gpu);
+    let mut cpu = Fabric::new(Profile::Cpu);
+    let mut i = 0u64;
+    while !world.finished() {
+        let frame = world.sense();
+        let hint = world.route_hint();
+        let c = agent.step(&frame, hint, 0.025, &mut gpu, &mut cpu).expect("no trap");
+        world.step(c);
+        if i % 40 == 0 {
+            let d = agent.perception_debug();
+            println!(
+                "t={:5.1} s={:6.1} lat={:+5.2} curv={:+.4} limit={:4.1} v={:4.1} steer={:+.3} latpx={:+6.1} dist={:6.1} thr={:.2} brk={:.2}",
+                world.time(), world.ego_s(), hint.lateral_offset, hint.curvature,
+                hint.speed_limit, world.ego_state().speed, c.steer, d.lat_err_px, d.distance,
+                c.throttle, c.brake
+            );
+        }
+        i += 1;
+    }
+}

@@ -1,0 +1,182 @@
+//! Kernel-level verification: each GPU perception kernel is checked
+//! against a host-side reference implementation on synthetic images.
+
+use diverseav_agent::{kernels, layout::param, GpuLayout};
+use diverseav_fabric::{Context, Fabric, Profile};
+
+const W: usize = 32;
+const H: usize = 24;
+
+/// Build a context with a synthetic scene: image planes from a generator,
+/// lane weights all 1 below the horizon, and a simple distance LUT.
+fn make_ctx(l: &GpuLayout, pixel: impl Fn(usize, usize) -> (f32, f32, f32)) -> Context {
+    let mut ctx = Context::new(l.total);
+    for y in 0..H {
+        for x in 0..W {
+            let (r, g, b) = pixel(x, y);
+            let i = y * W + x;
+            ctx.write_f32(l.img_r + i, r);
+            ctx.write_f32(l.img_g + i, g);
+            ctx.write_f32(l.img_b + i, b);
+            let w = if y > H / 2 { 1.0 } else { 0.0 };
+            ctx.write_f32(l.lanew + i, w);
+        }
+    }
+    for y2 in 0..l.h2 {
+        ctx.write_f32(l.dist + y2, 100.0 - y2 as f32 * 4.0);
+    }
+    ctx.write_f32(l.params + param::BIAS, 0.15);
+    ctx.write_f32(l.params + param::THRESH, 0.05);
+    ctx.write_f32(l.params + param::KD, 0.5);
+    ctx.write_f32(l.params + param::D_MIN, 6.0);
+    ctx.write_f32(l.params + param::D_EMERG, 5.0);
+    ctx.write_f32(l.params + param::LIMIT, 8.0);
+    ctx
+}
+
+fn run_mask(l: &GpuLayout, ctx: &mut Context) {
+    let mut gpu = Fabric::new(Profile::Gpu);
+    let prog = kernels::build_mask_kernel(l);
+    gpu.run_kernel(&prog, ctx, (W * H) as u32, &[], 400).expect("mask kernel");
+}
+
+#[test]
+fn mask_kernel_matches_reference_formula() {
+    let l = GpuLayout::new(W, H);
+    let mut ctx = make_ctx(&l, |x, y| {
+        // A gradient image with a "blue" block at (10..14, 16..20).
+        if (10..14).contains(&x) && (16..20).contains(&y) {
+            (0.15, 0.16, 0.80)
+        } else {
+            (0.2 + x as f32 / 100.0, 0.2, 0.25 + y as f32 / 200.0)
+        }
+    });
+    run_mask(&l, &mut ctx);
+    for y in 0..H {
+        for x in 0..W {
+            let i = y * W + x;
+            let r = ctx.read_f32(l.img_r + i);
+            let g = ctx.read_f32(l.img_g + i);
+            let b = ctx.read_f32(l.img_b + i);
+            let lanew = ctx.read_f32(l.lanew + i);
+            let expected = ((b - 0.5 * (r + g)) - 0.15f32).max(0.0) * lanew;
+            let got = ctx.read_f32(l.mask + i);
+            assert!((got - expected).abs() < 1e-6, "mask[{x},{y}] = {got} vs {expected}");
+        }
+    }
+}
+
+#[test]
+fn conv_kernel_is_a_3x3_box_filter() {
+    let l = GpuLayout::new(W, H);
+    let mut ctx = make_ctx(&l, |x, y| {
+        if x == 15 && y == 17 {
+            (0.0, 0.0, 1.0) // a single hot pixel
+        } else {
+            (0.3, 0.3, 0.3)
+        }
+    });
+    run_mask(&l, &mut ctx);
+    let mut gpu = Fabric::new(Profile::Gpu);
+    let prog = kernels::build_conv_kernel(&l);
+    gpu.run_kernel(&prog, &mut ctx, (l.w2 * l.h2) as u32, &[], 400).expect("conv kernel");
+    // Host reference: conv sample (x2, y2) averages the 3×3 block centered
+    // at (2x2+1, 2y2+1) of the mask plane.
+    for y2 in 0..l.h2 {
+        for x2 in 0..l.w2 {
+            let (cx, cy) = (2 * x2 + 1, 2 * y2 + 1);
+            let mut sum = 0.0f32;
+            for dy in 0..3 {
+                for dx in 0..3 {
+                    sum += ctx.read_f32(l.mask + (cy + dy - 1) * W + (cx + dx - 1));
+                }
+            }
+            // The kernel accumulates tap·(1/9) with FMA in tap order; the
+            // tolerance absorbs association differences.
+            let got = ctx.read_f32(l.conv + y2 * l.w2 + x2);
+            assert!(
+                (got - sum / 9.0).abs() < 1e-5,
+                "conv[{x2},{y2}] = {got} vs {}",
+                sum / 9.0
+            );
+        }
+    }
+}
+
+#[test]
+fn rowmax_and_rowsum_match_reference() {
+    let l = GpuLayout::new(W, H);
+    let mut ctx = make_ctx(&l, |x, y| {
+        let v = ((x * 7 + y * 13) % 10) as f32 / 10.0;
+        (0.1, 0.1, 0.3 + v / 3.0)
+    });
+    run_mask(&l, &mut ctx);
+    let mut gpu = Fabric::new(Profile::Gpu);
+    gpu.run_kernel(&kernels::build_conv_kernel(&l), &mut ctx, (l.w2 * l.h2) as u32, &[], 400)
+        .expect("conv");
+    gpu.run_kernel(&kernels::build_rowmax_kernel(&l), &mut ctx, l.h2 as u32, &[], 400)
+        .expect("rowmax");
+    for y2 in 0..l.h2 {
+        let row: Vec<f32> = (0..l.w2).map(|x2| ctx.read_f32(l.conv + y2 * l.w2 + x2)).collect();
+        let maxv = row.iter().cloned().fold(0.0f32, f32::max);
+        let sumv: f32 = row.iter().sum();
+        assert!((ctx.read_f32(l.rowmax + y2) - maxv).abs() < 1e-6, "rowmax[{y2}]");
+        assert!((ctx.read_f32(l.rowsum + y2) - sumv).abs() < 1e-4, "rowsum[{y2}]");
+    }
+}
+
+#[test]
+fn lane_kernel_sums_whiteness_over_bottom_third() {
+    let l = GpuLayout::new(W, H);
+    // Bright "marking" column at x = 20 in the bottom third.
+    let mut ctx = make_ctx(&l, |x, y| {
+        if x == 20 && y >= H * 2 / 3 {
+            (0.85, 0.85, 0.82)
+        } else {
+            (0.2, 0.2, 0.2)
+        }
+    });
+    let mut gpu = Fabric::new(Profile::Gpu);
+    gpu.run_kernel(&kernels::build_lane_kernel(&l), &mut ctx, W as u32, &[], 400).expect("lane");
+    for x in 0..W {
+        let mut expected = 0.0f32;
+        for y in H * 2 / 3..H {
+            let i = y * W + x;
+            let m = ctx
+                .read_f32(l.img_r + i)
+                .min(ctx.read_f32(l.img_g + i))
+                .min(ctx.read_f32(l.img_b + i));
+            expected += (m - 0.55).max(0.0);
+        }
+        let got = ctx.read_f32(l.lane + x);
+        assert!((got - expected).abs() < 1e-5, "lane[{x}] = {got} vs {expected}");
+    }
+    assert!(ctx.read_f32(l.lane + 20) > 0.5, "the marking column scores high");
+}
+
+#[test]
+fn decide_kernel_scans_bottom_up_and_uses_the_lut() {
+    let l = GpuLayout::new(W, H);
+    let mut ctx = make_ctx(&l, |_, _| (0.2, 0.2, 0.2));
+    // Hand-plant row maxima: signal at conv rows 4 and 8 → the scan from
+    // the bottom must pick row 8 (closer) and read DIST[8].
+    for y2 in 0..l.h2 {
+        ctx.write_f32(l.rowmax + y2, 0.0);
+    }
+    ctx.write_f32(l.rowmax + 4, 0.2);
+    ctx.write_f32(l.rowmax + 8, 0.3);
+    // Neutral history so the median filter passes the fresh value through
+    // (history slots are zero → median(d, 0, 0) = 0 on the first call), so
+    // run the kernel three times to fill the history.
+    let mut gpu = Fabric::new(Profile::Gpu);
+    let prog = kernels::build_decide_kernel(&l);
+    for _ in 0..3 {
+        gpu.run_kernel(&prog, &mut ctx, 1, &[], 20_000).expect("decide");
+    }
+    let expected = 100.0 - 8.0 * 4.0; // DIST[8]
+    let got = ctx.read_f32(l.out + diverseav_agent::layout::out::DIST);
+    assert!((got - expected).abs() < 1e-4, "distance {got} vs {expected}");
+    // v_des = min(limit, kd·(d − d_min)) = min(8, 0.5·(68 − 6)) = 8.
+    let v = ctx.read_f32(l.out + diverseav_agent::layout::out::V_DES);
+    assert!((v - 8.0).abs() < 1e-4, "v_des {v}");
+}

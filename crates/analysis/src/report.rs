@@ -1,0 +1,182 @@
+//! Plain-text rendering of evaluation artifacts: aligned tables, heat
+//! maps (Fig 7), and CDF plots (Fig 8).
+
+use std::fmt::Write as _;
+
+/// A simple aligned text table.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the header count.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |out: &mut String, cells: &[String]| {
+            for i in 0..ncols {
+                let _ = write!(out, "{:<width$}", cells[i], width = widths[i] + 2);
+            }
+            out.push('\n');
+        };
+        fmt_row(&mut out, &self.headers);
+        let total: usize = widths.iter().map(|w| w + 2).sum();
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Render a heat map as a labeled grid of numeric cells (Fig 7 style).
+pub fn heatmap(
+    title: &str,
+    row_label: &str,
+    row_keys: &[String],
+    col_label: &str,
+    col_keys: &[String],
+    values: &[Vec<f64>],
+) -> String {
+    let mut out = format!("{title}\n");
+    let _ = writeln!(out, "rows: {row_label}, cols: {col_label}");
+    let _ = write!(out, "{:>8}", "");
+    for ck in col_keys {
+        let _ = write!(out, "{ck:>7}");
+    }
+    out.push('\n');
+    for (rk, row) in row_keys.iter().zip(values.iter()) {
+        let _ = write!(out, "{rk:>8}");
+        for v in row {
+            let _ = write!(out, "{v:>7.2}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render an ASCII CDF plot (Fig 8 style): y = fraction ≤ x.
+pub fn ascii_cdf(title: &str, points: &[(f64, f64)], width: usize, height: usize) -> String {
+    let mut out = format!("{title}\n");
+    if points.is_empty() {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    let xmin = points.first().expect("nonempty").0;
+    let xmax = points.last().expect("nonempty").0.max(xmin + 1e-9);
+    let mut grid = vec![vec![' '; width]; height];
+    for &(x, y) in points {
+        let col = (((x - xmin) / (xmax - xmin)) * (width - 1) as f64).round() as usize;
+        let row = ((1.0 - y) * (height - 1) as f64).round() as usize;
+        grid[row.min(height - 1)][col.min(width - 1)] = '*';
+    }
+    for (i, line) in grid.iter().enumerate() {
+        let y = 1.0 - i as f64 / (height - 1) as f64;
+        let _ = writeln!(out, "{y:>5.2} |{}", line.iter().collect::<String>());
+    }
+    let _ = writeln!(out, "      +{}", "-".repeat(width));
+    let _ = writeln!(out, "       x: {xmin:.2} .. {xmax:.2}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.row(vec!["a", "1"]);
+        t.row(vec!["long-name", "22"]);
+        let s = t.render();
+        assert!(s.contains("name"));
+        assert!(s.contains("long-name"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4, "header + rule + 2 rows");
+        // The value column starts at the same offset in every data row.
+        let off = lines[2].find('1').expect("value present");
+        assert_eq!(&lines[3][off..off + 2], "22");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn table_len_and_empty() {
+        let mut t = Table::new(vec!["a"]);
+        assert!(t.is_empty());
+        t.row(vec!["x"]);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn heatmap_renders_grid() {
+        let s = heatmap(
+            "precision",
+            "rw",
+            &["3".to_string(), "5".to_string()],
+            "td",
+            &["1".to_string(), "2".to_string()],
+            &[vec![0.5, 0.75], vec![0.25, 1.0]],
+        );
+        assert!(s.contains("precision"));
+        assert!(s.contains("0.75"));
+        assert!(s.contains("1.00"));
+        assert_eq!(s.lines().count(), 5);
+    }
+
+    #[test]
+    fn cdf_plot_contains_marks() {
+        let pts = vec![(0.0, 0.25), (1.0, 0.5), (2.0, 0.75), (3.0, 1.0)];
+        let s = ascii_cdf("lead time", &pts, 20, 8);
+        assert!(s.contains('*'));
+        assert!(s.contains("lead time"));
+        assert!(s.contains("0.00 .. 3.00"));
+    }
+
+    #[test]
+    fn cdf_plot_handles_empty() {
+        let s = ascii_cdf("empty", &[], 10, 5);
+        assert!(s.contains("(no data)"));
+    }
+}

@@ -1,0 +1,180 @@
+//! Elementary statistics used across the evaluation: percentiles, boxplot
+//! summaries, and CDFs.
+
+/// Percentile of a sample (linear interpolation between order statistics).
+///
+/// # Panics
+///
+/// Panics if `data` is empty or `p` is outside `[0, 100]`.
+pub fn percentile(data: &[f64], p: f64) -> f64 {
+    assert!(!data.is_empty(), "percentile of empty sample");
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+    let mut sorted: Vec<f64> = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Arithmetic mean.
+///
+/// # Panics
+///
+/// Panics if `data` is empty.
+pub fn mean(data: &[f64]) -> f64 {
+    assert!(!data.is_empty(), "mean of empty sample");
+    data.iter().sum::<f64>() / data.len() as f64
+}
+
+/// Sample standard deviation (n − 1 denominator; 0 for n < 2).
+pub fn std_dev(data: &[f64]) -> f64 {
+    if data.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(data);
+    (data.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (data.len() - 1) as f64).sqrt()
+}
+
+/// Five-number summary for boxplots (Fig 6).
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Boxplot {
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Boxplot {
+    /// Compute the five-number summary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty.
+    pub fn of(data: &[f64]) -> Boxplot {
+        Boxplot {
+            min: percentile(data, 0.0),
+            q1: percentile(data, 25.0),
+            median: percentile(data, 50.0),
+            q3: percentile(data, 75.0),
+            max: percentile(data, 100.0),
+        }
+    }
+}
+
+/// Fixed-width histogram of a sample: returns `(bin_lower_edge, count)`
+/// pairs covering `[lo, hi)` with `bins` equal bins; samples outside the
+/// range are clamped into the edge bins.
+///
+/// # Panics
+///
+/// Panics if `bins == 0` or `hi <= lo`.
+pub fn histogram(data: &[f64], lo: f64, hi: f64, bins: usize) -> Vec<(f64, usize)> {
+    assert!(bins > 0, "histogram needs at least one bin");
+    assert!(hi > lo, "empty histogram range");
+    let width = (hi - lo) / bins as f64;
+    let mut counts = vec![0usize; bins];
+    for &x in data {
+        let b = ((x - lo) / width).floor();
+        let idx = (b.max(0.0) as usize).min(bins - 1);
+        counts[idx] += 1;
+    }
+    counts.into_iter().enumerate().map(|(i, c)| (lo + i as f64 * width, c)).collect()
+}
+
+/// Empirical CDF points `(x, F(x))` of a sample, one per observation.
+pub fn cdf_points(data: &[f64]) -> Vec<(f64, f64)> {
+    let mut sorted: Vec<f64> = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let n = sorted.len() as f64;
+    sorted.iter().enumerate().map(|(i, &x)| (x, (i + 1) as f64 / n)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_basics() {
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&data, 0.0), 1.0);
+        assert_eq!(percentile(&data, 50.0), 3.0);
+        assert_eq!(percentile(&data, 100.0), 5.0);
+        assert_eq!(percentile(&data, 25.0), 2.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let data = [0.0, 10.0];
+        assert!((percentile(&data, 75.0) - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_unsorted_input() {
+        let data = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&data, 50.0), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_empty_panics() {
+        let _ = percentile(&[], 50.0);
+    }
+
+    #[test]
+    fn mean_and_std() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&data) - 5.0).abs() < 1e-12);
+        assert!((std_dev(&data) - 2.138).abs() < 0.01);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn boxplot_five_numbers() {
+        let data: Vec<f64> = (1..=9).map(|x| x as f64).collect();
+        let b = Boxplot::of(&data);
+        assert_eq!(b.min, 1.0);
+        assert_eq!(b.median, 5.0);
+        assert_eq!(b.max, 9.0);
+        assert_eq!(b.q1, 3.0);
+        assert_eq!(b.q3, 7.0);
+    }
+
+    #[test]
+    fn histogram_counts_and_clamps() {
+        let data = [0.1, 0.2, 0.55, 0.9, -5.0, 5.0];
+        let h = histogram(&data, 0.0, 1.0, 4);
+        assert_eq!(h.len(), 4);
+        assert_eq!(h[0], (0.0, 3), "two in-range + one clamped low");
+        assert_eq!(h[2].1, 1);
+        assert_eq!(h[3].1, 2, "one in-range + one clamped high");
+        assert_eq!(h.iter().map(|&(_, c)| c).sum::<usize>(), data.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        let _ = histogram(&[1.0], 0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let data = [3.0, 1.0, 2.0];
+        let cdf = cdf_points(&data);
+        assert_eq!(cdf.len(), 3);
+        assert_eq!(cdf[0], (1.0, 1.0 / 3.0));
+        assert_eq!(cdf[2], (3.0, 1.0));
+        assert!(cdf.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+    }
+}

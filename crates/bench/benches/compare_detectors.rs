@@ -1,0 +1,10 @@
+//! Experiment E10+E11 (§VI-B, §VI-C) — regenerates the paper artifact.
+//!
+//! Scale: quick by default; `DIVERSEAV_SCALE=paper` for paper-scale runs.
+
+fn main() {
+    let started = std::time::Instant::now();
+    let report = diverseav_bench::experiments::compare_report();
+    println!("{report}");
+    eprintln!("[compare_detectors completed in {:.1} s]", started.elapsed().as_secs_f64());
+}

@@ -1,0 +1,10 @@
+//! Experiment E12 (Fig 2(3)(4)) — regenerates the paper artifact.
+//!
+//! Scale: quick by default; `DIVERSEAV_SCALE=paper` for paper-scale runs.
+
+fn main() {
+    let started = std::time::Instant::now();
+    let report = diverseav_bench::experiments::fig2_report();
+    println!("{report}");
+    eprintln!("[fig2_traces completed in {:.1} s]", started.elapsed().as_secs_f64());
+}

@@ -1,0 +1,10 @@
+//! Experiment E1-E3 (Fig 5, §V-A) — regenerates the paper artifact.
+//!
+//! Scale: quick by default; `DIVERSEAV_SCALE=paper` for paper-scale runs.
+
+fn main() {
+    let started = std::time::Instant::now();
+    let report = diverseav_bench::experiments::fig5_report();
+    println!("{report}");
+    eprintln!("[fig5_bit_diversity completed in {:.1} s]", started.elapsed().as_secs_f64());
+}

@@ -1,0 +1,10 @@
+//! Experiment E4 (Fig 6, §V-B) — regenerates the paper artifact.
+//!
+//! Scale: quick by default; `DIVERSEAV_SCALE=paper` for paper-scale runs.
+
+fn main() {
+    let started = std::time::Instant::now();
+    let report = diverseav_bench::experiments::fig6_report();
+    println!("{report}");
+    eprintln!("[fig6_trajectory completed in {:.1} s]", started.elapsed().as_secs_f64());
+}

@@ -1,0 +1,10 @@
+//! Experiment E7 (Fig 8, §V-D) — regenerates the paper artifact.
+//!
+//! Scale: quick by default; `DIVERSEAV_SCALE=paper` for paper-scale runs.
+
+fn main() {
+    let started = std::time::Instant::now();
+    let report = diverseav_bench::experiments::fig8_report();
+    println!("{report}");
+    eprintln!("[fig8_lead_time completed in {:.1} s]", started.elapsed().as_secs_f64());
+}

@@ -1,0 +1,10 @@
+//! Experiment E5+E9 (Table I, §V-C, §VI-A) — regenerates the paper artifact.
+//!
+//! Scale: quick by default; `DIVERSEAV_SCALE=paper` for paper-scale runs.
+
+fn main() {
+    let started = std::time::Instant::now();
+    let report = diverseav_bench::experiments::table1_report();
+    println!("{report}");
+    eprintln!("[table1_campaigns completed in {:.1} s]", started.elapsed().as_secs_f64());
+}

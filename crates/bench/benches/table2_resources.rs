@@ -1,0 +1,10 @@
+//! Experiment E8 (Table II, §V-E) — regenerates the paper artifact.
+//!
+//! Scale: quick by default; `DIVERSEAV_SCALE=paper` for paper-scale runs.
+
+fn main() {
+    let started = std::time::Instant::now();
+    let report = diverseav_bench::experiments::table2_report();
+    println!("{report}");
+    eprintln!("[table2_resources completed in {:.1} s]", started.elapsed().as_secs_f64());
+}

@@ -1,0 +1,42 @@
+//! End-to-end smoke run: a miniature version of the detector evaluation
+//! pipeline, for fast sanity checks during development.
+//!
+//! ```text
+//! cargo run --release -p diverseav-bench --bin smoke
+//! ```
+
+use diverseav::{AgentMode, DetectorConfig, DetectorModel};
+use diverseav_bench::evaluate_cell;
+use diverseav_bench::experiments::{gpu_campaigns, training, BEST_RW, BEST_TD};
+use diverseav_faultinj::{summarize, CampaignScale};
+
+fn main() {
+    let scale = CampaignScale {
+        n_transient: 10,
+        permanent_repeats: 1,
+        golden_runs: 4,
+        long_route_duration: 100.0,
+        training_runs: 2,
+    };
+    let tr = training(AgentMode::RoundRobin, &scale);
+    let campaigns = gpu_campaigns(AgentMode::RoundRobin, &scale);
+    for c in &campaigns {
+        let row = summarize(c, BEST_TD);
+        println!(
+            "{}: active={} hang/crash={} accidents={} traj-violations={} total={}",
+            c.campaign, row.active, row.hang_crash, row.accidents, row.traj_violations, row.total
+        );
+    }
+    let cfg = DetectorConfig::default().with_rw(BEST_RW);
+    let model = DetectorModel::train(&tr, &cfg);
+    let cell = evaluate_cell(&model, cfg, &campaigns, BEST_TD);
+    println!(
+        "\ndetector @ td={BEST_TD} rw={BEST_RW}: precision={:.2} recall={:.2} \
+         golden-false-alarms={} missed-hazard-p={:.4}",
+        cell.eval.precision(),
+        cell.eval.recall(),
+        cell.golden_alarms,
+        cell.missed_hazard_probability()
+    );
+    assert_eq!(cell.golden_alarms, 0, "golden runs must not alarm");
+}

@@ -1,0 +1,14 @@
+//! # diverseav-bench
+//!
+//! Experiment harness for the DiverseAV reproduction: shared pipelines
+//! behind the per-table/per-figure bench targets (`benches/`), the
+//! detector parameter-sweep machinery, and the report generators.
+//!
+//! Scale selection: set `DIVERSEAV_SCALE=paper` for paper-scale counts;
+//! the default (`quick`) shrinks run counts so a full `cargo bench`
+//! completes in minutes rather than the paper's 40 days.
+
+pub mod experiments;
+pub mod sweep;
+
+pub use sweep::{evaluate_cell, replay_campaign, sweep, CellEval, ReplayedCampaign, SweepResult};

@@ -1,0 +1,103 @@
+//! Actuation-level types shared by the distributor, fusion engine, and
+//! error detector.
+
+use diverseav_simworld::{Controls, VehicleState};
+
+/// The vehicle-state tuple ⟨v, a, ω, α⟩ the paper's detector bins its
+/// thresholds by (§III-D): speed, acceleration, yaw rate, yaw acceleration.
+#[derive(Copy, Clone, Debug, PartialEq, Default)]
+pub struct VehState {
+    /// Speed (m/s).
+    pub v: f64,
+    /// Longitudinal acceleration (m/s²).
+    pub a: f64,
+    /// Yaw rate (rad/s).
+    pub w: f64,
+    /// Yaw acceleration (rad/s²).
+    pub alpha: f64,
+}
+
+impl From<&VehicleState> for VehState {
+    fn from(s: &VehicleState) -> Self {
+        VehState { v: s.speed, a: s.accel, w: s.yaw_rate, alpha: s.yaw_accel }
+    }
+}
+
+/// Per-channel absolute divergence between two actuation commands.
+#[derive(Copy, Clone, Debug, PartialEq, Default)]
+pub struct Divergence {
+    /// |Δ throttle|.
+    pub throttle: f64,
+    /// |Δ brake|.
+    pub brake: f64,
+    /// |Δ steer|.
+    pub steer: f64,
+}
+
+impl Divergence {
+    /// Absolute per-channel difference between two commands.
+    pub fn between(a: &Controls, b: &Controls) -> Self {
+        Divergence {
+            throttle: (a.throttle - b.throttle).abs(),
+            brake: (a.brake - b.brake).abs(),
+            steer: (a.steer - b.steer).abs(),
+        }
+    }
+
+    /// Channel accessor by index: 0 = throttle, 1 = brake, 2 = steer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ch > 2`.
+    pub fn channel(&self, ch: usize) -> f64 {
+        match ch {
+            0 => self.throttle,
+            1 => self.brake,
+            2 => self.steer,
+            _ => panic!("divergence channel {ch} out of range"),
+        }
+    }
+}
+
+/// Names of the three actuation channels, for reports.
+pub const CHANNELS: [&str; 3] = ["throttle", "brake", "steer"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn divergence_is_absolute() {
+        let a = Controls { throttle: 0.5, brake: 0.0, steer: -0.2 };
+        let b = Controls { throttle: 0.2, brake: 0.1, steer: 0.3 };
+        let d = Divergence::between(&a, &b);
+        assert!((d.throttle - 0.3).abs() < 1e-12);
+        assert!((d.brake - 0.1).abs() < 1e-12);
+        assert!((d.steer - 0.5).abs() < 1e-12);
+        assert_eq!(Divergence::between(&a, &b), Divergence::between(&b, &a));
+    }
+
+    #[test]
+    fn channel_indexing() {
+        let d = Divergence { throttle: 1.0, brake: 2.0, steer: 3.0 };
+        assert_eq!(d.channel(0), 1.0);
+        assert_eq!(d.channel(1), 2.0);
+        assert_eq!(d.channel(2), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn channel_out_of_range_panics() {
+        let _ = Divergence::default().channel(3);
+    }
+
+    #[test]
+    fn vehstate_from_vehicle_state() {
+        let vs = VehicleState { speed: 5.0, accel: -1.0, yaw_rate: 0.2, yaw_accel: 0.5, ..Default::default() };
+        let s = VehState::from(&vs);
+        assert_eq!(s.v, 5.0);
+        assert_eq!(s.a, -1.0);
+        assert_eq!(s.w, 0.2);
+        assert_eq!(s.alpha, 0.5);
+    }
+}

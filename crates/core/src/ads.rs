@@ -1,0 +1,414 @@
+//! The DiverseAV-enabled autonomous driving system: sensor data
+//! distributor + redundant agents + control fusion + error detection,
+//! wired as a drop-in ADS (Fig 2 of the paper).
+
+use crate::actuation::{Divergence, VehState};
+use crate::detector::{DetectorConfig, DetectorModel, OnlineDetector};
+use crate::distributor::AgentMode;
+use crate::fusion::FusionPolicy;
+use diverseav_agent::{AgentConfig, AgentError, SensorimotorAgent};
+use diverseav_fabric::{ExecStats, Fabric, FaultModel, Profile};
+use diverseav_simworld::{Controls, RouteHint, SensorFrame};
+
+/// A processor unit: one GPU fabric and one CPU fabric.
+#[derive(Clone, Debug)]
+pub struct ProcessorUnit {
+    /// The data-parallel fabric (perception kernels).
+    pub gpu: Fabric,
+    /// The scalar fabric (tracker + PID).
+    pub cpu: Fabric,
+}
+
+impl ProcessorUnit {
+    fn new() -> Self {
+        ProcessorUnit { gpu: Fabric::new(Profile::Gpu), cpu: Fabric::new(Profile::Cpu) }
+    }
+}
+
+/// Configuration of an ADS instance.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct AdsConfig {
+    /// Deployment mode (single / DiverseAV round-robin / FD duplicate).
+    pub mode: AgentMode,
+    /// Agent parameters (shared by both agent instances).
+    pub agent: AgentConfig,
+    /// Control fusion policy.
+    pub fusion: FusionPolicy,
+    /// Seed for the agents' private jitter RNGs.
+    pub seed: u64,
+    /// Round-robin partial overlap: every Nth frame goes to both agents
+    /// (paper footnote 5). `None` = pure round-robin.
+    pub overlap_period: Option<u32>,
+}
+
+impl AdsConfig {
+    /// Default configuration for a mode.
+    pub fn for_mode(mode: AgentMode, seed: u64) -> Self {
+        AdsConfig {
+            mode,
+            agent: AgentConfig::default(),
+            fusion: FusionPolicy::ActiveAgent,
+            seed,
+            overlap_period: None,
+        }
+    }
+}
+
+/// Output of one ADS tick.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct TickOutput {
+    /// The actuation command sent to the vehicle.
+    pub controls: Controls,
+    /// The compared pair `(fresh output, reference output)` feeding the
+    /// error detector, once a reference exists.
+    pub pair: Option<(Controls, Controls)>,
+    /// Divergence of the pair.
+    pub divergence: Option<Divergence>,
+    /// Whether the error detector raised its alarm on this tick.
+    pub alarm_raised: bool,
+}
+
+/// A DiverseAV-enabled (or baseline) autonomous driving system.
+///
+/// # Example
+///
+/// ```
+/// use diverseav::{AdsConfig, AgentMode, Ads, VehState};
+/// use diverseav_simworld::{lead_slowdown, SensorConfig, World};
+///
+/// # fn main() -> Result<(), diverseav_agent::AgentError> {
+/// let mut world = World::new(lead_slowdown(), SensorConfig::default(), 1);
+/// let mut ads = Ads::new(AdsConfig::for_mode(AgentMode::RoundRobin, 42));
+/// let frame = world.sense();
+/// let hint = world.route_hint();
+/// let state = VehState::from(world.ego_state());
+/// let out = ads.tick(&frame, hint, state, world.time())?;
+/// world.step(out.controls);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Ads {
+    cfg: AdsConfig,
+    agents: Vec<SensorimotorAgent>,
+    units: Vec<ProcessorUnit>,
+    detector: Option<OnlineDetector>,
+    step: u64,
+    last_output: [Option<Controls>; 2],
+    prev_selected: Option<Controls>,
+}
+
+impl Ads {
+    /// Build an ADS in the configured mode.
+    pub fn new(cfg: AdsConfig) -> Self {
+        let agents = (0..cfg.mode.n_agents())
+            .map(|i| SensorimotorAgent::new(cfg.agent, cfg.seed.wrapping_add(i as u64 * 101)))
+            .collect();
+        let units = (0..cfg.mode.n_units()).map(|_| ProcessorUnit::new()).collect();
+        Ads {
+            cfg,
+            agents,
+            units,
+            detector: None,
+            step: 0,
+            last_output: [None, None],
+            prev_selected: None,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AdsConfig {
+        &self.cfg
+    }
+
+    /// Attach a trained error detector.
+    pub fn attach_detector(&mut self, model: DetectorModel, det_cfg: DetectorConfig) {
+        self.detector = Some(OnlineDetector::new(model, det_cfg));
+    }
+
+    /// The attached detector, if any.
+    pub fn detector(&self) -> Option<&OnlineDetector> {
+        self.detector.as_ref()
+    }
+
+    /// Time the detector alarm was raised, if it was.
+    pub fn alarm_time(&self) -> Option<f64> {
+        self.detector.as_ref().and_then(|d| d.alarm_time())
+    }
+
+    /// Arm a fault on one processor unit's fabric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unit` is out of range for the mode.
+    pub fn inject_fault(&mut self, unit: usize, profile: Profile, model: FaultModel) {
+        let u = &mut self.units[unit];
+        match profile {
+            Profile::Gpu => u.gpu.inject(model),
+            Profile::Cpu => u.cpu.inject(model),
+        }
+    }
+
+    /// Whether any armed fault has corrupted at least one register.
+    pub fn fault_activated(&self) -> bool {
+        self.units.iter().any(|u| {
+            u.gpu.fault_state().map(|f| f.is_active()).unwrap_or(false)
+                || u.cpu.fault_state().map(|f| f.is_active()).unwrap_or(false)
+        })
+    }
+
+    /// Dynamic-instruction totals per fabric: `(profile, unit, stats)`.
+    pub fn exec_stats(&self) -> Vec<(Profile, usize, ExecStats)> {
+        self.units
+            .iter()
+            .enumerate()
+            .flat_map(|(i, u)| {
+                [(Profile::Gpu, i, u.gpu.stats().clone()), (Profile::Cpu, i, u.cpu.stats().clone())]
+            })
+            .collect()
+    }
+
+    /// Total dynamic GPU instructions across units (profiling pass for the
+    /// transient fault-site space).
+    pub fn dyn_instr(&self, profile: Profile) -> u64 {
+        self.units
+            .iter()
+            .map(|u| match profile {
+                Profile::Gpu => u.gpu.dyn_instr_count(),
+                Profile::Cpu => u.cpu.dyn_instr_count(),
+            })
+            .sum()
+    }
+
+    /// Memory footprint `(vram_bytes, ram_bytes)` across all agents
+    /// (Table II accounting).
+    pub fn memory_bytes(&self) -> (usize, usize) {
+        self.agents.iter().map(|a| a.memory_bytes()).fold((0, 0), |acc, m| (acc.0 + m.0, acc.1 + m.1))
+    }
+
+    /// Number of frames processed so far.
+    pub fn steps(&self) -> u64 {
+        self.step
+    }
+
+    /// Process one sensor frame: distribute, execute, fuse, and detect.
+    ///
+    /// # Errors
+    ///
+    /// Propagates an [`AgentError`] if a fabric traps — the platform-level
+    /// failure path (hang/crash), which triggers the fail-back system.
+    pub fn tick(
+        &mut self,
+        frame: &SensorFrame,
+        hint: RouteHint,
+        state: VehState,
+        t: f64,
+    ) -> Result<TickOutput, AgentError> {
+        let recipients = self.cfg.mode.recipients_with_overlap(self.step, self.cfg.overlap_period);
+        // Per-agent control period: round-robin agents see every other
+        // frame.
+        let dt = match self.cfg.mode {
+            AgentMode::RoundRobin => 2.0 / diverseav_simworld::TICK_HZ,
+            _ => 1.0 / diverseav_simworld::TICK_HZ,
+        };
+        let (controls, pair) = match self.cfg.mode {
+            AgentMode::Single => {
+                let unit = &mut self.units[0];
+                let u = self.agents[0].step(frame, hint, dt, &mut unit.gpu, &mut unit.cpu)?;
+                let pair = self.prev_selected.map(|prev| (u, prev));
+                (u, pair)
+            }
+            AgentMode::RoundRobin => {
+                let unit = &mut self.units[0];
+                if recipients[0] && recipients[1] {
+                    // Overlap frame: both agents process it; the regularly
+                    // scheduled agent drives, the peer's same-frame output
+                    // is the (stronger, FD-like) detection reference.
+                    let scheduled = (self.step % 2) as usize;
+                    let u0 = self.agents[0].step(frame, hint, dt, &mut unit.gpu, &mut unit.cpu)?;
+                    let u1 = self.agents[1].step(frame, hint, dt, &mut unit.gpu, &mut unit.cpu)?;
+                    self.last_output = [Some(u0), Some(u1)];
+                    let (active_u, peer_u) = if scheduled == 0 { (u0, u1) } else { (u1, u0) };
+                    let fused = self.cfg.fusion.fuse(active_u, Some(peer_u));
+                    (fused, Some((active_u, peer_u)))
+                } else {
+                    let active = if recipients[0] { 0 } else { 1 };
+                    let u = self.agents[active].step(frame, hint, dt, &mut unit.gpu, &mut unit.cpu)?;
+                    self.last_output[active] = Some(u);
+                    let peer = self.last_output[1 - active];
+                    let fused = self.cfg.fusion.fuse(u, peer);
+                    (fused, peer.map(|p| (u, p)))
+                }
+            }
+            AgentMode::Duplicate => {
+                let (a0, a_rest) = self.agents.split_at_mut(1);
+                let (u_first, u_rest) = self.units.split_at_mut(1);
+                let u0 = a0[0].step(frame, hint, dt, &mut u_first[0].gpu, &mut u_first[0].cpu)?;
+                let u1 = a_rest[0].step(frame, hint, dt, &mut u_rest[0].gpu, &mut u_rest[0].cpu)?;
+                self.last_output = [Some(u0), Some(u1)];
+                (u0, Some((u0, u1)))
+            }
+        };
+        self.prev_selected = Some(controls);
+        self.step += 1;
+
+        let divergence = pair.map(|(a, b)| Divergence::between(&a, &b));
+        let alarm_raised = match (&mut self.detector, divergence) {
+            (Some(det), Some(div)) => det.observe(&state, div, t),
+            _ => false,
+        };
+        Ok(TickOutput { controls, pair, divergence, alarm_raised })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diverseav_simworld::{lead_slowdown, SensorConfig, World};
+
+    fn world() -> World {
+        World::new(lead_slowdown(), SensorConfig::default(), 5)
+    }
+
+    fn run_ticks(ads: &mut Ads, world: &mut World, n: usize) -> Vec<TickOutput> {
+        let mut outs = Vec::new();
+        for _ in 0..n {
+            let frame = world.sense();
+            let hint = world.route_hint();
+            let state = VehState::from(world.ego_state());
+            let out = ads.tick(&frame, hint, state, world.time()).expect("fault-free tick");
+            world.step(out.controls);
+            outs.push(out);
+        }
+        outs
+    }
+
+    #[test]
+    fn round_robin_produces_pairs_from_second_tick() {
+        let mut w = world();
+        let mut ads = Ads::new(AdsConfig::for_mode(AgentMode::RoundRobin, 1));
+        let outs = run_ticks(&mut ads, &mut w, 4);
+        assert!(outs[0].pair.is_none(), "no reference before the peer ran");
+        assert!(outs[1].pair.is_some());
+        assert!(outs[2].divergence.is_some());
+    }
+
+    #[test]
+    fn duplicate_mode_pairs_every_tick() {
+        let mut w = world();
+        let mut ads = Ads::new(AdsConfig::for_mode(AgentMode::Duplicate, 2));
+        let outs = run_ticks(&mut ads, &mut w, 3);
+        assert!(outs.iter().all(|o| o.pair.is_some()));
+        // Compute jitter keeps the two agents from being bit-identical
+        // forever; divergence is nonetheless small in fault-free runs.
+        let max_div = outs
+            .iter()
+            .filter_map(|o| o.divergence)
+            .map(|d| d.throttle.max(d.brake).max(d.steer))
+            .fold(0.0f64, f64::max);
+        assert!(max_div < 0.5, "fault-free FD divergence is bounded: {max_div}");
+    }
+
+    #[test]
+    fn single_mode_compares_with_previous_output() {
+        let mut w = world();
+        let mut ads = Ads::new(AdsConfig::for_mode(AgentMode::Single, 3));
+        let outs = run_ticks(&mut ads, &mut w, 3);
+        assert!(outs[0].pair.is_none());
+        assert!(outs[1].pair.is_some());
+    }
+
+    #[test]
+    fn processor_provisioning_matches_mode() {
+        let rr = Ads::new(AdsConfig::for_mode(AgentMode::RoundRobin, 4));
+        assert_eq!(rr.exec_stats().len(), 2, "one GPU + one CPU");
+        let fd = Ads::new(AdsConfig::for_mode(AgentMode::Duplicate, 4));
+        assert_eq!(fd.exec_stats().len(), 4, "two GPUs + two CPUs");
+    }
+
+    #[test]
+    fn memory_doubles_with_two_agents() {
+        let single = Ads::new(AdsConfig::for_mode(AgentMode::Single, 5)).memory_bytes();
+        let rr = Ads::new(AdsConfig::for_mode(AgentMode::RoundRobin, 5)).memory_bytes();
+        assert_eq!(rr.0, 2 * single.0, "VRAM doubles");
+        assert_eq!(rr.1, 2 * single.1, "RAM doubles");
+    }
+
+    #[test]
+    fn round_robin_agents_each_process_half_the_frames() {
+        let mut w = world();
+        let mut ads = Ads::new(AdsConfig::for_mode(AgentMode::RoundRobin, 6));
+        run_ticks(&mut ads, &mut w, 10);
+        assert_eq!(ads.agents[0].steps(), 5);
+        assert_eq!(ads.agents[1].steps(), 5);
+    }
+
+    #[test]
+    fn fault_injection_reaches_the_shared_fabric() {
+        use diverseav_fabric::{FaultModel, Op};
+        let mut w = world();
+        let mut ads = Ads::new(AdsConfig::for_mode(AgentMode::RoundRobin, 7));
+        ads.inject_fault(0, Profile::Gpu, FaultModel::Permanent { op: Op::FAdd, mask: 1 });
+        assert!(!ads.fault_activated());
+        run_ticks(&mut ads, &mut w, 2);
+        assert!(ads.fault_activated(), "FAdd executes every inference");
+    }
+
+    #[test]
+    fn detector_alarm_passthrough() {
+        use crate::detector::{DetectorConfig, DetectorModel};
+        let mut w = world();
+        let mut ads = Ads::new(AdsConfig::for_mode(AgentMode::RoundRobin, 8));
+        // An untrained (empty) model has floor thresholds → tiny natural
+        // divergence may alarm; attach and ensure the plumbing works.
+        ads.attach_detector(DetectorModel::train(&[], &DetectorConfig::default()), DetectorConfig::default());
+        let outs = run_ticks(&mut ads, &mut w, 30);
+        let alarmed = outs.iter().any(|o| o.alarm_raised);
+        assert_eq!(alarmed, ads.alarm_time().is_some());
+    }
+
+    #[test]
+    fn overlap_frames_run_both_agents() {
+        let mut w = world();
+        let mut cfg = AdsConfig::for_mode(AgentMode::RoundRobin, 10);
+        cfg.overlap_period = Some(4);
+        let mut ads = Ads::new(cfg);
+        run_ticks(&mut ads, &mut w, 8);
+        // Steps 0 and 4 are overlap frames (both agents), so each agent
+        // processes its half plus the overlap extras.
+        let total: u64 = ads.agents.iter().map(|a| a.steps()).sum();
+        assert_eq!(total, 8 + 2, "two overlap frames add two extra inferences");
+        // Overlap frames produce same-frame pairs immediately.
+        let mut w2 = world();
+        let mut cfg2 = AdsConfig::for_mode(AgentMode::RoundRobin, 10);
+        cfg2.overlap_period = Some(1);
+        let mut ads2 = Ads::new(cfg2);
+        let outs = run_ticks(&mut ads2, &mut w2, 2);
+        assert!(outs[0].pair.is_some(), "overlap gives a reference on the first tick");
+    }
+
+    #[test]
+    fn average_fusion_blends_agent_outputs() {
+        use crate::fusion::FusionPolicy;
+        let mut w = world();
+        let mut cfg = AdsConfig::for_mode(AgentMode::RoundRobin, 11);
+        cfg.fusion = FusionPolicy::Average;
+        let mut ads = Ads::new(cfg);
+        let outs = run_ticks(&mut ads, &mut w, 4);
+        // Once a peer reference exists, the driven controls are the mean
+        // of the fresh output and the peer's last output.
+        let out = outs[2];
+        let (fresh, peer) = out.pair.expect("reference exists by tick 3");
+        let expected = FusionPolicy::Average.fuse(fresh, Some(peer));
+        assert_eq!(out.controls, expected);
+    }
+
+    #[test]
+    fn dyn_instr_counts_accumulate() {
+        let mut w = world();
+        let mut ads = Ads::new(AdsConfig::for_mode(AgentMode::Single, 9));
+        run_ticks(&mut ads, &mut w, 2);
+        assert!(ads.dyn_instr(Profile::Gpu) > 10_000);
+        assert!(ads.dyn_instr(Profile::Cpu) > 100);
+    }
+}

@@ -1,0 +1,421 @@
+//! The DiverseAV error-detection engine (§III-D of the paper).
+//!
+//! The detector learns, from fault-free executions of the *long training
+//! scenarios*, the maximum rolling-window divergence between the actuation
+//! outputs of the two agents for each discretized vehicle state
+//! ⟨v, a⟩ (throttle & brake) and ⟨ω, α⟩ (steer). The learned maxima are
+//! stored in lookup tables (LUTs); at runtime an alarm is raised when the
+//! rolling-window mean divergence exceeds the threshold for the current
+//! vehicle state.
+//!
+//! The same machinery trains the fully-duplicated (FD-ADS, §VI-B) and
+//! single-agent temporal-outlier (§VI-C) baselines — only the source of
+//! the divergence stream differs (chosen by the ADS mode).
+
+use crate::actuation::{Divergence, VehState};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Discretization and windowing configuration of the detector.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct DetectorConfig {
+    /// Rolling-window size in received samples (the paper sweeps 3..=40).
+    pub rw: usize,
+    /// Speed bin width (m/s).
+    pub v_bin: f64,
+    /// Acceleration bin width (m/s²).
+    pub a_bin: f64,
+    /// Yaw-rate bin width (rad/s).
+    pub w_bin: f64,
+    /// Yaw-acceleration bin width (rad/s²).
+    pub alpha_bin: f64,
+    /// Multiplier applied to learned thresholds at runtime.
+    pub margin: f64,
+    /// Absolute threshold floor (guards against empty/zero bins).
+    pub floor: f64,
+    /// Whether threshold lookups take the max over the 3×3 neighborhood
+    /// of state bins (robustness against sparse training coverage).
+    /// Disable only for ablation studies.
+    pub neighborhood: bool,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            rw: 3,
+            v_bin: 1.0,
+            a_bin: 1.0,
+            w_bin: 0.1,
+            alpha_bin: 1.0,
+            margin: 1.2,
+            floor: 0.005,
+            neighborhood: true,
+        }
+    }
+}
+
+impl DetectorConfig {
+    /// The configuration with a different rolling-window size.
+    pub fn with_rw(mut self, rw: usize) -> Self {
+        assert!(rw >= 1, "rolling window must be at least 1");
+        self.rw = rw;
+        self
+    }
+
+    fn speed_key(&self, s: &VehState) -> (i32, i32) {
+        (bin(s.v, self.v_bin, 40), bin(s.a, self.a_bin, 12))
+    }
+
+    fn steer_key(&self, s: &VehState) -> (i32, i32) {
+        (bin(s.w, self.w_bin, 30), bin(s.alpha, self.alpha_bin, 30))
+    }
+}
+
+fn bin(x: f64, width: f64, clamp: i32) -> i32 {
+    let b = (x / width).floor();
+    (b as i32).clamp(-clamp, clamp)
+}
+
+/// One observation of the divergence stream: time, vehicle state, and the
+/// per-channel divergence between the two reference outputs.
+///
+/// Used both for training (fault-free long routes) and for offline replay
+/// of recorded streams through an [`OnlineDetector`] when sweeping
+/// detector parameters.
+#[derive(Copy, Clone, Debug, PartialEq, Default)]
+pub struct TrainSample {
+    /// Observation time (s).
+    pub t: f64,
+    /// Vehicle state at the observation.
+    pub state: VehState,
+    /// Raw (unsmoothed) divergence.
+    pub div: Divergence,
+}
+
+/// The learned threshold model: per-state-bin maxima of the rolling-window
+/// divergence plus global fallbacks.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DetectorModel {
+    rw: usize,
+    throttle: HashMap<(i32, i32), f64>,
+    brake: HashMap<(i32, i32), f64>,
+    steer: HashMap<(i32, i32), f64>,
+    global: [f64; 3],
+}
+
+impl DetectorModel {
+    /// Train a model from fault-free runs.
+    ///
+    /// `runs` holds one sample sequence per training execution. The
+    /// rolling-window mean (window `cfg.rw`) is computed within each run,
+    /// and the per-bin maximum of the smoothed divergence becomes the
+    /// threshold — exactly the paper's training procedure.
+    pub fn train(runs: &[Vec<TrainSample>], cfg: &DetectorConfig) -> DetectorModel {
+        let mut model = DetectorModel { rw: cfg.rw, ..Default::default() };
+        for run in runs {
+            let mut window = SmoothedDivergence::new(cfg.rw);
+            for sample in run {
+                let sm = window.push(sample.div);
+                let skey = cfg.speed_key(&sample.state);
+                let wkey = cfg.steer_key(&sample.state);
+                let up = |m: &mut HashMap<(i32, i32), f64>, k, v: f64| {
+                    let e = m.entry(k).or_insert(0.0);
+                    if v > *e {
+                        *e = v;
+                    }
+                };
+                up(&mut model.throttle, skey, sm.throttle);
+                up(&mut model.brake, skey, sm.brake);
+                up(&mut model.steer, wkey, sm.steer);
+                for (g, v) in model.global.iter_mut().zip([sm.throttle, sm.brake, sm.steer]) {
+                    if v > *g {
+                        *g = v;
+                    }
+                }
+            }
+        }
+        model
+    }
+
+    /// The rolling-window size the model was trained with.
+    pub fn rw(&self) -> usize {
+        self.rw
+    }
+
+    /// Number of populated (bin, channel) threshold entries.
+    pub fn entries(&self) -> usize {
+        self.throttle.len() + self.brake.len() + self.steer.len()
+    }
+
+    /// Threshold for `channel` (0 = throttle, 1 = brake, 2 = steer) at a
+    /// vehicle state.
+    ///
+    /// The lookup takes the maximum over the 3×3 neighborhood of state
+    /// bins: finite training data leaves sparsely-visited bins with
+    /// unrealistically tight maxima, and neighboring vehicle states have
+    /// near-identical divergence behaviour. Bins with no populated
+    /// neighborhood fall back to the global maximum.
+    pub fn threshold(&self, state: &VehState, channel: usize, cfg: &DetectorConfig) -> f64 {
+        let (lut, key) = match channel {
+            0 => (&self.throttle, cfg.speed_key(state)),
+            1 => (&self.brake, cfg.speed_key(state)),
+            2 => (&self.steer, cfg.steer_key(state)),
+            _ => panic!("channel {channel} out of range"),
+        };
+        let mut raw = f64::NEG_INFINITY;
+        let span = if cfg.neighborhood { 1 } else { 0 };
+        for di in -span..=span {
+            for dj in -span..=span {
+                if let Some(&v) = lut.get(&(key.0 + di, key.1 + dj)) {
+                    raw = raw.max(v);
+                }
+            }
+        }
+        if !raw.is_finite() {
+            raw = self.global[channel];
+        }
+        (raw * cfg.margin).max(cfg.floor)
+    }
+}
+
+impl fmt::Display for DetectorModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "detector model (rw={}, {} bins, global=[{:.3}, {:.3}, {:.3}])",
+            self.rw,
+            self.entries(),
+            self.global[0],
+            self.global[1],
+            self.global[2]
+        )
+    }
+}
+
+/// Rolling-window mean of a divergence stream.
+#[derive(Clone, Debug)]
+struct SmoothedDivergence {
+    rw: usize,
+    buf: VecDeque<Divergence>,
+    sum: [f64; 3],
+}
+
+impl SmoothedDivergence {
+    fn new(rw: usize) -> Self {
+        SmoothedDivergence { rw: rw.max(1), buf: VecDeque::new(), sum: [0.0; 3] }
+    }
+
+    fn push(&mut self, d: Divergence) -> Divergence {
+        self.buf.push_back(d);
+        self.sum[0] += d.throttle;
+        self.sum[1] += d.brake;
+        self.sum[2] += d.steer;
+        if self.buf.len() > self.rw {
+            let old = self.buf.pop_front().expect("nonempty window");
+            self.sum[0] -= old.throttle;
+            self.sum[1] -= old.brake;
+            self.sum[2] -= old.steer;
+        }
+        // Zero-padded warm-up: always divide by the full window so early
+        // blips are diluted the same way in training and at runtime.
+        let n = self.rw as f64;
+        Divergence {
+            throttle: self.sum[0] / n,
+            brake: self.sum[1] / n,
+            steer: self.sum[2] / n,
+        }
+    }
+}
+
+/// A runtime detector instance: the learned model plus online state.
+#[derive(Clone, Debug)]
+pub struct OnlineDetector {
+    model: DetectorModel,
+    cfg: DetectorConfig,
+    window: SmoothedDivergence,
+    alarm_at: Option<f64>,
+}
+
+impl OnlineDetector {
+    /// Instantiate a runtime detector.
+    ///
+    /// `cfg.rw` should match the window the model was trained with (the
+    /// sweep harness trains one model per `rw`).
+    pub fn new(model: DetectorModel, cfg: DetectorConfig) -> Self {
+        let window = SmoothedDivergence::new(cfg.rw);
+        OnlineDetector { model, cfg, window, alarm_at: None }
+    }
+
+    /// Feed one divergence observation at time `t`; returns `true` if this
+    /// observation raises the alarm (first exceedance only).
+    pub fn observe(&mut self, state: &VehState, div: Divergence, t: f64) -> bool {
+        let sm = self.window.push(div);
+        if self.alarm_at.is_some() {
+            return false;
+        }
+        for ch in 0..3 {
+            if sm.channel(ch) > self.model.threshold(state, ch, &self.cfg) {
+                self.alarm_at = Some(t);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Time the alarm was first raised, if ever.
+    pub fn alarm_time(&self) -> Option<f64> {
+        self.alarm_at
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.cfg
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &DetectorModel {
+        &self.model
+    }
+
+    /// Replay a recorded divergence stream and return the alarm time, if
+    /// any — the offline path used when sweeping (td, rw) parameters over
+    /// recorded campaigns.
+    pub fn replay(model: &DetectorModel, cfg: DetectorConfig, stream: &[TrainSample]) -> Option<f64> {
+        let mut det = OnlineDetector::new(model.clone(), cfg);
+        for s in stream {
+            det.observe(&s.state, s.div, s.t);
+        }
+        det.alarm_time()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(v: f64, a: f64) -> VehState {
+        VehState { v, a, w: 0.0, alpha: 0.0 }
+    }
+
+    fn sample(v: f64, a: f64, d: f64) -> TrainSample {
+        TrainSample {
+            t: 0.0,
+            state: state(v, a),
+            div: Divergence { throttle: d, brake: d / 2.0, steer: d / 4.0 },
+        }
+    }
+
+    #[test]
+    fn training_learns_binwise_maxima() {
+        let runs = vec![vec![sample(5.0, 0.0, 0.1), sample(5.0, 0.0, 0.3), sample(9.0, 0.0, 0.05)]];
+        let mut cfg = DetectorConfig::default().with_rw(1);
+        cfg.margin = 1.0;
+        let model = DetectorModel::train(&runs, &cfg);
+        // Bin (5, 0): max 0.3; bin (9, 0): 0.05.
+        assert!((model.threshold(&state(5.2, 0.1), 0, &cfg) - 0.3).abs() < 1e-12);
+        assert!((model.threshold(&state(9.5, 0.0), 0, &cfg) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unseen_bins_fall_back_to_global_max() {
+        let runs = vec![vec![sample(5.0, 0.0, 0.2)]];
+        let mut cfg = DetectorConfig::default().with_rw(1);
+        cfg.margin = 1.0;
+        let model = DetectorModel::train(&runs, &cfg);
+        let th = model.threshold(&state(30.0, -5.0), 0, &cfg);
+        assert!((th - 0.2).abs() < 1e-12, "global fallback, got {th}");
+    }
+
+    #[test]
+    fn floor_guards_empty_model() {
+        let model = DetectorModel::train(&[], &DetectorConfig::default());
+        let cfg = DetectorConfig::default();
+        assert_eq!(model.threshold(&state(0.0, 0.0), 0, &cfg), cfg.floor);
+    }
+
+    #[test]
+    fn rolling_window_smooths_blips() {
+        // One large blip inside a window of 4 is averaged down.
+        let mut w = SmoothedDivergence::new(4);
+        let zero = Divergence::default();
+        w.push(zero);
+        w.push(zero);
+        w.push(zero);
+        let sm = w.push(Divergence { throttle: 1.0, brake: 0.0, steer: 0.0 });
+        assert!((sm.throttle - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rolling_window_evicts_old_samples() {
+        let mut w = SmoothedDivergence::new(2);
+        w.push(Divergence { throttle: 1.0, ..Default::default() });
+        w.push(Divergence::default());
+        let sm = w.push(Divergence::default());
+        assert_eq!(sm.throttle, 0.0, "blip evicted after rw samples");
+    }
+
+    #[test]
+    fn online_detector_alarms_once() {
+        let runs = vec![vec![sample(5.0, 0.0, 0.1)]];
+        let mut cfg = DetectorConfig::default().with_rw(1);
+        cfg.margin = 1.0;
+        let model = DetectorModel::train(&runs, &cfg);
+        let mut det = OnlineDetector::new(model, cfg);
+        assert!(!det.observe(&state(5.0, 0.0), Divergence { throttle: 0.05, ..Default::default() }, 0.1));
+        assert!(det.observe(&state(5.0, 0.0), Divergence { throttle: 0.5, ..Default::default() }, 0.2));
+        assert!(!det.observe(&state(5.0, 0.0), Divergence { throttle: 0.9, ..Default::default() }, 0.3));
+        assert_eq!(det.alarm_time(), Some(0.2));
+    }
+
+    #[test]
+    fn margin_scales_thresholds() {
+        let runs = vec![vec![sample(5.0, 0.0, 0.1)]];
+        let mut cfg = DetectorConfig::default().with_rw(1);
+        let model = DetectorModel::train(&runs, &cfg);
+        cfg.margin = 2.0;
+        assert!((model.threshold(&state(5.0, 0.0), 0, &cfg) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn steer_channel_uses_yaw_binning() {
+        let mut s = VehState { v: 5.0, a: 0.0, w: 0.5, alpha: 0.0 };
+        let runs = vec![vec![TrainSample {
+            t: 0.0,
+            state: s,
+            div: Divergence { steer: 0.4, ..Default::default() },
+        }]];
+        let mut cfg = DetectorConfig::default().with_rw(1);
+        cfg.margin = 1.0;
+        let model = DetectorModel::train(&runs, &cfg);
+        assert!((model.threshold(&s, 2, &cfg) - 0.4).abs() < 1e-12);
+        // Different yaw bin, same (v, a): falls back to global for steer.
+        s.w = -2.0;
+        assert!((model.threshold(&s, 2, &cfg) - 0.4).abs() < 1e-12, "global fallback");
+    }
+
+    #[test]
+    fn training_respects_rolling_window() {
+        // Divergence alternates 0 / 0.4; with rw=2 the smoothed max is 0.2.
+        let run: Vec<TrainSample> =
+            (0..20).map(|i| sample(5.0, 0.0, if i % 2 == 0 { 0.4 } else { 0.0 })).collect();
+        let mut cfg = DetectorConfig::default().with_rw(2);
+        cfg.margin = 1.0;
+        let model = DetectorModel::train(&[run], &cfg);
+        let th = model.threshold(&state(5.0, 0.0), 0, &cfg);
+        assert!(th <= 0.21 && th >= 0.19, "smoothed threshold, got {th}");
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let model = DetectorModel::train(&[], &DetectorConfig::default());
+        let s = model.to_string();
+        assert!(s.contains("rw=3"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_window_rejected() {
+        let _ = DetectorConfig::default().with_rw(0);
+    }
+}

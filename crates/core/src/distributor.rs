@@ -1,0 +1,136 @@
+//! The sensor data distributor (§III-D): decides which agent(s) receive
+//! each sensor frame.
+
+use std::fmt;
+
+/// Agent deployment mode of the ADS.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum AgentMode {
+    /// One agent receiving every frame (the original ADS and the
+    /// temporal-outlier baseline of §VI-C).
+    Single,
+    /// DiverseAV: two agents time-multiplexed on one processor, frames
+    /// distributed round-robin (even steps → agent 0, odd → agent 1).
+    RoundRobin,
+    /// Fully-duplicated ADS (FD-ADS, §VI-B): two agents on dedicated
+    /// processors, both receiving every frame.
+    Duplicate,
+}
+
+impl AgentMode {
+    /// Number of agent instances this mode deploys.
+    pub fn n_agents(self) -> usize {
+        match self {
+            AgentMode::Single => 1,
+            AgentMode::RoundRobin | AgentMode::Duplicate => 2,
+        }
+    }
+
+    /// Number of processor units (GPU+CPU fabric pairs) this mode uses.
+    ///
+    /// DiverseAV shares a single processor between its two agents — that
+    /// sharing is what makes permanent faults affect both agents and what
+    /// keeps the compute provisioning equal to the single-agent system.
+    pub fn n_units(self) -> usize {
+        match self {
+            AgentMode::Single | AgentMode::RoundRobin => 1,
+            AgentMode::Duplicate => 2,
+        }
+    }
+
+    /// Which agents receive the frame at `step` (index = agent id).
+    pub fn recipients(self, step: u64) -> [bool; 2] {
+        self.recipients_with_overlap(step, None)
+    }
+
+    /// Like [`recipients`](Self::recipients), but in round-robin mode every
+    /// `overlap_period`-th frame is sent to *both* agents — the paper's
+    /// footnote-5 adjustment for ADSes with lower engineering margins
+    /// (input-rate reduction below 50% at extra compute cost).
+    pub fn recipients_with_overlap(self, step: u64, overlap_period: Option<u32>) -> [bool; 2] {
+        match self {
+            AgentMode::Single => [true, false],
+            AgentMode::RoundRobin => {
+                if let Some(p) = overlap_period {
+                    if p > 0 && step % p as u64 == 0 {
+                        return [true, true];
+                    }
+                }
+                if step % 2 == 0 {
+                    [true, false]
+                } else {
+                    [false, true]
+                }
+            }
+            AgentMode::Duplicate => [true, true],
+        }
+    }
+
+    /// The paper's name for this mode.
+    pub fn label(self) -> &'static str {
+        match self {
+            AgentMode::Single => "single",
+            AgentMode::RoundRobin => "diverseav",
+            AgentMode::Duplicate => "fd",
+        }
+    }
+}
+
+impl fmt::Display for AgentMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_alternates() {
+        assert_eq!(AgentMode::RoundRobin.recipients(0), [true, false]);
+        assert_eq!(AgentMode::RoundRobin.recipients(1), [false, true]);
+        assert_eq!(AgentMode::RoundRobin.recipients(2), [true, false]);
+    }
+
+    #[test]
+    fn overlap_period_sends_to_both_periodically() {
+        let m = AgentMode::RoundRobin;
+        assert_eq!(m.recipients_with_overlap(0, Some(4)), [true, true]);
+        assert_eq!(m.recipients_with_overlap(1, Some(4)), [false, true]);
+        assert_eq!(m.recipients_with_overlap(2, Some(4)), [true, false]);
+        assert_eq!(m.recipients_with_overlap(4, Some(4)), [true, true]);
+        // Overlap is a no-op for the other modes.
+        assert_eq!(AgentMode::Single.recipients_with_overlap(0, Some(2)), [true, false]);
+        assert_eq!(AgentMode::Duplicate.recipients_with_overlap(1, Some(2)), [true, true]);
+    }
+
+    #[test]
+    fn duplicate_sends_to_both() {
+        for step in 0..4 {
+            assert_eq!(AgentMode::Duplicate.recipients(step), [true, true]);
+        }
+    }
+
+    #[test]
+    fn single_sends_to_agent_zero() {
+        for step in 0..4 {
+            assert_eq!(AgentMode::Single.recipients(step), [true, false]);
+        }
+    }
+
+    #[test]
+    fn sizing_matches_paper_deployments() {
+        assert_eq!(AgentMode::Single.n_agents(), 1);
+        assert_eq!(AgentMode::RoundRobin.n_agents(), 2);
+        assert_eq!(AgentMode::RoundRobin.n_units(), 1, "shared processor");
+        assert_eq!(AgentMode::Duplicate.n_units(), 2, "dedicated processors");
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(AgentMode::RoundRobin.to_string(), "diverseav");
+        assert_eq!(AgentMode::Duplicate.to_string(), "fd");
+        assert_eq!(AgentMode::Single.to_string(), "single");
+    }
+}

@@ -1,0 +1,58 @@
+//! The control fusion engine (§III-D): selects the actuation command sent
+//! to the vehicle from the outputs of the redundant agents.
+
+use diverseav_simworld::Controls;
+
+/// How the fusion engine combines the agents' outputs.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum FusionPolicy {
+    /// Lockstep selection: use the output of the agent that received the
+    /// current frame (the paper's choice for the Sensorimotor agent).
+    #[default]
+    ActiveAgent,
+    /// Average the active agent's output with the other agent's most
+    /// recent output (the paper's option (ii) for asynchronous designs).
+    Average,
+}
+
+impl FusionPolicy {
+    /// Fuse the active agent's fresh output with the peer's last output.
+    pub fn fuse(self, active: Controls, peer_last: Option<Controls>) -> Controls {
+        match (self, peer_last) {
+            (FusionPolicy::ActiveAgent, _) | (FusionPolicy::Average, None) => active,
+            (FusionPolicy::Average, Some(p)) => Controls::clamped(
+                (active.throttle + p.throttle) / 2.0,
+                (active.brake + p.brake) / 2.0,
+                (active.steer + p.steer) / 2.0,
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn active_agent_passes_through() {
+        let a = Controls { throttle: 0.5, brake: 0.0, steer: 0.1 };
+        let p = Controls { throttle: 0.1, brake: 0.2, steer: -0.1 };
+        assert_eq!(FusionPolicy::ActiveAgent.fuse(a, Some(p)), a);
+    }
+
+    #[test]
+    fn average_blends_outputs() {
+        let a = Controls { throttle: 0.6, brake: 0.0, steer: 0.2 };
+        let p = Controls { throttle: 0.2, brake: 0.2, steer: -0.2 };
+        let f = FusionPolicy::Average.fuse(a, Some(p));
+        assert!((f.throttle - 0.4).abs() < 1e-12);
+        assert!((f.brake - 0.1).abs() < 1e-12);
+        assert!(f.steer.abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_without_peer_uses_active() {
+        let a = Controls { throttle: 0.6, brake: 0.0, steer: 0.2 };
+        assert_eq!(FusionPolicy::Average.fuse(a, None), a);
+    }
+}

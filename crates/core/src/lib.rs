@@ -1,0 +1,56 @@
+//! # diverseav
+//!
+//! Reference implementation of **DiverseAV** (Jha et al., *Exploiting
+//! Temporal Data Diversity for Detecting Safety-critical Faults in AV
+//! Compute Systems*, DSN 2022): a low-cost, software-only redundancy
+//! technique that detects safety-critical transient and permanent hardware
+//! faults in AV compute elements by exploiting the temporal data diversity
+//! of the sensor stream.
+//!
+//! The crate provides the paper's three new components (Fig 2):
+//!
+//! * **Sensor data distributor** ([`AgentMode`]) — routes each sensor
+//!   frame round-robin between two agent instances that time-multiplex one
+//!   processor, keeping per-agent inputs semantically consistent but
+//!   bit-diverse.
+//! * **Control fusion engine** ([`FusionPolicy`]) — selects/combines the
+//!   agents' actuation outputs.
+//! * **Error detection engine** ([`DetectorModel`], [`OnlineDetector`]) —
+//!   a rolling-window, vehicle-state-binned LUT detector trained on
+//!   fault-free long-route executions.
+//!
+//! The same machinery instantiates the paper's two baselines: the
+//! fully-duplicated FD-ADS (§VI-B, [`AgentMode::Duplicate`]) and the
+//! single-agent temporal-outlier detector (§VI-C, [`AgentMode::Single`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use diverseav::{Ads, AdsConfig, AgentMode, VehState};
+//! use diverseav_simworld::{lead_slowdown, SensorConfig, World};
+//!
+//! # fn main() -> Result<(), diverseav_agent::AgentError> {
+//! let mut world = World::new(lead_slowdown(), SensorConfig::default(), 7);
+//! let mut ads = Ads::new(AdsConfig::for_mode(AgentMode::RoundRobin, 7));
+//! while !world.finished() && world.time() < 0.25 {
+//!     let frame = world.sense();
+//!     let hint = world.route_hint();
+//!     let state = VehState::from(world.ego_state());
+//!     let out = ads.tick(&frame, hint, state, world.time())?;
+//!     world.step(out.controls);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod actuation;
+pub mod ads;
+pub mod detector;
+pub mod distributor;
+pub mod fusion;
+
+pub use actuation::{Divergence, VehState, CHANNELS};
+pub use ads::{Ads, AdsConfig, ProcessorUnit, TickOutput};
+pub use detector::{DetectorConfig, DetectorModel, OnlineDetector, TrainSample};
+pub use distributor::AgentMode;
+pub use fusion::FusionPolicy;

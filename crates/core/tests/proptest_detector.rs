@@ -1,0 +1,105 @@
+//! Property-based tests of the error-detection engine.
+
+use diverseav::{DetectorConfig, DetectorModel, Divergence, OnlineDetector, TrainSample, VehState};
+use proptest::prelude::*;
+
+fn stream(divs: &[f64], v: f64) -> Vec<TrainSample> {
+    divs.iter()
+        .enumerate()
+        .map(|(i, &d)| TrainSample {
+            t: i as f64 * 0.05,
+            state: VehState { v, a: 0.0, w: 0.0, alpha: 0.0 },
+            div: Divergence { throttle: d, brake: d * 0.5, steer: d * 0.1 },
+        })
+        .collect()
+}
+
+proptest! {
+    /// A detector never alarms on its own training data (thresholds are
+    /// per-state maxima of the same smoothed stream, with margin ≥ 1).
+    #[test]
+    fn no_alarm_on_training_data(
+        divs in proptest::collection::vec(0.0f64..0.5, 5..60),
+        v in 0.0f64..20.0,
+        rw in 1usize..10,
+    ) {
+        let run = stream(&divs, v);
+        let cfg = DetectorConfig::default().with_rw(rw);
+        let model = DetectorModel::train(&[run.clone()], &cfg);
+        prop_assert_eq!(OnlineDetector::replay(&model, cfg, &run), None);
+    }
+
+    /// Scaling every training divergence up scales thresholds up:
+    /// a stream that alarms under the larger model also alarms under the
+    /// smaller one (monotonicity of detection in threshold scale).
+    #[test]
+    fn thresholds_are_monotone_in_training_scale(
+        divs in proptest::collection::vec(0.01f64..0.2, 10..40),
+        probe in 0.05f64..2.0,
+    ) {
+        let small = stream(&divs, 5.0);
+        let big = stream(&divs.iter().map(|d| d * 3.0).collect::<Vec<_>>(), 5.0);
+        let cfg = DetectorConfig::default().with_rw(3);
+        let m_small = DetectorModel::train(&[small], &cfg);
+        let m_big = DetectorModel::train(&[big], &cfg);
+        let test = stream(&vec![probe; 12], 5.0);
+        let alarm_big = OnlineDetector::replay(&m_big, cfg, &test).is_some();
+        let alarm_small = OnlineDetector::replay(&m_small, cfg, &test).is_some();
+        // Anything the lenient (big-threshold) model flags, the strict
+        // model flags too.
+        if alarm_big {
+            prop_assert!(alarm_small);
+        }
+    }
+
+    /// The margin is monotone: raising it never creates new alarms.
+    #[test]
+    fn margin_is_monotone(
+        divs in proptest::collection::vec(0.01f64..0.3, 10..40),
+        probe in 0.01f64..1.0,
+        extra in 0.1f64..1.0,
+    ) {
+        let train = stream(&divs, 5.0);
+        let base_cfg = DetectorConfig::default().with_rw(3);
+        let model = DetectorModel::train(&[train], &base_cfg);
+        let test = stream(&vec![probe; 10], 5.0);
+        let mut wide_cfg = base_cfg;
+        wide_cfg.margin = base_cfg.margin + extra;
+        let narrow = OnlineDetector::replay(&model, base_cfg, &test);
+        let wide = OnlineDetector::replay(&model, wide_cfg, &test);
+        if wide.is_some() {
+            prop_assert!(narrow.is_some(), "wider margin cannot alarm where narrow did not");
+        }
+    }
+
+    /// Alarm time is the first exceedance: replaying a prefix containing
+    /// the alarm yields the same alarm time.
+    #[test]
+    fn alarm_time_is_prefix_stable(
+        quiet in proptest::collection::vec(0.0f64..0.01, 5..20),
+        spike in 0.5f64..2.0,
+        tail in proptest::collection::vec(0.0f64..0.01, 0..20),
+    ) {
+        let train = stream(&vec![0.01; 30], 5.0);
+        let cfg = DetectorConfig::default().with_rw(3);
+        let model = DetectorModel::train(&[train], &cfg);
+        let mut divs = quiet.clone();
+        divs.push(spike);
+        let cut = divs.len();
+        divs.extend(tail);
+        let full = stream(&divs, 5.0);
+        let alarm_full = OnlineDetector::replay(&model, cfg, &full);
+        let alarm_prefix = OnlineDetector::replay(&model, cfg, &full[..cut]);
+        prop_assert!(alarm_full.is_some(), "the spike must alarm");
+        prop_assert_eq!(alarm_full, alarm_prefix);
+    }
+
+    /// Thresholds never fall below the floor, for any state.
+    #[test]
+    fn floor_is_respected(v in -50.0f64..50.0, a in -20.0f64..20.0, ch in 0usize..3) {
+        let cfg = DetectorConfig::default();
+        let model = DetectorModel::train(&[], &cfg);
+        let state = VehState { v, a, w: v / 10.0, alpha: a / 10.0 };
+        prop_assert!(model.threshold(&state, ch, &cfg) >= cfg.floor);
+    }
+}

@@ -1,0 +1,98 @@
+//! Disassembler: human-readable listings of fabric programs, for
+//! debugging kernels and inspecting injection sites.
+
+use crate::isa::{bits_to_f32, Instr, Op};
+use crate::program::Program;
+use std::fmt::Write as _;
+
+/// Render one instruction at program offset `at`.
+pub fn disasm_instr(ins: &Instr, at: usize) -> String {
+    let Instr { op, dst, a, b, c, imm } = *ins;
+    match op {
+        Op::FAdd | Op::FSub | Op::FMul | Op::FDiv | Op::FMin | Op::FMax => {
+            format!("{at:4}: {op:<6} {dst}, {a}, {b}")
+        }
+        Op::FAbs | Op::FNeg | Op::FSqrt | Op::Mov | Op::F2I | Op::I2F => {
+            format!("{at:4}: {op:<6} {dst}, {a}")
+        }
+        Op::FFma => format!("{at:4}: {op:<6} {dst}, {a}, {b}, {c}"),
+        Op::IAdd | Op::ISub | Op::IMul | Op::IAnd | Op::IOr | Op::IXor | Op::IShl | Op::IShr => {
+            format!("{at:4}: {op:<6} {dst}, {a}, {b}")
+        }
+        Op::FLt | Op::FLe | Op::ILt | Op::IEq => format!("{at:4}: {op:<6} {dst}, {a}, {b}"),
+        Op::Sel => format!("{at:4}: {op:<6} {dst}, {a} ? {b} : {c}"),
+        Op::LdImm => {
+            let f = bits_to_f32(imm);
+            if f.is_finite() && (f == 0.0 || f.abs() > 1e-6) && f.abs() < 1e9 && imm > 0xFFFF {
+                format!("{at:4}: {op:<6} {dst}, {f}")
+            } else {
+                format!("{at:4}: {op:<6} {dst}, {imm:#x}")
+            }
+        }
+        Op::Ld => format!("{at:4}: {op:<6} {dst}, [{a} + {imm}]"),
+        Op::St => format!("{at:4}: {op:<6} [{a} + {imm}], {b}"),
+        Op::Jmp => format!("{at:4}: {op:<6} -> {imm}"),
+        Op::Jz => format!("{at:4}: {op:<6} {a} == 0 -> {imm}"),
+        Op::Jnz => format!("{at:4}: {op:<6} {a} != 0 -> {imm}"),
+        Op::Tid => format!("{at:4}: {op:<6} {dst}"),
+        Op::Halt => format!("{at:4}: {op}"),
+    }
+}
+
+/// Render a whole program as a listing, one instruction per line.
+pub fn disasm(prog: &Program) -> String {
+    let mut out = String::new();
+    for (i, ins) in prog.instrs().iter().enumerate() {
+        let _ = writeln!(out, "{}", disasm_instr(ins, i));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Reg;
+    use crate::program::ProgramBuilder;
+
+    #[test]
+    fn listing_covers_every_instruction() {
+        let mut b = ProgramBuilder::new();
+        let end = b.new_label();
+        b.ldimm_f(Reg(0), 1.5);
+        b.ldimm_i(Reg(1), 3);
+        b.fadd(Reg(2), Reg(0), Reg(0));
+        b.ffma(Reg(3), Reg(0), Reg(2), Reg(0));
+        b.sel(Reg(4), Reg(1), Reg(0), Reg(2));
+        b.ld(Reg(5), Reg(1), 10);
+        b.st(Reg(1), Reg(5), 12);
+        b.jz(Reg(1), end);
+        b.tid(Reg(6));
+        b.bind(end);
+        b.halt();
+        let p = b.build();
+        let text = disasm(&p);
+        assert_eq!(text.lines().count(), p.len());
+        assert!(text.contains("LdImm"));
+        assert!(text.contains("FFma"));
+        assert!(text.contains("? r0 : r2"));
+        assert!(text.contains("[r1 + 10]"));
+        assert!(text.contains("-> 9"), "jump target resolved:\n{text}");
+        assert!(text.contains("Halt"));
+    }
+
+    #[test]
+    fn float_immediates_render_as_floats() {
+        let mut b = ProgramBuilder::new();
+        b.ldimm_f(Reg(0), 2.5);
+        let p = b.build();
+        assert!(disasm(&p).contains("2.5"));
+    }
+
+    #[test]
+    fn small_int_immediates_render_as_hex() {
+        let mut b = ProgramBuilder::new();
+        b.ldimm_i(Reg(0), 7);
+        let p = b.build();
+        assert!(disasm(&p).contains("0x7"));
+    }
+}

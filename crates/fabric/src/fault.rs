@@ -1,0 +1,144 @@
+//! Fault models and injection bookkeeping.
+//!
+//! Implements the paper's §II-B architectural fault model: the destination
+//! register of an executing opcode is XOR-ed with a mask — once for a
+//! *transient* fault (a single selected dynamic instruction), or on every
+//! dynamic instance of a selected opcode for a *permanent* fault.
+
+use crate::isa::Op;
+use std::fmt;
+
+/// A fault to be injected into a fabric.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FaultModel {
+    /// Corrupt the destination register of exactly one dynamic instruction,
+    /// identified by its position in the fabric's global dynamic-instruction
+    /// stream (the NVBitFI profiling-pass index).
+    Transient {
+        /// Zero-based dynamic-instruction index at which to inject.
+        instr_index: u64,
+        /// XOR mask applied to the destination register.
+        mask: u32,
+    },
+    /// Corrupt the destination register of *every* dynamic instance of
+    /// `op` for the remainder of the run.
+    Permanent {
+        /// The targeted opcode.
+        op: Op,
+        /// XOR mask applied to each destination write.
+        mask: u32,
+    },
+}
+
+impl fmt::Display for FaultModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultModel::Transient { instr_index, mask } => {
+                write!(f, "transient@{instr_index} mask={mask:#010x}")
+            }
+            FaultModel::Permanent { op, mask } => {
+                write!(f, "permanent({op}) mask={mask:#010x}")
+            }
+        }
+    }
+}
+
+/// Runtime state of an injected fault: the model plus activation accounting.
+///
+/// A fault is *active* once it has corrupted at least one destination
+/// register; the campaign manager uses this to compute the paper's
+/// "#Active" column in Table I.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct FaultState {
+    model: FaultModel,
+    activations: u64,
+}
+
+impl FaultState {
+    /// Arm a fault for injection.
+    pub fn new(model: FaultModel) -> Self {
+        FaultState { model, activations: 0 }
+    }
+
+    /// The fault model this state tracks.
+    pub fn model(&self) -> FaultModel {
+        self.model
+    }
+
+    /// Number of destination-register corruptions performed so far.
+    pub fn activations(&self) -> u64 {
+        self.activations
+    }
+
+    /// Whether the fault corrupted at least one register.
+    pub fn is_active(&self) -> bool {
+        self.activations > 0
+    }
+
+    /// Decide whether the instruction that just executed should have its
+    /// destination corrupted, and if so return the XOR mask.
+    ///
+    /// `dyn_index` is the zero-based index of the instruction in the
+    /// fabric's global dynamic stream; `op` is its opcode. Call only for
+    /// opcodes with a destination register.
+    #[inline]
+    pub fn poll(&mut self, dyn_index: u64, op: Op) -> Option<u32> {
+        match self.model {
+            FaultModel::Transient { instr_index, mask } => {
+                if dyn_index == instr_index {
+                    self.activations += 1;
+                    Some(mask)
+                } else {
+                    None
+                }
+            }
+            FaultModel::Permanent { op: target, mask } => {
+                if op == target {
+                    self.activations += 1;
+                    Some(mask)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transient_fires_once() {
+        let mut f = FaultState::new(FaultModel::Transient { instr_index: 5, mask: 0xff });
+        assert_eq!(f.poll(4, Op::FAdd), None);
+        assert_eq!(f.poll(5, Op::FMul), Some(0xff));
+        assert_eq!(f.poll(6, Op::FMul), None);
+        assert_eq!(f.activations(), 1);
+        assert!(f.is_active());
+    }
+
+    #[test]
+    fn permanent_fires_on_every_instance() {
+        let mut f = FaultState::new(FaultModel::Permanent { op: Op::FMul, mask: 1 });
+        assert_eq!(f.poll(0, Op::FAdd), None);
+        assert_eq!(f.poll(1, Op::FMul), Some(1));
+        assert_eq!(f.poll(2, Op::FMul), Some(1));
+        assert_eq!(f.activations(), 2);
+    }
+
+    #[test]
+    fn inactive_until_polled() {
+        let f = FaultState::new(FaultModel::Transient { instr_index: 0, mask: 1 });
+        assert!(!f.is_active());
+        assert_eq!(f.activations(), 0);
+    }
+
+    #[test]
+    fn display_formats() {
+        let t = FaultModel::Transient { instr_index: 3, mask: 0x10 };
+        assert!(t.to_string().contains("transient@3"));
+        let p = FaultModel::Permanent { op: Op::FAdd, mask: 0x10 };
+        assert!(p.to_string().contains("permanent(FAdd)"));
+    }
+}

@@ -1,0 +1,736 @@
+//! The fabric interpreter: scalar (CPU-profile) and data-parallel
+//! (GPU-profile) execution with trap semantics and fault injection.
+
+use crate::fault::{FaultModel, FaultState};
+use crate::isa::{bits_to_f32, f32_to_bits, Op, Reg, NUM_REGS};
+use crate::program::Program;
+use crate::stats::ExecStats;
+use std::error::Error;
+use std::fmt;
+
+/// Which processing element a fabric models.
+///
+/// The profiles share an ISA; the distinction selects the fault-injection
+/// *target* (the paper's "CPU vs GPU" injection-site axis) and labels the
+/// resource accounting of Table II.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Profile {
+    /// Scalar control/glue processor (PinFI target analogue).
+    Cpu,
+    /// Data-parallel numeric processor (NVBitFI target analogue).
+    Gpu,
+}
+
+impl fmt::Display for Profile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Profile::Cpu => write!(f, "CPU"),
+            Profile::Gpu => write!(f, "GPU"),
+        }
+    }
+}
+
+/// Abnormal termination of a fabric execution.
+///
+/// Traps are the fabric-level manifestation of the paper's *crash*
+/// (`OutOfBounds`, `InvalidTarget`) and *hang* (`Watchdog`) outcome classes:
+/// corrupted address registers fault on access, and corrupted loop counters
+/// exhaust the watchdog budget.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Trap {
+    /// A load or store addressed memory outside the context.
+    OutOfBounds {
+        /// The offending word address.
+        addr: u32,
+    },
+    /// A branch targeted an address outside the program.
+    InvalidTarget {
+        /// The offending target.
+        target: u32,
+    },
+    /// The instruction budget was exhausted (hang detector).
+    Watchdog,
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::OutOfBounds { addr } => write!(f, "out-of-bounds access at word {addr}"),
+            Trap::InvalidTarget { target } => write!(f, "invalid branch target {target}"),
+            Trap::Watchdog => write!(f, "watchdog budget exhausted"),
+        }
+    }
+}
+
+impl Error for Trap {}
+
+/// An execution context: word-addressed memory plus a persistent scalar
+/// register file.
+///
+/// Each agent owns its own contexts (its *private state*, in the paper's
+/// terms) while the [`Fabric`] — the shared processor — owns the fault state
+/// and instruction counters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Context {
+    /// Word-addressed memory (raw 32-bit words).
+    pub mem: Vec<u32>,
+    /// Scalar register file, persisted across `run_scalar` calls.
+    pub regs: [u32; NUM_REGS],
+}
+
+impl Context {
+    /// Create a context with `words` words of zeroed memory.
+    pub fn new(words: usize) -> Self {
+        Context { mem: vec![0; words], regs: [0; NUM_REGS] }
+    }
+
+    /// Read a register as `f32`.
+    #[inline]
+    pub fn reg_f(&self, r: Reg) -> f32 {
+        bits_to_f32(self.regs[r.idx()])
+    }
+
+    /// Read a register as raw `u32`.
+    #[inline]
+    pub fn reg_i(&self, r: Reg) -> u32 {
+        self.regs[r.idx()]
+    }
+
+    /// Write a register as `f32`.
+    #[inline]
+    pub fn set_reg_f(&mut self, r: Reg, v: f32) {
+        self.regs[r.idx()] = f32_to_bits(v);
+    }
+
+    /// Write a register as raw `u32`.
+    #[inline]
+    pub fn set_reg_i(&mut self, r: Reg, v: u32) {
+        self.regs[r.idx()] = v;
+    }
+
+    /// Read memory word `addr` as `f32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range (host-side accessor; fabric-side
+    /// accesses trap instead).
+    #[inline]
+    pub fn read_f32(&self, addr: usize) -> f32 {
+        bits_to_f32(self.mem[addr])
+    }
+
+    /// Write memory word `addr` as `f32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    #[inline]
+    pub fn write_f32(&mut self, addr: usize, v: f32) {
+        self.mem[addr] = f32_to_bits(v);
+    }
+
+    /// Copy a float slice into memory starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the destination range is out of bounds.
+    pub fn write_slice_f32(&mut self, addr: usize, data: &[f32]) {
+        for (i, &v) in data.iter().enumerate() {
+            self.mem[addr + i] = f32_to_bits(v);
+        }
+    }
+
+    /// Read `len` floats starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source range is out of bounds.
+    pub fn read_slice_f32(&self, addr: usize, len: usize) -> Vec<f32> {
+        self.mem[addr..addr + len].iter().map(|&w| bits_to_f32(w)).collect()
+    }
+
+    /// Memory footprint in bytes (Table II accounting).
+    pub fn bytes(&self) -> usize {
+        self.mem.len() * 4 + NUM_REGS * 4
+    }
+}
+
+/// A processing element: interpreter state shared by everything that runs
+/// on this "chip" — the dynamic-instruction counter, execution statistics,
+/// and at most one injected fault.
+///
+/// Sharing one `Fabric` between DiverseAV's two agents is what makes a
+/// *permanent* fault affect both agents (they time-multiplex the same
+/// processor), while a *transient* fault lands in whichever agent happens to
+/// execute the targeted dynamic instruction — exactly the paper's §VI-A
+/// independence argument.
+#[derive(Clone, Debug)]
+pub struct Fabric {
+    profile: Profile,
+    stats: ExecStats,
+    fault: Option<FaultState>,
+    dyn_counter: u64,
+}
+
+impl Fabric {
+    /// Create a fabric with the given profile.
+    pub fn new(profile: Profile) -> Self {
+        Fabric { profile, stats: ExecStats::new(), fault: None, dyn_counter: 0 }
+    }
+
+    /// The fabric's profile (CPU or GPU).
+    pub fn profile(&self) -> Profile {
+        self.profile
+    }
+
+    /// Execution statistics accumulated since the last reset.
+    pub fn stats(&self) -> &ExecStats {
+        &self.stats
+    }
+
+    /// Total dynamic instructions executed since the last
+    /// [`reset_for_run`](Self::reset_for_run) — the transient fault-site
+    /// space for plan generation.
+    pub fn dyn_instr_count(&self) -> u64 {
+        self.dyn_counter
+    }
+
+    /// Allocate an execution context with `words` words of memory.
+    pub fn new_context(&self, words: usize) -> Context {
+        Context::new(words)
+    }
+
+    /// Arm a fault for this fabric. Replaces any previously armed fault.
+    pub fn inject(&mut self, model: FaultModel) {
+        self.fault = Some(FaultState::new(model));
+    }
+
+    /// Remove any armed fault, returning its final state.
+    pub fn clear_fault(&mut self) -> Option<FaultState> {
+        self.fault.take()
+    }
+
+    /// The armed fault's state, if any.
+    pub fn fault_state(&self) -> Option<&FaultState> {
+        self.fault.as_ref()
+    }
+
+    /// Reset the dynamic-instruction counter, statistics, and fault state
+    /// ahead of a new experimental run.
+    pub fn reset_for_run(&mut self) {
+        self.stats.reset();
+        self.dyn_counter = 0;
+        self.fault = None;
+    }
+
+    /// Run `prog` in scalar mode using the context's persistent register
+    /// file.
+    ///
+    /// Returns the number of instructions executed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Trap`] on out-of-bounds access, invalid branch target,
+    /// or when more than `budget` instructions execute (hang).
+    pub fn run_scalar(
+        &mut self,
+        prog: &Program,
+        ctx: &mut Context,
+        budget: u64,
+    ) -> Result<u64, Trap> {
+        self.stats.record_launch();
+        let mut regs = ctx.regs;
+        let r = self.exec(prog, &mut regs, &mut ctx.mem, 0, budget);
+        ctx.regs = regs;
+        r
+    }
+
+    /// Launch `prog` as a data-parallel kernel over `n_threads` threads.
+    ///
+    /// Each thread starts from a zeroed register file with `args` preloaded
+    /// and its index available via [`Op::Tid`]; threads share the context's
+    /// memory and run sequentially in thread order (the fabric models a
+    /// time-multiplexed processor, not a parallel machine).
+    ///
+    /// Returns the total number of instructions executed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Trap`] if any thread traps; `budget_per_thread` bounds
+    /// each thread's instruction count.
+    pub fn run_kernel(
+        &mut self,
+        prog: &Program,
+        ctx: &mut Context,
+        n_threads: u32,
+        args: &[(Reg, u32)],
+        budget_per_thread: u64,
+    ) -> Result<u64, Trap> {
+        self.stats.record_launch();
+        let mut total = 0u64;
+        for t in 0..n_threads {
+            let mut regs = [0u32; NUM_REGS];
+            for &(r, v) in args {
+                regs[r.idx()] = v;
+            }
+            total += self.exec(prog, &mut regs, &mut ctx.mem, t, budget_per_thread)?;
+        }
+        Ok(total)
+    }
+
+    #[inline(always)]
+    fn exec(
+        &mut self,
+        prog: &Program,
+        regs: &mut [u32; NUM_REGS],
+        mem: &mut [u32],
+        tid: u32,
+        budget: u64,
+    ) -> Result<u64, Trap> {
+        let instrs = prog.instrs();
+        let mut pc = 0usize;
+        let mut executed = 0u64;
+        loop {
+            let Some(ins) = instrs.get(pc) else {
+                // Falling off the end is an implicit halt.
+                return Ok(executed);
+            };
+            if executed >= budget {
+                return Err(Trap::Watchdog);
+            }
+            executed += 1;
+            self.stats.record(ins.op);
+            let dyn_index = self.dyn_counter;
+            self.dyn_counter += 1;
+            pc += 1;
+
+            let fa = bits_to_f32(regs[ins.a.idx()]);
+            let fb = bits_to_f32(regs[ins.b.idx()]);
+            let ia = regs[ins.a.idx()];
+            let ib = regs[ins.b.idx()];
+
+            let wrote: Option<u32> = match ins.op {
+                Op::FAdd => Some(f32_to_bits(fa + fb)),
+                Op::FSub => Some(f32_to_bits(fa - fb)),
+                Op::FMul => Some(f32_to_bits(fa * fb)),
+                Op::FDiv => Some(f32_to_bits(fa / fb)),
+                Op::FMin => Some(f32_to_bits(fa.min(fb))),
+                Op::FMax => Some(f32_to_bits(fa.max(fb))),
+                Op::FAbs => Some(f32_to_bits(fa.abs())),
+                Op::FNeg => Some(f32_to_bits(-fa)),
+                Op::FSqrt => Some(f32_to_bits(fa.sqrt())),
+                Op::FFma => {
+                    let fc = bits_to_f32(regs[ins.c.idx()]);
+                    Some(f32_to_bits(fa.mul_add(fb, fc)))
+                }
+                Op::IAdd => Some(ia.wrapping_add(ib)),
+                Op::ISub => Some(ia.wrapping_sub(ib)),
+                Op::IMul => Some(ia.wrapping_mul(ib)),
+                Op::IAnd => Some(ia & ib),
+                Op::IOr => Some(ia | ib),
+                Op::IXor => Some(ia ^ ib),
+                Op::IShl => Some(ia << (ib & 31)),
+                Op::IShr => Some(ia >> (ib & 31)),
+                Op::FLt => Some((fa < fb) as u32),
+                Op::FLe => Some((fa <= fb) as u32),
+                Op::ILt => Some((ia < ib) as u32),
+                Op::IEq => Some((ia == ib) as u32),
+                Op::Sel => {
+                    let ic = regs[ins.c.idx()];
+                    Some(if ia != 0 { ib } else { ic })
+                }
+                Op::Mov => Some(ia),
+                Op::LdImm => Some(ins.imm),
+                Op::Ld => {
+                    let addr = ia.wrapping_add(ins.imm);
+                    let Some(&w) = mem.get(addr as usize) else {
+                        return Err(Trap::OutOfBounds { addr });
+                    };
+                    Some(w)
+                }
+                Op::St => {
+                    let addr = ia.wrapping_add(ins.imm);
+                    let Some(slot) = mem.get_mut(addr as usize) else {
+                        return Err(Trap::OutOfBounds { addr });
+                    };
+                    *slot = ib;
+                    None
+                }
+                Op::Jmp | Op::Jz | Op::Jnz => {
+                    let taken = match ins.op {
+                        Op::Jmp => true,
+                        Op::Jz => ia == 0,
+                        _ => ia != 0,
+                    };
+                    if taken {
+                        let target = ins.imm as usize;
+                        if target > instrs.len() {
+                            return Err(Trap::InvalidTarget { target: ins.imm });
+                        }
+                        pc = target;
+                    }
+                    None
+                }
+                Op::F2I => Some(fa as u32),
+                Op::I2F => Some(f32_to_bits(ia as f32)),
+                Op::Tid => Some(tid),
+                Op::Halt => return Ok(executed),
+            };
+
+            if let Some(mut val) = wrote {
+                if let Some(fault) = &mut self.fault {
+                    if let Some(mask) = fault.poll(dyn_index, ins.op) {
+                        val ^= mask;
+                    }
+                }
+                regs[ins.dst.idx()] = val;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ProgramBuilder;
+
+    fn r(i: u8) -> Reg {
+        Reg(i)
+    }
+
+    fn run(b: ProgramBuilder) -> (Fabric, Context) {
+        let prog = b.build();
+        let mut f = Fabric::new(Profile::Cpu);
+        let mut ctx = f.new_context(64);
+        f.run_scalar(&prog, &mut ctx, 10_000).expect("program should not trap");
+        (f, ctx)
+    }
+
+    #[test]
+    fn float_arithmetic() {
+        let mut b = ProgramBuilder::new();
+        b.ldimm_f(r(0), 3.0);
+        b.ldimm_f(r(1), 4.0);
+        b.fmul(r(2), r(0), r(1));
+        b.fadd(r(3), r(2), r(1));
+        b.fsub(r(4), r(3), r(0));
+        b.fdiv(r(5), r(4), r(1));
+        b.fsqrt(r(6), r(0));
+        b.fneg(r(7), r(6));
+        b.fabs(r(8), r(7));
+        b.halt();
+        let (_, ctx) = run(b);
+        assert_eq!(ctx.reg_f(r(2)), 12.0);
+        assert_eq!(ctx.reg_f(r(3)), 16.0);
+        assert_eq!(ctx.reg_f(r(4)), 13.0);
+        assert_eq!(ctx.reg_f(r(5)), 3.25);
+        assert!((ctx.reg_f(r(8)) - 3.0f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fma_min_max() {
+        let mut b = ProgramBuilder::new();
+        b.ldimm_f(r(0), 2.0);
+        b.ldimm_f(r(1), 5.0);
+        b.ldimm_f(r(2), 1.0);
+        b.ffma(r(3), r(0), r(1), r(2));
+        b.fmin(r(4), r(0), r(1));
+        b.fmax(r(5), r(0), r(1));
+        b.halt();
+        let (_, ctx) = run(b);
+        assert_eq!(ctx.reg_f(r(3)), 11.0);
+        assert_eq!(ctx.reg_f(r(4)), 2.0);
+        assert_eq!(ctx.reg_f(r(5)), 5.0);
+    }
+
+    #[test]
+    fn integer_ops_and_compares() {
+        let mut b = ProgramBuilder::new();
+        b.ldimm_i(r(0), 6);
+        b.ldimm_i(r(1), 3);
+        b.iadd(r(2), r(0), r(1));
+        b.isub(r(3), r(0), r(1));
+        b.imul(r(4), r(0), r(1));
+        b.iand(r(5), r(0), r(1));
+        b.ior(r(6), r(0), r(1));
+        b.ixor(r(7), r(0), r(1));
+        b.ishl(r(8), r(1), r(1));
+        b.ishr(r(9), r(0), r(1));
+        b.ilt(r(10), r(1), r(0));
+        b.ieq(r(11), r(0), r(0));
+        b.halt();
+        let (_, ctx) = run(b);
+        assert_eq!(ctx.reg_i(r(2)), 9);
+        assert_eq!(ctx.reg_i(r(3)), 3);
+        assert_eq!(ctx.reg_i(r(4)), 18);
+        assert_eq!(ctx.reg_i(r(5)), 2);
+        assert_eq!(ctx.reg_i(r(6)), 7);
+        assert_eq!(ctx.reg_i(r(7)), 5);
+        assert_eq!(ctx.reg_i(r(8)), 24);
+        assert_eq!(ctx.reg_i(r(9)), 0);
+        assert_eq!(ctx.reg_i(r(10)), 1);
+        assert_eq!(ctx.reg_i(r(11)), 1);
+    }
+
+    #[test]
+    fn select_and_conversions() {
+        let mut b = ProgramBuilder::new();
+        b.ldimm_i(r(0), 1);
+        b.ldimm_i(r(1), 10);
+        b.ldimm_i(r(2), 20);
+        b.sel(r(3), r(0), r(1), r(2));
+        b.ldimm_i(r(4), 0);
+        b.sel(r(5), r(4), r(1), r(2));
+        b.ldimm_f(r(6), 7.9);
+        b.f2i(r(7), r(6));
+        b.i2f(r(8), r(7));
+        b.halt();
+        let (_, ctx) = run(b);
+        assert_eq!(ctx.reg_i(r(3)), 10);
+        assert_eq!(ctx.reg_i(r(5)), 20);
+        assert_eq!(ctx.reg_i(r(7)), 7);
+        assert_eq!(ctx.reg_f(r(8)), 7.0);
+    }
+
+    #[test]
+    fn f2i_saturates_negative_and_nan() {
+        let mut b = ProgramBuilder::new();
+        b.ldimm_f(r(0), -3.0);
+        b.f2i(r(1), r(0));
+        b.ldimm_f(r(2), f32::NAN);
+        b.f2i(r(3), r(2));
+        b.halt();
+        let (_, ctx) = run(b);
+        assert_eq!(ctx.reg_i(r(1)), 0);
+        assert_eq!(ctx.reg_i(r(3)), 0);
+    }
+
+    #[test]
+    fn memory_roundtrip() {
+        let mut b = ProgramBuilder::new();
+        b.ldimm_i(r(0), 5);
+        b.ldimm_f(r(1), 2.5);
+        b.st(r(0), r(1), 2); // mem[7] = 2.5
+        b.ld(r(2), r(0), 2);
+        b.halt();
+        let (_, ctx) = run(b);
+        assert_eq!(ctx.reg_f(r(2)), 2.5);
+        assert_eq!(ctx.read_f32(7), 2.5);
+    }
+
+    #[test]
+    fn out_of_bounds_load_traps() {
+        let mut b = ProgramBuilder::new();
+        b.ldimm_i(r(0), 1_000_000);
+        b.ld(r(1), r(0), 0);
+        b.halt();
+        let prog = b.build();
+        let mut f = Fabric::new(Profile::Cpu);
+        let mut ctx = f.new_context(16);
+        let err = f.run_scalar(&prog, &mut ctx, 100).unwrap_err();
+        assert_eq!(err, Trap::OutOfBounds { addr: 1_000_000 });
+    }
+
+    #[test]
+    fn out_of_bounds_store_traps() {
+        let mut b = ProgramBuilder::new();
+        b.ldimm_i(r(0), 99);
+        b.st(r(0), r(0), 0);
+        b.halt();
+        let prog = b.build();
+        let mut f = Fabric::new(Profile::Cpu);
+        let mut ctx = f.new_context(16);
+        assert_eq!(
+            f.run_scalar(&prog, &mut ctx, 100).unwrap_err(),
+            Trap::OutOfBounds { addr: 99 }
+        );
+    }
+
+    #[test]
+    fn infinite_loop_hits_watchdog() {
+        let mut b = ProgramBuilder::new();
+        let top = b.new_label();
+        b.bind(top);
+        b.jmp(top);
+        let prog = b.build();
+        let mut f = Fabric::new(Profile::Cpu);
+        let mut ctx = f.new_context(4);
+        assert_eq!(f.run_scalar(&prog, &mut ctx, 1000).unwrap_err(), Trap::Watchdog);
+    }
+
+    #[test]
+    fn loop_counts_down() {
+        let mut b = ProgramBuilder::new();
+        b.ldimm_i(r(0), 10);
+        b.ldimm_i(r(1), 1);
+        b.ldimm_i(r(2), 0);
+        let top = b.new_label();
+        b.bind(top);
+        b.iadd(r(2), r(2), r(1));
+        b.isub(r(0), r(0), r(1));
+        b.jnz(r(0), top);
+        b.halt();
+        let (_, ctx) = run(b);
+        assert_eq!(ctx.reg_i(r(2)), 10);
+    }
+
+    #[test]
+    fn kernel_threads_see_tid_and_share_memory() {
+        // mem[tid] = tid as f32 * 2.0
+        let mut b = ProgramBuilder::new();
+        b.tid(r(0));
+        b.i2f(r(1), r(0));
+        b.ldimm_f(r(2), 2.0);
+        b.fmul(r(3), r(1), r(2));
+        b.st(r(0), r(3), 0);
+        b.halt();
+        let prog = b.build();
+        let mut f = Fabric::new(Profile::Gpu);
+        let mut ctx = f.new_context(8);
+        f.run_kernel(&prog, &mut ctx, 8, &[], 100).unwrap();
+        for t in 0..8 {
+            assert_eq!(ctx.read_f32(t), t as f32 * 2.0);
+        }
+    }
+
+    #[test]
+    fn kernel_args_are_preloaded() {
+        let mut b = ProgramBuilder::new();
+        b.tid(r(0));
+        b.st(r(0), r(10), 0); // store arg value at mem[tid]
+        b.halt();
+        let prog = b.build();
+        let mut f = Fabric::new(Profile::Gpu);
+        let mut ctx = f.new_context(4);
+        f.run_kernel(&prog, &mut ctx, 4, &[(r(10), f32_to_bits(9.0))], 100).unwrap();
+        assert_eq!(ctx.read_f32(3), 9.0);
+    }
+
+    #[test]
+    fn transient_fault_corrupts_exactly_one_write() {
+        let mut b = ProgramBuilder::new();
+        b.ldimm_f(r(0), 1.0);
+        b.ldimm_f(r(1), 1.0); // dynamic index 1 — the injection target
+        b.ldimm_f(r(2), 1.0);
+        b.halt();
+        let prog = b.build();
+        let mut f = Fabric::new(Profile::Gpu);
+        f.inject(FaultModel::Transient { instr_index: 1, mask: 0x0040_0000 });
+        let mut ctx = f.new_context(4);
+        f.run_scalar(&prog, &mut ctx, 100).unwrap();
+        assert_eq!(ctx.reg_f(r(0)), 1.0);
+        assert_ne!(ctx.reg_f(r(1)), 1.0);
+        assert_eq!(ctx.reg_f(r(2)), 1.0);
+        assert_eq!(f.fault_state().unwrap().activations(), 1);
+    }
+
+    #[test]
+    fn permanent_fault_corrupts_every_instance() {
+        let mut b = ProgramBuilder::new();
+        b.ldimm_f(r(0), 2.0);
+        b.ldimm_f(r(1), 3.0);
+        b.fmul(r(2), r(0), r(1));
+        b.fmul(r(3), r(0), r(1));
+        b.fadd(r(4), r(0), r(1));
+        b.halt();
+        let prog = b.build();
+        let mut f = Fabric::new(Profile::Gpu);
+        f.inject(FaultModel::Permanent { op: Op::FMul, mask: 1 });
+        let mut ctx = f.new_context(4);
+        f.run_scalar(&prog, &mut ctx, 100).unwrap();
+        assert_ne!(ctx.reg_f(r(2)), 6.0);
+        assert_ne!(ctx.reg_f(r(3)), 6.0);
+        assert_eq!(ctx.reg_f(r(4)), 5.0, "FAdd must be unaffected");
+        assert_eq!(f.fault_state().unwrap().activations(), 2);
+    }
+
+    #[test]
+    fn store_is_not_injectable() {
+        let mut b = ProgramBuilder::new();
+        b.ldimm_i(r(0), 0);
+        b.ldimm_f(r(1), 5.0);
+        b.st(r(0), r(1), 0);
+        b.halt();
+        let prog = b.build();
+        let mut f = Fabric::new(Profile::Cpu);
+        f.inject(FaultModel::Permanent { op: Op::St, mask: u32::MAX });
+        let mut ctx = f.new_context(4);
+        f.run_scalar(&prog, &mut ctx, 100).unwrap();
+        assert_eq!(ctx.read_f32(0), 5.0, "stores have no destination register");
+        assert_eq!(f.fault_state().unwrap().activations(), 0);
+    }
+
+    #[test]
+    fn dyn_counter_spans_runs_until_reset() {
+        let mut b = ProgramBuilder::new();
+        b.ldimm_i(r(0), 1);
+        b.halt();
+        let prog = b.build();
+        let mut f = Fabric::new(Profile::Cpu);
+        let mut ctx = f.new_context(4);
+        f.run_scalar(&prog, &mut ctx, 100).unwrap();
+        f.run_scalar(&prog, &mut ctx, 100).unwrap();
+        assert_eq!(f.dyn_instr_count(), 4);
+        f.reset_for_run();
+        assert_eq!(f.dyn_instr_count(), 0);
+        assert_eq!(f.stats().total(), 0);
+        assert!(f.fault_state().is_none());
+    }
+
+    #[test]
+    fn stats_count_per_op() {
+        let mut b = ProgramBuilder::new();
+        b.ldimm_f(r(0), 1.0);
+        b.fadd(r(1), r(0), r(0));
+        b.fadd(r(2), r(1), r(0));
+        b.halt();
+        let prog = b.build();
+        let mut f = Fabric::new(Profile::Gpu);
+        let mut ctx = f.new_context(4);
+        f.run_scalar(&prog, &mut ctx, 100).unwrap();
+        assert_eq!(f.stats().count(Op::FAdd), 2);
+        assert_eq!(f.stats().count(Op::LdImm), 1);
+        assert_eq!(f.stats().count(Op::Halt), 1);
+        assert_eq!(f.stats().launches(), 1);
+    }
+
+    #[test]
+    fn falling_off_end_is_implicit_halt() {
+        let mut b = ProgramBuilder::new();
+        b.ldimm_i(r(0), 7);
+        let prog = b.build();
+        let mut f = Fabric::new(Profile::Cpu);
+        let mut ctx = f.new_context(4);
+        let n = f.run_scalar(&prog, &mut ctx, 100).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(ctx.reg_i(r(0)), 7);
+    }
+
+    #[test]
+    fn scalar_registers_persist_across_runs() {
+        let mut b = ProgramBuilder::new();
+        b.ldimm_i(r(1), 1);
+        b.iadd(r(0), r(0), r(1));
+        b.halt();
+        let prog = b.build();
+        let mut f = Fabric::new(Profile::Cpu);
+        let mut ctx = f.new_context(4);
+        f.run_scalar(&prog, &mut ctx, 100).unwrap();
+        f.run_scalar(&prog, &mut ctx, 100).unwrap();
+        assert_eq!(ctx.reg_i(r(0)), 2);
+    }
+
+    #[test]
+    fn trap_display_and_error() {
+        let t: Box<dyn Error> = Box::new(Trap::Watchdog);
+        assert!(t.to_string().contains("watchdog"));
+        assert!(Trap::OutOfBounds { addr: 3 }.to_string().contains('3'));
+        assert!(Trap::InvalidTarget { target: 9 }.to_string().contains('9'));
+    }
+
+    #[test]
+    fn context_bytes_accounting() {
+        let ctx = Context::new(100);
+        assert_eq!(ctx.bytes(), 100 * 4 + NUM_REGS * 4);
+    }
+}

@@ -1,0 +1,172 @@
+//! Property-based tests for the fabric VM.
+
+use diverseav_fabric::{
+    f32_to_bits, Fabric, FaultModel, Op, Profile, ProgramBuilder, Reg, Trap,
+};
+use proptest::prelude::*;
+
+/// Build a straight-line float pipeline from `(a, b)` pairs.
+fn pipeline_program(pairs: &[(f32, f32)]) -> diverseav_fabric::Program {
+    let mut b = ProgramBuilder::new();
+    for (i, &(x, y)) in pairs.iter().enumerate() {
+        let base = (i % 10) as u8 * 4;
+        b.ldimm_f(Reg(base), x);
+        b.ldimm_f(Reg(base + 1), y);
+        b.fadd(Reg(base + 2), Reg(base), Reg(base + 1));
+        b.fmul(Reg(base + 3), Reg(base + 2), Reg(base));
+    }
+    b.halt();
+    b.build()
+}
+
+proptest! {
+    /// The interpreter is deterministic: two runs of the same program from
+    /// the same context state produce identical registers and memory.
+    #[test]
+    fn deterministic_execution(pairs in proptest::collection::vec((-1e3f32..1e3, -1e3f32..1e3), 1..20)) {
+        let prog = pipeline_program(&pairs);
+        let mut f1 = Fabric::new(Profile::Gpu);
+        let mut f2 = Fabric::new(Profile::Gpu);
+        let mut c1 = f1.new_context(16);
+        let mut c2 = f2.new_context(16);
+        f1.run_scalar(&prog, &mut c1, 1_000_000).unwrap();
+        f2.run_scalar(&prog, &mut c2, 1_000_000).unwrap();
+        prop_assert_eq!(c1, c2);
+    }
+
+    /// A fault with mask 0 never changes any architectural state.
+    #[test]
+    fn zero_mask_fault_is_identity(
+        pairs in proptest::collection::vec((-1e3f32..1e3, -1e3f32..1e3), 1..10),
+        idx in 0u64..50,
+    ) {
+        let prog = pipeline_program(&pairs);
+        let mut clean = Fabric::new(Profile::Gpu);
+        let mut faulty = Fabric::new(Profile::Gpu);
+        faulty.inject(FaultModel::Transient { instr_index: idx, mask: 0 });
+        let mut cc = clean.new_context(16);
+        let mut cf = faulty.new_context(16);
+        clean.run_scalar(&prog, &mut cc, 1_000_000).unwrap();
+        faulty.run_scalar(&prog, &mut cf, 1_000_000).unwrap();
+        prop_assert_eq!(cc, cf);
+    }
+
+    /// A transient single-bit fault changes at most the targeted write and
+    /// its data-flow descendants — never instructions before the target.
+    #[test]
+    fn transient_fault_is_localized_in_time(
+        pairs in proptest::collection::vec((1.0f32..100.0, 1.0f32..100.0), 2..10),
+        bit in 0u32..32,
+    ) {
+        let prog = pipeline_program(&pairs);
+        let total = prog.len() as u64;
+        let target = total / 2;
+        let mut clean = Fabric::new(Profile::Gpu);
+        let mut faulty = Fabric::new(Profile::Gpu);
+        faulty.inject(FaultModel::Transient { instr_index: target, mask: 1 << bit });
+        let mut cc = clean.new_context(16);
+        let mut cf = faulty.new_context(16);
+        // Snapshot after executing only the pre-target prefix is not
+        // directly observable, so instead check the fault activation count:
+        clean.run_scalar(&prog, &mut cc, 1_000_000).unwrap();
+        faulty.run_scalar(&prog, &mut cf, 1_000_000).unwrap();
+        let st = faulty.fault_state().unwrap();
+        // The target instruction exists, so the fault must fire exactly once
+        // if the targeted instruction writes a register.
+        prop_assert!(st.activations() <= 1);
+    }
+
+    /// Kernel execution visits every thread exactly once: a kernel that
+    /// increments mem[tid] leaves every cell at 1.
+    #[test]
+    fn kernel_covers_all_threads(n in 1u32..64) {
+        let mut b = ProgramBuilder::new();
+        b.tid(Reg(0));
+        b.ld(Reg(1), Reg(0), 0);
+        b.ldimm_i(Reg(2), 1);
+        b.iadd(Reg(1), Reg(1), Reg(2));
+        b.st(Reg(0), Reg(1), 0);
+        b.halt();
+        let prog = b.build();
+        let mut f = Fabric::new(Profile::Gpu);
+        let mut ctx = f.new_context(n as usize);
+        f.run_kernel(&prog, &mut ctx, n, &[], 100).unwrap();
+        for i in 0..n as usize {
+            prop_assert_eq!(ctx.mem[i], 1);
+        }
+    }
+
+    /// Loads at arbitrary addresses either succeed (in bounds) or raise
+    /// exactly `Trap::OutOfBounds` — never a panic or wrong trap.
+    #[test]
+    fn loads_trap_iff_out_of_bounds(addr in 0u32..256, mem_words in 1usize..128) {
+        let mut b = ProgramBuilder::new();
+        b.ldimm_i(Reg(0), addr);
+        b.ld(Reg(1), Reg(0), 0);
+        b.halt();
+        let prog = b.build();
+        let mut f = Fabric::new(Profile::Cpu);
+        let mut ctx = f.new_context(mem_words);
+        let res = f.run_scalar(&prog, &mut ctx, 100);
+        if (addr as usize) < mem_words {
+            prop_assert!(res.is_ok());
+        } else {
+            prop_assert_eq!(res.unwrap_err(), Trap::OutOfBounds { addr });
+        }
+    }
+
+    /// The watchdog fires for any budget smaller than the program length on
+    /// straight-line code, and never fires when the budget is sufficient.
+    #[test]
+    fn watchdog_respects_budget(n_instr in 1usize..50, slack in 0u64..10) {
+        let mut b = ProgramBuilder::new();
+        for _ in 0..n_instr {
+            b.ldimm_i(Reg(0), 1);
+        }
+        let prog = b.build();
+        let mut f = Fabric::new(Profile::Cpu);
+        let mut ctx = f.new_context(4);
+        let enough = f.run_scalar(&prog, &mut ctx, n_instr as u64 + slack);
+        prop_assert!(enough.is_ok());
+        let starved = f.run_scalar(&prog, &mut ctx, n_instr as u64 - 1);
+        if n_instr > 1 {
+            prop_assert_eq!(starved.unwrap_err(), Trap::Watchdog);
+        }
+    }
+
+    /// XOR-mask injection is an involution: injecting the same mask into the
+    /// same LdImm twice (two separate runs) yields the clean value both
+    /// times XORed — i.e. value ^ mask, deterministically.
+    #[test]
+    fn injection_is_deterministic_xor(value in any::<f32>(), mask in 1u32..=u32::MAX) {
+        let mut b = ProgramBuilder::new();
+        b.ldimm_f(Reg(0), value);
+        b.halt();
+        let prog = b.build();
+        let expected = f32_to_bits(value) ^ mask;
+        for _ in 0..2 {
+            let mut f = Fabric::new(Profile::Gpu);
+            f.inject(FaultModel::Transient { instr_index: 0, mask });
+            let mut ctx = f.new_context(4);
+            f.run_scalar(&prog, &mut ctx, 10).unwrap();
+            prop_assert_eq!(ctx.reg_i(Reg(0)), expected);
+        }
+    }
+
+    /// Permanent faults on an opcode the program never executes are inert.
+    #[test]
+    fn permanent_fault_on_unused_opcode_is_inert(
+        pairs in proptest::collection::vec((1.0f32..10.0, 1.0f32..10.0), 1..8),
+    ) {
+        let prog = pipeline_program(&pairs); // uses LdImm/FAdd/FMul/Halt only
+        let mut clean = Fabric::new(Profile::Gpu);
+        let mut faulty = Fabric::new(Profile::Gpu);
+        faulty.inject(FaultModel::Permanent { op: Op::FDiv, mask: u32::MAX });
+        let mut cc = clean.new_context(16);
+        let mut cf = faulty.new_context(16);
+        clean.run_scalar(&prog, &mut cc, 100_000).unwrap();
+        faulty.run_scalar(&prog, &mut cf, 100_000).unwrap();
+        prop_assert_eq!(cc, cf);
+        prop_assert_eq!(faulty.fault_state().unwrap().activations(), 0);
+    }
+}

@@ -1,0 +1,141 @@
+//! CSV export of experiment records, for external plotting and archival.
+//!
+//! Everything the bench harness prints as text tables can also be dumped
+//! as machine-readable CSV via these writers.
+
+use crate::runner::RunResult;
+use std::io::{self, Write};
+
+/// Write the ego trajectory of a run as `t,x,y` rows.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_trajectory_csv<W: Write>(mut w: W, result: &RunResult) -> io::Result<()> {
+    writeln!(w, "t,x,y")?;
+    for p in &result.trajectory {
+        writeln!(w, "{:.4},{:.4},{:.4}", p.t, p.pos.x, p.pos.y)?;
+    }
+    Ok(())
+}
+
+/// Write the recorded divergence stream as
+/// `t,v,a,w,alpha,d_throttle,d_brake,d_steer` rows.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_divergence_csv<W: Write>(mut w: W, result: &RunResult) -> io::Result<()> {
+    writeln!(w, "t,v,a,w,alpha,d_throttle,d_brake,d_steer")?;
+    for s in &result.training {
+        writeln!(
+            w,
+            "{:.4},{:.4},{:.4},{:.5},{:.5},{:.6},{:.6},{:.6}",
+            s.t, s.state.v, s.state.a, s.state.w, s.state.alpha, s.div.throttle, s.div.brake,
+            s.div.steer
+        )?;
+    }
+    Ok(())
+}
+
+/// Write the actuation/CVIP trace as `t,throttle,brake,steer,cvip` rows
+/// (CVIP is empty when no vehicle is in path).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_actuation_csv<W: Write>(mut w: W, result: &RunResult) -> io::Result<()> {
+    writeln!(w, "t,throttle,brake,steer,cvip")?;
+    for (t, c, cvip) in &result.actuation {
+        let cvip_s = if cvip.is_finite() { format!("{cvip:.3}") } else { String::new() };
+        writeln!(w, "{:.4},{:.4},{:.4},{:.4},{}", t, c.throttle, c.brake, c.steer, cvip_s)?;
+    }
+    Ok(())
+}
+
+/// Write a one-line-per-run summary of a result set:
+/// `scenario,mode,fault,seed,termination,end_time,collision_t,alarm_t,activated,min_cvip`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_summary_csv<W: Write>(mut w: W, results: &[RunResult]) -> io::Result<()> {
+    writeln!(
+        w,
+        "scenario,mode,fault,seed,termination,end_time,collision_t,alarm_t,activated,min_cvip"
+    )?;
+    for r in results {
+        let fault = r.fault.map(|f| f.to_string()).unwrap_or_else(|| "golden".to_string());
+        let opt = |o: Option<f64>| o.map(|v| format!("{v:.3}")).unwrap_or_default();
+        writeln!(
+            w,
+            "{},{},\"{}\",{},{:?},{:.3},{},{},{},{:.3}",
+            r.scenario,
+            r.mode,
+            fault,
+            r.seed,
+            r.termination,
+            r.end_time,
+            opt(r.collision_time),
+            opt(r.alarm_time),
+            r.fault_activated,
+            if r.min_cvip.is_finite() { r.min_cvip } else { -1.0 },
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{RunConfig, run_experiment};
+    use diverseav::AgentMode;
+    use diverseav_simworld::lead_slowdown;
+
+    fn sample_result() -> RunResult {
+        let mut scenario = lead_slowdown();
+        scenario.duration = 1.0;
+        let mut cfg = RunConfig::new(scenario, AgentMode::RoundRobin, 1);
+        cfg.collect_training = true;
+        run_experiment(&cfg)
+    }
+
+    #[test]
+    fn trajectory_csv_has_header_and_rows() {
+        let r = sample_result();
+        let mut buf = Vec::new();
+        write_trajectory_csv(&mut buf, &r).expect("in-memory write");
+        let text = String::from_utf8(buf).expect("utf8");
+        assert!(text.starts_with("t,x,y\n"));
+        assert_eq!(text.lines().count(), r.trajectory.len() + 1);
+    }
+
+    #[test]
+    fn divergence_csv_matches_stream_length() {
+        let r = sample_result();
+        let mut buf = Vec::new();
+        write_divergence_csv(&mut buf, &r).expect("in-memory write");
+        let text = String::from_utf8(buf).expect("utf8");
+        assert_eq!(text.lines().count(), r.training.len() + 1);
+        assert!(text.lines().nth(1).expect("data row").split(',').count() == 8);
+    }
+
+    #[test]
+    fn actuation_csv_encodes_infinite_cvip_as_empty() {
+        let r = sample_result();
+        let mut buf = Vec::new();
+        write_actuation_csv(&mut buf, &r).expect("in-memory write");
+        let text = String::from_utf8(buf).expect("utf8");
+        assert!(text.starts_with("t,throttle,brake,steer,cvip\n"));
+    }
+
+    #[test]
+    fn summary_csv_one_row_per_run() {
+        let r = sample_result();
+        let mut buf = Vec::new();
+        write_summary_csv(&mut buf, std::slice::from_ref(&r)).expect("in-memory write");
+        let text = String::from_utf8(buf).expect("utf8");
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("golden"));
+    }
+}

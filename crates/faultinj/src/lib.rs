@@ -1,0 +1,51 @@
+//! # diverseav-faultinj
+//!
+//! Fault-injection campaign tooling for the DiverseAV reproduction: the
+//! assessment platform of the paper's Fig 3 — Campaign Manager, Injection
+//! Plan Generator, Driver, and run classification.
+//!
+//! A campaign targets one cell of Table I: `{GPU, CPU} × {transient,
+//! permanent} × {LeadSlowdown, GhostCutIn, FrontAccident}`. Golden runs
+//! double as the NVBitFI-style profiling pass that sizes the transient
+//! fault-site space and enumerates the opcodes for permanent campaigns.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use diverseav::AgentMode;
+//! use diverseav_fabric::Profile;
+//! use diverseav_faultinj::{
+//!     run_campaign, summarize, Campaign, CampaignScale, FaultModelKind,
+//! };
+//! use diverseav_simworld::{ScenarioKind, SensorConfig};
+//!
+//! let campaign = Campaign {
+//!     scenario: ScenarioKind::LeadSlowdown,
+//!     target: Profile::Gpu,
+//!     kind: FaultModelKind::Transient,
+//!     mode: AgentMode::RoundRobin,
+//! };
+//! let result = run_campaign(campaign, &CampaignScale::quick(), None, SensorConfig::default());
+//! let row = summarize(&result, 2.0);
+//! println!("{campaign}: {} active, {} hang/crash", row.active, row.hang_crash);
+//! ```
+
+pub mod campaign;
+pub mod export;
+pub mod outcome;
+pub mod plan;
+pub mod runner;
+
+pub use campaign::{
+    collect_training_runs, run_campaign, run_campaign_with_traces, scenario_for, summarize,
+    Campaign, CampaignResult, CampaignScale, TableRow,
+};
+pub use export::{
+    write_actuation_csv, write_divergence_csv, write_summary_csv, write_trajectory_csv,
+};
+pub use outcome::{
+    classify, evaluate_detector, first_violation_time, lead_detection_time, max_traj_divergence,
+    mean_trajectory, missed_hazard_probability, DetectionEval, OutcomeClass,
+};
+pub use plan::{generate_plan, FaultModelKind, PlanConfig};
+pub use runner::{run_experiment, FaultSpec, RunConfig, RunResult, Termination};

@@ -1,0 +1,181 @@
+//! The Injection Plan Generator (Fig 3): samples transient fault sites
+//! from a profiling run and enumerates opcodes for permanent campaigns,
+//! mirroring the NVBitFI/PinFI methodology of §IV-D.
+
+use crate::runner::{FaultSpec, RunResult};
+use diverseav_fabric::{FaultModel, Op, Profile};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Transient vs permanent campaign.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum FaultModelKind {
+    /// One corrupted dynamic instruction per run.
+    Transient,
+    /// Every dynamic instance of one opcode corrupted, per run.
+    Permanent,
+}
+
+impl FaultModelKind {
+    /// Short label used in reports ("transient"/"permanent").
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultModelKind::Transient => "transient",
+            FaultModelKind::Permanent => "permanent",
+        }
+    }
+}
+
+/// Plan-generation parameters.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct PlanConfig {
+    /// Campaign kind.
+    pub kind: FaultModelKind,
+    /// Target fabric.
+    pub target: Profile,
+    /// Number of transient injections to sample.
+    pub n_transient: usize,
+    /// Repeats per opcode for permanent campaigns (the paper uses 3 to
+    /// capture nondeterministic effects).
+    pub repeats: usize,
+    /// Sampling seed.
+    pub seed: u64,
+}
+
+/// Generate the injection plan for one campaign from a profiling run.
+///
+/// Transient sites are drawn uniformly over the profiled dynamic
+/// instruction stream; permanent faults enumerate every opcode the
+/// profiling run actually executed on the target fabric (the paper's "171
+/// GPU opcodes / 131 Intel opcodes" enumeration). Masks are single random
+/// bit flips of the 32-bit destination register.
+pub fn generate_plan(profile_run: &RunResult, cfg: &PlanConfig) -> Vec<FaultSpec> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xF417);
+    let mut specs = Vec::new();
+    match cfg.kind {
+        FaultModelKind::Transient => {
+            let space = match cfg.target {
+                Profile::Gpu => profile_run.gpu_dyn_instr,
+                Profile::Cpu => profile_run.cpu_dyn_instr,
+            };
+            assert!(space > 0, "profiling run executed no instructions on {}", cfg.target);
+            for _ in 0..cfg.n_transient {
+                let instr_index = rng.gen_range(0..space);
+                let mask = 1u32 << rng.gen_range(0..32);
+                specs.push(FaultSpec {
+                    unit: 0,
+                    profile: cfg.target,
+                    model: FaultModel::Transient { instr_index, mask },
+                });
+            }
+        }
+        FaultModelKind::Permanent => {
+            let ops: Vec<Op> = match cfg.target {
+                Profile::Gpu => profile_run.gpu_ops.iter().map(|&(op, _)| op).collect(),
+                Profile::Cpu => profile_run.cpu_ops.iter().map(|&(op, _)| op).collect(),
+            };
+            assert!(!ops.is_empty(), "profiling run used no opcodes on {}", cfg.target);
+            for op in ops {
+                for _ in 0..cfg.repeats {
+                    let mask = 1u32 << rng.gen_range(0..32);
+                    specs.push(FaultSpec {
+                        unit: 0,
+                        profile: cfg.target,
+                        model: FaultModel::Permanent { op, mask },
+                    });
+                }
+            }
+        }
+    }
+    specs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::Termination;
+    use diverseav::AgentMode;
+
+    fn fake_profile() -> RunResult {
+        RunResult {
+            scenario: "test".to_string(),
+            mode: AgentMode::RoundRobin,
+            fault: None,
+            seed: 0,
+            termination: Termination::Completed,
+            end_time: 1.0,
+            collision_time: None,
+            alarm_time: None,
+            fault_activated: false,
+            min_cvip: 10.0,
+            red_light_violations: 0,
+            trajectory: Vec::new(),
+            training: Vec::new(),
+            actuation: Vec::new(),
+            gpu_dyn_instr: 1_000_000,
+            cpu_dyn_instr: 10_000,
+            gpu_ops: vec![(Op::FAdd, 500), (Op::FMul, 300), (Op::Ld, 200)],
+            cpu_ops: vec![(Op::IAdd, 100), (Op::FSub, 50)],
+        }
+    }
+
+    #[test]
+    fn transient_plan_samples_within_space() {
+        let cfg = PlanConfig {
+            kind: FaultModelKind::Transient,
+            target: Profile::Gpu,
+            n_transient: 50,
+            repeats: 3,
+            seed: 1,
+        };
+        let plan = generate_plan(&fake_profile(), &cfg);
+        assert_eq!(plan.len(), 50);
+        for spec in &plan {
+            assert_eq!(spec.profile, Profile::Gpu);
+            match spec.model {
+                FaultModel::Transient { instr_index, mask } => {
+                    assert!(instr_index < 1_000_000);
+                    assert_eq!(mask.count_ones(), 1, "single-bit masks");
+                }
+                _ => panic!("expected transient"),
+            }
+        }
+    }
+
+    #[test]
+    fn permanent_plan_enumerates_used_opcodes() {
+        let cfg = PlanConfig {
+            kind: FaultModelKind::Permanent,
+            target: Profile::Cpu,
+            n_transient: 0,
+            repeats: 3,
+            seed: 2,
+        };
+        let plan = generate_plan(&fake_profile(), &cfg);
+        assert_eq!(plan.len(), 2 * 3, "2 used CPU opcodes × 3 repeats");
+        assert!(plan.iter().all(|s| matches!(
+            s.model,
+            FaultModel::Permanent { op, .. } if op == Op::IAdd || op == Op::FSub
+        )));
+    }
+
+    #[test]
+    fn plans_are_deterministic_per_seed() {
+        let cfg = PlanConfig {
+            kind: FaultModelKind::Transient,
+            target: Profile::Gpu,
+            n_transient: 10,
+            repeats: 1,
+            seed: 3,
+        };
+        assert_eq!(generate_plan(&fake_profile(), &cfg), generate_plan(&fake_profile(), &cfg));
+        let other = PlanConfig { seed: 4, ..cfg };
+        assert_ne!(generate_plan(&fake_profile(), &cfg), generate_plan(&fake_profile(), &other));
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(FaultModelKind::Transient.label(), "transient");
+        assert_eq!(FaultModelKind::Permanent.label(), "permanent");
+    }
+}

@@ -1,0 +1,301 @@
+//! The Driver (Fig 3): executes one experiment — scenario + agent mode +
+//! optional fault — and records everything the evaluation needs.
+
+use diverseav::{Ads, AdsConfig, AgentMode, DetectorConfig, DetectorModel, TrainSample, VehState};
+use diverseav_agent::{AgentConfig, AgentError};
+use diverseav_fabric::{FaultModel, Op, Profile, Trap};
+use diverseav_simworld::{Scenario, SensorConfig, TrajPoint, World, WorldStatus};
+use std::fmt;
+
+/// A fault to inject into one experiment.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct FaultSpec {
+    /// Processor unit index (0 except for FD's second processor).
+    pub unit: usize,
+    /// Target fabric (the paper's CPU-vs-GPU injection axis).
+    pub profile: Profile,
+    /// The architectural fault model.
+    pub model: FaultModel,
+}
+
+impl fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[unit{}] {}", self.profile, self.unit, self.model)
+    }
+}
+
+/// How an experimental run ended.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum Termination {
+    /// Scenario duration elapsed.
+    Completed,
+    /// The ego vehicle collided.
+    Collision,
+    /// A fabric trapped (crash) or exhausted its watchdog (hang) — the
+    /// platform-detected failure path.
+    Trap(AgentError),
+}
+
+impl Termination {
+    /// Whether the platform detected this run as a hang or crash.
+    pub fn is_hang_or_crash(&self) -> bool {
+        matches!(self, Termination::Trap(_))
+    }
+
+    /// Whether the trap specifically was a watchdog hang.
+    pub fn is_hang(&self) -> bool {
+        matches!(self, Termination::Trap(AgentError { trap: Trap::Watchdog, .. }))
+    }
+}
+
+/// Configuration of one experimental run.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// The scenario to drive.
+    pub scenario: Scenario,
+    /// Agent deployment mode.
+    pub mode: AgentMode,
+    /// Fault to inject, if any (golden runs pass `None`).
+    pub fault: Option<FaultSpec>,
+    /// Per-run nondeterminism seed (world noise + agent jitter).
+    pub seed: u64,
+    /// Sensor configuration (must match the agent's camera geometry).
+    pub sensor: SensorConfig,
+    /// Agent parameters.
+    pub agent: AgentConfig,
+    /// Trained detector to run online, if any.
+    pub detector: Option<(DetectorModel, DetectorConfig)>,
+    /// Whether to record the divergence stream (for detector training and
+    /// offline parameter sweeps) and the actuation/CVIP trace (Fig 2).
+    pub collect_training: bool,
+    /// Round-robin partial-overlap period (paper footnote 5); `None` =
+    /// pure round-robin.
+    pub overlap_period: Option<u32>,
+}
+
+impl RunConfig {
+    /// A run with default sensor/agent parameters.
+    pub fn new(scenario: Scenario, mode: AgentMode, seed: u64) -> Self {
+        RunConfig {
+            scenario,
+            mode,
+            fault: None,
+            seed,
+            sensor: SensorConfig::default(),
+            agent: AgentConfig::default(),
+            detector: None,
+            collect_training: false,
+            overlap_period: None,
+        }
+    }
+}
+
+/// Everything recorded from one experimental run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Scenario name.
+    pub scenario: String,
+    /// Agent mode.
+    pub mode: AgentMode,
+    /// The injected fault, if any.
+    pub fault: Option<FaultSpec>,
+    /// The run seed.
+    pub seed: u64,
+    /// How the run ended.
+    pub termination: Termination,
+    /// Simulation time reached.
+    pub end_time: f64,
+    /// Collision time, if the ego collided.
+    pub collision_time: Option<f64>,
+    /// Detector alarm time, if raised.
+    pub alarm_time: Option<f64>,
+    /// Whether the armed fault corrupted at least one register.
+    pub fault_activated: bool,
+    /// Minimum CVIP distance over the run.
+    pub min_cvip: f64,
+    /// Red lights crossed against a stop demand.
+    pub red_light_violations: u32,
+    /// Recorded ego trajectory.
+    pub trajectory: Vec<TrajPoint>,
+    /// Recorded divergence stream (if requested): training data for golden
+    /// runs, replay data for parameter sweeps on injected runs.
+    pub training: Vec<TrainSample>,
+    /// Actuation + CVIP trace (if requested): `(t, controls, cvip)`.
+    pub actuation: Vec<(f64, diverseav_simworld::Controls, f64)>,
+    /// Dynamic GPU instructions executed (unit 0).
+    pub gpu_dyn_instr: u64,
+    /// Dynamic CPU instructions executed (unit 0).
+    pub cpu_dyn_instr: u64,
+    /// GPU opcodes observed with counts (unit 0) — the permanent-fault
+    /// campaign space.
+    pub gpu_ops: Vec<(Op, u64)>,
+    /// CPU opcodes observed with counts (unit 0).
+    pub cpu_ops: Vec<(Op, u64)>,
+}
+
+impl RunResult {
+    /// Whether the run ended in an accident.
+    pub fn has_accident(&self) -> bool {
+        self.collision_time.is_some()
+    }
+}
+
+/// Execute one experiment.
+///
+/// The detector alarm does *not* interrupt the run: as in the paper, the
+/// run continues so that lead detection time (alarm → collision) can be
+/// measured; the fail-back system is assumed, not simulated.
+pub fn run_experiment(cfg: &RunConfig) -> RunResult {
+    let mut world = World::new(cfg.scenario.clone(), cfg.sensor, cfg.seed);
+    let mut ads = Ads::new(AdsConfig {
+        mode: cfg.mode,
+        agent: cfg.agent,
+        fusion: Default::default(),
+        seed: cfg.seed ^ 0x5EED,
+        overlap_period: cfg.overlap_period,
+    });
+    if let Some((model, det_cfg)) = &cfg.detector {
+        ads.attach_detector(model.clone(), *det_cfg);
+    }
+    if let Some(fault) = cfg.fault {
+        ads.inject_fault(fault.unit, fault.profile, fault.model);
+    }
+
+    let mut training = Vec::new();
+    let mut actuation = Vec::new();
+    let mut termination = Termination::Completed;
+    while !world.finished() {
+        let frame = world.sense();
+        let hint = world.route_hint();
+        let state = VehState::from(world.ego_state());
+        let t_now = world.time();
+        match ads.tick(&frame, hint, state, t_now) {
+            Ok(out) => {
+                if cfg.collect_training {
+                    if let Some(div) = out.divergence {
+                        training.push(TrainSample { t: t_now, state, div });
+                    }
+                    let cvip = world.cvip().unwrap_or(f64::INFINITY);
+                    actuation.push((t_now, out.controls, cvip));
+                }
+                if world.step(out.controls) == WorldStatus::Collision {
+                    termination = Termination::Collision;
+                    break;
+                }
+            }
+            Err(e) => {
+                termination = Termination::Trap(e);
+                break;
+            }
+        }
+    }
+
+    let stats = ads.exec_stats();
+    let find = |p: Profile| {
+        stats
+            .iter()
+            .find(|(profile, unit, _)| *profile == p && *unit == 0)
+            .map(|(_, _, s)| s.clone())
+            .expect("unit 0 exists in every mode")
+    };
+    let gpu_stats = find(Profile::Gpu);
+    let cpu_stats = find(Profile::Cpu);
+    RunResult {
+        scenario: cfg.scenario.name.clone(),
+        mode: cfg.mode,
+        fault: cfg.fault,
+        seed: cfg.seed,
+        termination,
+        end_time: world.time(),
+        collision_time: world.collision_time(),
+        alarm_time: ads.alarm_time(),
+        fault_activated: ads.fault_activated(),
+        min_cvip: world.min_cvip(),
+        red_light_violations: world.red_light_violations(),
+        trajectory: world.trajectory().to_vec(),
+        training,
+        actuation,
+        gpu_dyn_instr: gpu_stats.total(),
+        cpu_dyn_instr: cpu_stats.total(),
+        gpu_ops: gpu_stats.used_ops(),
+        cpu_ops: cpu_stats.used_ops(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diverseav_simworld::lead_slowdown;
+
+    fn short_scenario() -> Scenario {
+        let mut s = lead_slowdown();
+        s.duration = 2.0;
+        s
+    }
+
+    #[test]
+    fn golden_run_completes_cleanly() {
+        let cfg = RunConfig::new(short_scenario(), AgentMode::RoundRobin, 1);
+        let r = run_experiment(&cfg);
+        assert_eq!(r.termination, Termination::Completed);
+        assert!(!r.fault_activated);
+        assert!(r.alarm_time.is_none());
+        assert!(r.trajectory.len() > 70);
+        assert!(r.gpu_dyn_instr > 100_000);
+        assert!(!r.gpu_ops.is_empty());
+        assert!(!r.cpu_ops.is_empty());
+    }
+
+    #[test]
+    fn training_collection_gathers_samples() {
+        let mut cfg = RunConfig::new(short_scenario(), AgentMode::RoundRobin, 2);
+        cfg.collect_training = true;
+        let r = run_experiment(&cfg);
+        // One divergence pair per tick after the first.
+        assert!(r.training.len() >= 70, "{} samples", r.training.len());
+    }
+
+    #[test]
+    fn cpu_hang_fault_is_platform_detected() {
+        let mut cfg = RunConfig::new(short_scenario(), AgentMode::RoundRobin, 3);
+        cfg.fault = Some(FaultSpec {
+            unit: 0,
+            profile: Profile::Cpu,
+            model: FaultModel::Permanent { op: Op::IAdd, mask: 1 },
+        });
+        let r = run_experiment(&cfg);
+        assert!(r.termination.is_hang_or_crash());
+        assert!(r.fault_activated);
+        assert!(r.end_time < 1.0, "trap happens on the first control step");
+    }
+
+    #[test]
+    fn inert_transient_fault_is_masked() {
+        // Target an index far beyond the run's instruction count.
+        let mut cfg = RunConfig::new(short_scenario(), AgentMode::RoundRobin, 4);
+        cfg.fault = Some(FaultSpec {
+            unit: 0,
+            profile: Profile::Gpu,
+            model: FaultModel::Transient { instr_index: u64::MAX, mask: 1 },
+        });
+        let r = run_experiment(&cfg);
+        assert_eq!(r.termination, Termination::Completed);
+        assert!(!r.fault_activated);
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_runs() {
+        let cfg = RunConfig::new(short_scenario(), AgentMode::RoundRobin, 5);
+        let a = run_experiment(&cfg);
+        let b = run_experiment(&cfg);
+        assert_eq!(a.trajectory, b.trajectory);
+        assert_eq!(a.gpu_dyn_instr, b.gpu_dyn_instr);
+    }
+
+    #[test]
+    fn different_seeds_vary_trajectories() {
+        let a = run_experiment(&RunConfig::new(short_scenario(), AgentMode::RoundRobin, 6));
+        let b = run_experiment(&RunConfig::new(short_scenario(), AgentMode::RoundRobin, 7));
+        assert_ne!(a.trajectory, b.trajectory, "nondeterminism model active");
+    }
+}

@@ -1,0 +1,315 @@
+//! Planar geometry primitives: vectors, poses, and oriented boxes.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// A 2-D vector / point in world coordinates (meters).
+#[derive(Copy, Clone, Debug, PartialEq, Default)]
+pub struct Vec2 {
+    /// East coordinate (m).
+    pub x: f64,
+    /// North coordinate (m).
+    pub y: f64,
+}
+
+impl Vec2 {
+    /// Construct from components.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// The zero vector.
+    pub const ZERO: Vec2 = Vec2 { x: 0.0, y: 0.0 };
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, o: Vec2) -> f64 {
+        self.x * o.x + self.y * o.y
+    }
+
+    /// 2-D cross product (z component).
+    #[inline]
+    pub fn cross(self, o: Vec2) -> f64 {
+        self.x * o.y - self.y * o.x
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Distance to another point.
+    #[inline]
+    pub fn dist(self, o: Vec2) -> f64 {
+        (self - o).norm()
+    }
+
+    /// Unit vector in the same direction.
+    ///
+    /// Returns the zero vector if the norm is (near) zero.
+    pub fn normalized(self) -> Vec2 {
+        let n = self.norm();
+        if n < 1e-12 {
+            Vec2::ZERO
+        } else {
+            Vec2::new(self.x / n, self.y / n)
+        }
+    }
+
+    /// Rotate counter-clockwise by `angle` radians.
+    pub fn rotated(self, angle: f64) -> Vec2 {
+        let (s, c) = angle.sin_cos();
+        Vec2::new(c * self.x - s * self.y, s * self.x + c * self.y)
+    }
+
+    /// Perpendicular vector (rotated +90°).
+    #[inline]
+    pub fn perp(self) -> Vec2 {
+        Vec2::new(-self.y, self.x)
+    }
+
+    /// Unit vector at heading `angle` (0 = +x, counter-clockwise).
+    pub fn from_heading(angle: f64) -> Vec2 {
+        let (s, c) = angle.sin_cos();
+        Vec2::new(c, s)
+    }
+
+    /// Linear interpolation: `self + (o - self) * t`.
+    pub fn lerp(self, o: Vec2, t: f64) -> Vec2 {
+        self + (o - self) * t
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn add(self, o: Vec2) -> Vec2 {
+        Vec2::new(self.x + o.x, self.y + o.y)
+    }
+}
+
+impl AddAssign for Vec2 {
+    #[inline]
+    fn add_assign(&mut self, o: Vec2) {
+        self.x += o.x;
+        self.y += o.y;
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn sub(self, o: Vec2) -> Vec2 {
+        Vec2::new(self.x - o.x, self.y - o.y)
+    }
+}
+
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn mul(self, k: f64) -> Vec2 {
+        Vec2::new(self.x * k, self.y * k)
+    }
+}
+
+impl Neg for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn neg(self) -> Vec2 {
+        Vec2::new(-self.x, -self.y)
+    }
+}
+
+impl fmt::Display for Vec2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.2}, {:.2})", self.x, self.y)
+    }
+}
+
+/// A position plus heading.
+#[derive(Copy, Clone, Debug, PartialEq, Default)]
+pub struct Pose {
+    /// World position (m).
+    pub pos: Vec2,
+    /// Heading in radians (0 = +x, counter-clockwise).
+    pub heading: f64,
+}
+
+impl Pose {
+    /// Construct a pose.
+    pub fn new(pos: Vec2, heading: f64) -> Self {
+        Pose { pos, heading }
+    }
+
+    /// Transform a point from this pose's local frame (x forward, y left)
+    /// to world coordinates.
+    pub fn local_to_world(&self, local: Vec2) -> Vec2 {
+        self.pos + local.rotated(self.heading)
+    }
+
+    /// Transform a world point into this pose's local frame.
+    pub fn world_to_local(&self, world: Vec2) -> Vec2 {
+        (world - self.pos).rotated(-self.heading)
+    }
+}
+
+/// An oriented bounding box (vehicle footprint).
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Obb {
+    /// Center pose.
+    pub pose: Pose,
+    /// Half-length along the heading axis (m).
+    pub half_len: f64,
+    /// Half-width across the heading axis (m).
+    pub half_wid: f64,
+}
+
+impl Obb {
+    /// Construct from a center pose and full dimensions.
+    pub fn new(pose: Pose, length: f64, width: f64) -> Self {
+        Obb { pose, half_len: length / 2.0, half_wid: width / 2.0 }
+    }
+
+    /// The four corners in world coordinates.
+    pub fn corners(&self) -> [Vec2; 4] {
+        let l = self.half_len;
+        let w = self.half_wid;
+        [
+            self.pose.local_to_world(Vec2::new(l, w)),
+            self.pose.local_to_world(Vec2::new(l, -w)),
+            self.pose.local_to_world(Vec2::new(-l, -w)),
+            self.pose.local_to_world(Vec2::new(-l, w)),
+        ]
+    }
+
+    /// Separating-axis overlap test against another box.
+    pub fn intersects(&self, other: &Obb) -> bool {
+        let a = self.corners();
+        let b = other.corners();
+        let axes = [
+            Vec2::from_heading(self.pose.heading),
+            Vec2::from_heading(self.pose.heading).perp(),
+            Vec2::from_heading(other.pose.heading),
+            Vec2::from_heading(other.pose.heading).perp(),
+        ];
+        for axis in axes {
+            let (amin, amax) = project(&a, axis);
+            let (bmin, bmax) = project(&b, axis);
+            if amax < bmin || bmax < amin {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+fn project(pts: &[Vec2; 4], axis: Vec2) -> (f64, f64) {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for p in pts {
+        let d = p.dot(axis);
+        min = min.min(d);
+        max = max.max(d);
+    }
+    (min, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-9;
+
+    #[test]
+    fn vector_algebra() {
+        let a = Vec2::new(1.0, 2.0);
+        let b = Vec2::new(3.0, -1.0);
+        assert_eq!(a + b, Vec2::new(4.0, 1.0));
+        assert_eq!(a - b, Vec2::new(-2.0, 3.0));
+        assert_eq!(a * 2.0, Vec2::new(2.0, 4.0));
+        assert_eq!(-a, Vec2::new(-1.0, -2.0));
+        assert_eq!(a.dot(b), 1.0);
+        assert_eq!(a.cross(b), -7.0);
+    }
+
+    #[test]
+    fn norm_and_dist() {
+        assert!((Vec2::new(3.0, 4.0).norm() - 5.0).abs() < EPS);
+        assert!((Vec2::new(1.0, 1.0).dist(Vec2::new(4.0, 5.0)) - 5.0).abs() < EPS);
+    }
+
+    #[test]
+    fn normalized_handles_zero() {
+        assert_eq!(Vec2::ZERO.normalized(), Vec2::ZERO);
+        let u = Vec2::new(0.0, 5.0).normalized();
+        assert!((u.y - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn rotation_quarter_turn() {
+        let r = Vec2::new(1.0, 0.0).rotated(std::f64::consts::FRAC_PI_2);
+        assert!(r.x.abs() < EPS && (r.y - 1.0).abs() < EPS);
+        assert_eq!(Vec2::new(1.0, 0.0).perp(), Vec2::new(0.0, 1.0));
+    }
+
+    #[test]
+    fn heading_unit_vectors() {
+        let east = Vec2::from_heading(0.0);
+        assert!((east.x - 1.0).abs() < EPS);
+        let north = Vec2::from_heading(std::f64::consts::FRAC_PI_2);
+        assert!((north.y - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Vec2::new(0.0, 0.0);
+        let b = Vec2::new(2.0, 4.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Vec2::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn pose_roundtrip() {
+        let pose = Pose::new(Vec2::new(5.0, -2.0), 0.7);
+        let local = Vec2::new(3.0, 1.0);
+        let back = pose.world_to_local(pose.local_to_world(local));
+        assert!((back - local).norm() < EPS);
+    }
+
+    #[test]
+    fn obb_overlap_and_separation() {
+        let a = Obb::new(Pose::new(Vec2::ZERO, 0.0), 4.0, 2.0);
+        let b = Obb::new(Pose::new(Vec2::new(3.0, 0.0), 0.0), 4.0, 2.0);
+        assert!(a.intersects(&b), "overlapping boxes");
+        let c = Obb::new(Pose::new(Vec2::new(10.0, 0.0), 0.0), 4.0, 2.0);
+        assert!(!a.intersects(&c), "distant boxes");
+    }
+
+    #[test]
+    fn obb_rotated_near_miss() {
+        let a = Obb::new(Pose::new(Vec2::ZERO, 0.0), 4.0, 2.0);
+        // Rotated box diagonally adjacent: centers 3.1m apart on a diagonal.
+        let d = Obb::new(
+            Pose::new(Vec2::new(2.6, 2.2), std::f64::consts::FRAC_PI_4),
+            4.0,
+            2.0,
+        );
+        // Sanity: the SAT test must be symmetric.
+        assert_eq!(a.intersects(&d), d.intersects(&a));
+    }
+
+    #[test]
+    fn obb_corners_are_centered() {
+        let b = Obb::new(Pose::new(Vec2::new(1.0, 1.0), 0.3), 4.0, 2.0);
+        let c = b.corners();
+        let centroid = (c[0] + c[1] + c[2] + c[3]) * 0.25;
+        assert!(centroid.dist(Vec2::new(1.0, 1.0)) < EPS);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!Vec2::new(1.0, 2.0).to_string().is_empty());
+    }
+}

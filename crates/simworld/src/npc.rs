@@ -1,0 +1,373 @@
+//! Non-player-character (NPC) vehicles: scripted scenario actors and
+//! IDM-based background traffic.
+//!
+//! NPCs move in *track coordinates* `(s, lateral, speed)` — they are
+//! scenario scripting devices, not dynamically simulated vehicles, matching
+//! how CARLA scenario runners drive scenario actors.
+
+use crate::geometry::{Obb, Pose};
+use crate::track::{Track, TrafficLight};
+
+/// Parameters of the Intelligent Driver Model used by background traffic.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct IdmParams {
+    /// Desired cruise speed (m/s).
+    pub desired_speed: f64,
+    /// Desired time headway (s).
+    pub headway: f64,
+    /// Maximum acceleration (m/s²).
+    pub max_accel: f64,
+    /// Comfortable deceleration (m/s²).
+    pub comfort_brake: f64,
+    /// Minimum standstill gap (m).
+    pub min_gap: f64,
+}
+
+impl Default for IdmParams {
+    fn default() -> Self {
+        IdmParams {
+            desired_speed: 8.0,
+            headway: 1.5,
+            max_accel: 2.0,
+            comfort_brake: 2.5,
+            min_gap: 2.0,
+        }
+    }
+}
+
+/// Scripted behavior of an NPC.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum NpcBehavior {
+    /// Cruise, then at `brake_at` seconds decelerate at `decel` (m/s²)
+    /// until stopped — the *Lead Slowdown* actor.
+    LeadSlowdown {
+        /// Scenario time at which emergency braking starts (s).
+        brake_at: f64,
+        /// Braking deceleration (m/s²).
+        decel: f64,
+    },
+    /// Cruise in the adjacent lane, then at `cut_at` shift laterally to
+    /// `target_lateral` over `duration` seconds and settle at `post_speed`
+    /// — the *Ghost Cut-in* actor.
+    CutIn {
+        /// Scenario time at which the cut-in maneuver starts (s).
+        cut_at: f64,
+        /// Duration of the lateral shift (s).
+        duration: f64,
+        /// Final lateral offset (m, 0 = ego-lane center).
+        target_lateral: f64,
+        /// Speed after the maneuver (m/s).
+        post_speed: f64,
+    },
+    /// Adjacent-lane merger that collides with the lead NPC at `crash_at`
+    /// and stops abruptly — the striking actor of *Front Accident*.
+    MergeCollider {
+        /// Scenario time of the collision (s).
+        crash_at: f64,
+    },
+    /// Lead vehicle struck at `crash_at`; stops abruptly with a small
+    /// lateral shove — the struck actor of *Front Accident*.
+    MergeVictim {
+        /// Scenario time of the collision (s).
+        crash_at: f64,
+    },
+    /// IDM car-following along its lane, obeying traffic lights.
+    Idm(IdmParams),
+    /// Constant-speed cruise at the spawn lateral offset.
+    Cruise,
+    /// Stop-and-go traffic: periodically brakes hard to a stop, waits,
+    /// then accelerates back to cruise — the dense-traffic braking events
+    /// of the long training routes (§IV-C2).
+    StopAndGo {
+        /// Full cycle period (s).
+        period: f64,
+        /// Portion of the cycle spent braking/stopped (s).
+        stop_time: f64,
+        /// Braking deceleration (m/s²).
+        decel: f64,
+        /// Cruise speed to recover to (m/s).
+        cruise: f64,
+    },
+}
+
+/// View of the nearest obstacle ahead of an NPC in its lane, used by IDM.
+#[derive(Copy, Clone, Debug, PartialEq, Default)]
+pub struct GapAhead {
+    /// Bumper-to-bumper gap (m).
+    pub gap: f64,
+    /// Speed of the leading obstacle (m/s; 0 for a red light).
+    pub lead_speed: f64,
+}
+
+/// An NPC vehicle in track coordinates.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Npc {
+    /// Arclength along the track (m).
+    pub s: f64,
+    /// Signed lateral offset (m, positive = left).
+    pub lateral: f64,
+    /// Speed along the track (m/s).
+    pub speed: f64,
+    /// Body length (m).
+    pub length: f64,
+    /// Body width (m).
+    pub width: f64,
+    /// Scripted behavior.
+    pub behavior: NpcBehavior,
+    /// Shade index used by the camera rasterizer (vehicle paint variety).
+    pub shade: u8,
+}
+
+impl Npc {
+    /// Spawn an NPC at `(s, lateral)` moving at `speed`.
+    pub fn new(s: f64, lateral: f64, speed: f64, behavior: NpcBehavior) -> Self {
+        Npc { s, lateral, speed, length: 4.4, width: 1.8, behavior, shade: 0 }
+    }
+
+    /// Spawn with a specific paint shade (affects rendering only).
+    pub fn with_shade(mut self, shade: u8) -> Self {
+        self.shade = shade;
+        self
+    }
+
+    /// World pose on `track`.
+    pub fn pose(&self, track: &Track) -> Pose {
+        track.pose_at(self.s, self.lateral)
+    }
+
+    /// Collision footprint on `track`.
+    pub fn footprint(&self, track: &Track) -> Obb {
+        Obb::new(self.pose(track), self.length, self.width)
+    }
+
+    /// Advance the NPC by `dt` at scenario time `t`.
+    ///
+    /// `gap` supplies the nearest-obstacle view for IDM NPCs; scripted
+    /// behaviors ignore it.
+    pub fn step(&mut self, t: f64, dt: f64, gap: Option<GapAhead>) {
+        match self.behavior {
+            NpcBehavior::LeadSlowdown { brake_at, decel } => {
+                if t >= brake_at {
+                    self.speed = (self.speed - decel * dt).max(0.0);
+                }
+            }
+            NpcBehavior::CutIn { cut_at, duration, target_lateral, post_speed } => {
+                if t >= cut_at {
+                    let frac = ((t - cut_at) / duration).min(1.0);
+                    // Smoothstep lateral shift.
+                    let sm = frac * frac * (3.0 - 2.0 * frac);
+                    let start = crate::track::LANE_WIDTH;
+                    self.lateral = start + (target_lateral - start) * sm;
+                    if frac >= 1.0 {
+                        // Settle toward the post-maneuver speed.
+                        let dv = (post_speed - self.speed).clamp(-3.0 * dt, 2.0 * dt);
+                        self.speed = (self.speed + dv).max(0.0);
+                    }
+                }
+            }
+            NpcBehavior::MergeCollider { crash_at } => {
+                // Begin merging 2 s before impact; stop hard at impact.
+                if t >= crash_at - 2.0 && t < crash_at {
+                    let frac = ((t - (crash_at - 2.0)) / 2.0).min(1.0);
+                    let sm = frac * frac * (3.0 - 2.0 * frac);
+                    self.lateral = crate::track::LANE_WIDTH * (1.0 - 0.75 * sm);
+                } else if t >= crash_at {
+                    self.speed = (self.speed - 12.0 * dt).max(0.0);
+                }
+            }
+            NpcBehavior::MergeVictim { crash_at } => {
+                if t >= crash_at {
+                    self.speed = (self.speed - 12.0 * dt).max(0.0);
+                    // Shoved slightly left by the impact.
+                    self.lateral = (self.lateral + 0.3 * dt).min(0.5);
+                }
+            }
+            NpcBehavior::Idm(p) => {
+                let accel = match gap {
+                    Some(g) => idm_accel(self.speed, g.gap, g.lead_speed, &p),
+                    None => idm_accel(self.speed, f64::INFINITY, 0.0, &p),
+                };
+                self.speed = (self.speed + accel * dt).max(0.0);
+            }
+            NpcBehavior::Cruise => {}
+            NpcBehavior::StopAndGo { period, stop_time, decel, cruise } => {
+                let phase = t.rem_euclid(period);
+                if phase < stop_time {
+                    self.speed = (self.speed - decel * dt).max(0.0);
+                } else {
+                    self.speed = (self.speed + 2.0 * dt).min(cruise);
+                }
+            }
+        }
+        self.s += self.speed * dt;
+    }
+}
+
+/// IDM acceleration law.
+///
+/// `gap` is the bumper-to-bumper distance to the leader (may be infinite),
+/// `lead_speed` the leader's speed.
+pub fn idm_accel(v: f64, gap: f64, lead_speed: f64, p: &IdmParams) -> f64 {
+    let free = 1.0 - (v / p.desired_speed).powi(4);
+    if !gap.is_finite() {
+        return p.max_accel * free;
+    }
+    let dv = v - lead_speed;
+    let s_star = p.min_gap
+        + (v * p.headway + v * dv / (2.0 * (p.max_accel * p.comfort_brake).sqrt())).max(0.0);
+    let interaction = (s_star / gap.max(0.1)).powi(2);
+    p.max_accel * (free - interaction)
+}
+
+/// Distance from a vehicle at arclength `s` to the next traffic light that
+/// currently demands a stop, if within `horizon` meters.
+pub fn next_stopping_light(s: f64, t: f64, lights: &[TrafficLight], horizon: f64) -> Option<f64> {
+    lights
+        .iter()
+        .filter(|l| l.s > s && l.s - s < horizon && l.demands_stop(t))
+        .map(|l| l.s - s)
+        .min_by(|a, b| a.partial_cmp(b).expect("finite distances"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::track::LANE_WIDTH;
+
+    #[test]
+    fn lead_slowdown_brakes_to_stop() {
+        let mut npc = Npc::new(25.0, 0.0, 8.0, NpcBehavior::LeadSlowdown { brake_at: 1.0, decel: 6.0 });
+        let dt = 0.025;
+        let mut t = 0.0;
+        while t < 0.9 {
+            npc.step(t, dt, None);
+            t += dt;
+        }
+        assert!((npc.speed - 8.0).abs() < 1e-9, "cruises before brake_at");
+        while t < 5.0 {
+            npc.step(t, dt, None);
+            t += dt;
+        }
+        assert_eq!(npc.speed, 0.0, "stopped after braking");
+        assert!(npc.s > 25.0);
+    }
+
+    #[test]
+    fn cut_in_shifts_into_ego_lane() {
+        let mut npc = Npc::new(
+            0.0,
+            LANE_WIDTH,
+            10.0,
+            NpcBehavior::CutIn { cut_at: 1.0, duration: 1.5, target_lateral: 0.0, post_speed: 6.0 },
+        );
+        let dt = 0.025;
+        let mut t = 0.0;
+        while t < 0.99 {
+            npc.step(t, dt, None);
+            t += dt;
+        }
+        assert!((npc.lateral - LANE_WIDTH).abs() < 1e-9);
+        while t < 4.0 {
+            npc.step(t, dt, None);
+            t += dt;
+        }
+        assert!(npc.lateral.abs() < 0.01, "fully merged, lateral = {}", npc.lateral);
+        assert!(npc.speed < 10.0, "slows after merging");
+    }
+
+    #[test]
+    fn merge_pair_stops_at_crash() {
+        let dt = 0.025;
+        let mut collider = Npc::new(5.0, LANE_WIDTH, 9.0, NpcBehavior::MergeCollider { crash_at: 3.0 });
+        let mut victim = Npc::new(10.0, 0.0, 8.0, NpcBehavior::MergeVictim { crash_at: 3.0 });
+        let mut t = 0.0;
+        while t < 6.0 {
+            collider.step(t, dt, None);
+            victim.step(t, dt, None);
+            t += dt;
+        }
+        assert_eq!(collider.speed, 0.0);
+        assert_eq!(victim.speed, 0.0);
+        assert!(collider.lateral < LANE_WIDTH * 0.5, "collider merged toward victim lane");
+    }
+
+    #[test]
+    fn idm_free_road_reaches_desired_speed() {
+        let p = IdmParams::default();
+        let mut npc = Npc::new(0.0, 0.0, 0.0, NpcBehavior::Idm(p));
+        let dt = 0.025;
+        for i in 0..4000 {
+            npc.step(i as f64 * dt, dt, None);
+        }
+        assert!((npc.speed - p.desired_speed).abs() < 0.3, "speed {}", npc.speed);
+    }
+
+    #[test]
+    fn idm_maintains_gap_behind_stopped_leader() {
+        let p = IdmParams::default();
+        let mut v = 8.0;
+        let mut gap = 60.0;
+        let dt = 0.025;
+        for _ in 0..4000 {
+            let a = idm_accel(v, gap, 0.0, &p);
+            v = (v + a * dt).max(0.0);
+            gap -= v * dt;
+        }
+        assert!(v < 0.2, "approaches a stop, v = {v}");
+        assert!(gap > 0.5, "does not rear-end the leader, gap = {gap}");
+    }
+
+    #[test]
+    fn idm_accel_decreases_with_closing_speed() {
+        let p = IdmParams::default();
+        let slow_closing = idm_accel(8.0, 20.0, 8.0, &p);
+        let fast_closing = idm_accel(8.0, 20.0, 0.0, &p);
+        assert!(fast_closing < slow_closing);
+    }
+
+    #[test]
+    fn next_stopping_light_picks_nearest_red() {
+        let lights = vec![
+            TrafficLight { s: 50.0, green: 1.0, yellow: 1.0, red: 100.0, offset: 2.0 },
+            TrafficLight { s: 80.0, green: 1.0, yellow: 1.0, red: 100.0, offset: 2.0 },
+        ];
+        let d = next_stopping_light(10.0, 0.0, &lights, 200.0);
+        assert_eq!(d, Some(40.0));
+        // Behind the vehicle or out of horizon → none.
+        assert_eq!(next_stopping_light(90.0, 0.0, &lights, 200.0), None);
+        assert_eq!(next_stopping_light(10.0, 0.0, &lights, 20.0), None);
+    }
+
+    #[test]
+    fn stop_and_go_cycles_speed() {
+        let mut npc = Npc::new(
+            0.0,
+            0.0,
+            7.0,
+            NpcBehavior::StopAndGo { period: 10.0, stop_time: 4.0, decel: 6.0, cruise: 7.0 },
+        );
+        let dt = 0.025;
+        let mut t = 0.0;
+        while t < 3.0 {
+            npc.step(t, dt, None);
+            t += dt;
+        }
+        assert_eq!(npc.speed, 0.0, "stopped during the stop phase");
+        while t < 9.5 {
+            npc.step(t, dt, None);
+            t += dt;
+        }
+        assert!(npc.speed > 5.0, "recovered to cruise, v = {}", npc.speed);
+    }
+
+    #[test]
+    fn cruise_moves_forward_at_constant_speed() {
+        let mut npc = Npc::new(0.0, 1.0, 5.0, NpcBehavior::Cruise);
+        for i in 0..40 {
+            npc.step(i as f64 * 0.025, 0.025, None);
+        }
+        assert!((npc.s - 5.0).abs() < 1e-9);
+        assert_eq!(npc.speed, 5.0);
+        assert_eq!(npc.lateral, 1.0);
+    }
+}

@@ -1,0 +1,565 @@
+//! Sensor models: a software camera rasterizer, GPS, IMU, speedometer, and
+//! LiDAR.
+//!
+//! The rasterizer is the heart of the reproduction's *temporal data
+//! diversity* property (§V-A of the paper): consecutive frames must be
+//! semantically near-identical (objects shift by a few pixels) while
+//! differing substantially at the bit level (the paper measures a median of
+//! 5–9 of 24 bits per pixel between consecutive frames). Two mechanisms
+//! provide this here, mirroring reality:
+//!
+//! 1. **World-anchored texture** — road, grass, and vehicle surfaces carry
+//!    a deterministic texture hashed from world coordinates, so ego motion
+//!    shifts the pattern across pixels exactly as real texture parallax
+//!    does.
+//! 2. **Per-frame sensor noise** — every pixel channel receives a small
+//!    deterministic pseudo-noise term keyed by a per-frame seed, standing
+//!    in for shot/read noise of a real imager.
+
+use crate::geometry::{Pose, Vec2};
+use crate::npc::Npc;
+use crate::track::{Track, LANE_WIDTH};
+
+/// An 8-bit RGB image.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Image {
+    w: usize,
+    h: usize,
+    data: Vec<u8>,
+}
+
+impl Image {
+    /// Create a black image.
+    pub fn new(w: usize, h: usize) -> Self {
+        Image { w, h, data: vec![0; w * h * 3] }
+    }
+
+    /// Width in pixels.
+    pub fn width(&self) -> usize {
+        self.w
+    }
+
+    /// Height in pixels.
+    pub fn height(&self) -> usize {
+        self.h
+    }
+
+    /// Raw interleaved RGB bytes (row-major).
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Read pixel `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[inline]
+    pub fn pixel(&self, x: usize, y: usize) -> [u8; 3] {
+        let i = (y * self.w + x) * 3;
+        [self.data[i], self.data[i + 1], self.data[i + 2]]
+    }
+
+    /// Write pixel `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[inline]
+    pub fn set_pixel(&mut self, x: usize, y: usize, rgb: [u8; 3]) {
+        let i = (y * self.w + x) * 3;
+        self.data[i] = rgb[0];
+        self.data[i + 1] = rgb[1];
+        self.data[i + 2] = rgb[2];
+    }
+
+    /// Encode as a binary PPM (P6) image, viewable with any image tool —
+    /// handy for inspecting what the agent's cameras actually see.
+    pub fn to_ppm(&self) -> Vec<u8> {
+        let mut out = format!("P6\n{} {}\n255\n", self.w, self.h).into_bytes();
+        out.extend_from_slice(&self.data);
+        out
+    }
+}
+
+/// Inertial measurements for one frame.
+#[derive(Copy, Clone, Debug, PartialEq, Default)]
+pub struct ImuReading {
+    /// Longitudinal acceleration (m/s²), noisy.
+    pub accel: f32,
+    /// Yaw rate (rad/s), noisy.
+    pub yaw_rate: f32,
+}
+
+/// One time step's bundle of sensor data, posted at the sensor frequency.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SensorFrame {
+    /// Simulation time (s).
+    pub t: f64,
+    /// Step index since scenario start.
+    pub step: u64,
+    /// Camera images: `[left, center, right]`.
+    pub cameras: Vec<Image>,
+    /// GPS fix (world x, y), noisy (f32 like a real receiver payload).
+    pub gps: [f32; 2],
+    /// IMU readings.
+    pub imu: ImuReading,
+    /// Speedometer (m/s), noisy.
+    pub speed: f32,
+    /// Optional LiDAR ranges (m), one per azimuth bin.
+    pub lidar: Option<Vec<f32>>,
+}
+
+/// Sensor-suite configuration.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct SensorConfig {
+    /// Camera image width (px).
+    pub width: usize,
+    /// Camera image height (px).
+    pub height: usize,
+    /// Horizontal field of view (degrees).
+    pub hfov_deg: f64,
+    /// Camera mount height above ground (m).
+    pub cam_height: f64,
+    /// Yaw offsets of the three cameras (radians): left, center, right.
+    pub cam_yaws: [f64; 3],
+    /// Std-dev of per-pixel per-channel sensor noise (8-bit LSBs).
+    pub pixel_noise: f64,
+    /// World-texture amplitude (8-bit LSBs).
+    pub texture_amp: f64,
+    /// GPS noise std-dev (m).
+    pub gps_noise: f64,
+    /// Speedometer noise std-dev (m/s).
+    pub speed_noise: f64,
+    /// IMU noise std-dev (m/s² and rad/s).
+    pub imu_noise: f64,
+    /// Whether to produce LiDAR scans.
+    pub enable_lidar: bool,
+    /// Number of LiDAR azimuth bins.
+    pub lidar_rays: usize,
+    /// Maximum LiDAR range (m).
+    pub lidar_range: f64,
+}
+
+impl Default for SensorConfig {
+    fn default() -> Self {
+        SensorConfig {
+            width: 64,
+            height: 48,
+            hfov_deg: 70.0,
+            cam_height: 1.5,
+            cam_yaws: [0.785, 0.0, -0.785],
+            pixel_noise: 1.3,
+            texture_amp: 9.0,
+            gps_noise: 0.15,
+            speed_noise: 0.05,
+            imu_noise: 0.02,
+            enable_lidar: false,
+            lidar_rays: 180,
+            lidar_range: 80.0,
+        }
+    }
+}
+
+/// Everything the rasterizer needs to draw one frame.
+#[derive(Clone, Debug)]
+pub struct RenderScene<'a> {
+    /// The route the road follows.
+    pub track: &'a Track,
+    /// Ego pose (camera platform).
+    pub ego: Pose,
+    /// Ego arclength along the track (precomputed by the world).
+    pub ego_s: f64,
+    /// Other vehicles.
+    pub npcs: &'a [Npc],
+    /// Per-frame noise seed.
+    pub frame_seed: u64,
+}
+
+/// SplitMix64 — cheap deterministic hash used for texture and pixel noise.
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hash two words into a signed amplitude in `[-1, 1]`.
+#[inline]
+fn hash_amp(a: u64, b: u64) -> f64 {
+    let h = mix(a ^ mix(b));
+    (h >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+}
+
+#[inline]
+fn quantize(v: f64) -> u8 {
+    v.round().clamp(0.0, 255.0) as u8
+}
+
+/// Render one camera of the scene.
+///
+/// Deterministic given the scene (including `frame_seed`); the returned
+/// image is the bit-level-diverse, semantically consistent input stream the
+/// DiverseAV distributor splits between agents.
+pub fn render_camera(cfg: &SensorConfig, scene: &RenderScene<'_>, cam: usize) -> Image {
+    let w = cfg.width;
+    let h = cfg.height;
+    let mut img = Image::new(w, h);
+    let fx = (w as f64 / 2.0) / (cfg.hfov_deg.to_radians() / 2.0).tan();
+    let fy = fx;
+    let cx = w as f64 / 2.0;
+    let cy = h as f64 / 2.0;
+
+    let cam_yaw = scene.ego.heading + cfg.cam_yaws[cam];
+    let fwd = Vec2::from_heading(cam_yaw);
+    let left = fwd.perp();
+    let cam_pos = scene.ego.pos;
+    let noise_key = scene.frame_seed ^ ((cam as u64) << 56);
+
+    // --- ground & sky ---
+    for py in 0..h {
+        let yf = py as f64 + 0.5;
+        if yf <= cy + 0.5 {
+            // Sky: vertical gradient, slightly blue-gray.
+            let t = yf / cy;
+            let base = [120.0 + 50.0 * t, 135.0 + 40.0 * t, 150.0 + 30.0 * t];
+            for px in 0..w {
+                let mut rgb = [0u8; 3];
+                for ch in 0..3 {
+                    let n = hash_amp(noise_key, ((px * 4 + ch) * 4096 + py) as u64)
+                        * cfg.pixel_noise * 2.0;
+                    rgb[ch] = quantize(base[ch] + n);
+                }
+                img.set_pixel(px, py, rgb);
+            }
+            continue;
+        }
+        // Ground row: view distance from the flat-ground projection.
+        let d = cfg.cam_height * fy / (yf - cy);
+        // Local road frame at the row's approximate arclength. Using the
+        // forward component of the view ray keeps side cameras roughly
+        // consistent.
+        let row_s = scene.ego_s + d * cfg.cam_yaws[cam].cos();
+        let c = scene.track.pos_at(row_s.max(0.0));
+        let tdir = scene.track.dir_at(row_s.max(0.0));
+        let nrm = tdir.perp();
+        for px in 0..w {
+            let l = -((px as f64 + 0.5) - cx) * d / fx;
+            let wp = cam_pos + fwd * d + left * l;
+            let lat = nrm.dot(wp - c);
+            let along = row_s + tdir.dot(wp - c);
+            let ground_px_size = d / fx; // meters per pixel at this depth
+            let mark_halfwidth = (0.09f64).max(ground_px_size * 0.5);
+
+            let on_road = (-LANE_WIDTH / 2.0 - 0.3..=1.5 * LANE_WIDTH + 0.3).contains(&lat);
+            let marking = marking_at(lat, along, mark_halfwidth);
+            let base: [f64; 3] = if marking {
+                [205.0, 205.0, 198.0]
+            } else if on_road {
+                [56.0, 56.0, 59.0]
+            } else {
+                [76.0, 94.0, 52.0]
+            };
+            // World-anchored texture (0.5 m cells).
+            let cellx = (wp.x * 2.0).floor() as i64 as u64;
+            let celly = (wp.y * 2.0).floor() as i64 as u64;
+            let tex = hash_amp(cellx, celly) * cfg.texture_amp;
+            let mut rgb = [0u8; 3];
+            for ch in 0..3 {
+                let n = hash_amp(noise_key, ((px * 4 + ch) * 4096 + py) as u64) * cfg.pixel_noise * 2.0;
+                rgb[ch] = quantize(base[ch] + tex + n);
+            }
+            img.set_pixel(px, py, rgb);
+        }
+    }
+
+    // --- vehicles, far to near ---
+    let mut order: Vec<usize> = (0..scene.npcs.len()).collect();
+    let depth = |i: usize| {
+        let rel = scene.npcs[i].pose(scene.track).pos - cam_pos;
+        fwd.dot(rel)
+    };
+    order.sort_by(|&a, &b| depth(b).partial_cmp(&depth(a)).expect("finite depths"));
+    for i in order {
+        let npc = &scene.npcs[i];
+        let pose = npc.pose(scene.track);
+        let rel = pose.pos - cam_pos;
+        let f = fwd.dot(rel);
+        let l = left.dot(rel);
+        if !(1.5..=95.0).contains(&f) {
+            continue;
+        }
+        let px_center = cx - fx * l / f;
+        let py_bottom = cy + fy * cfg.cam_height / f;
+        let width_px = fx * npc.width / f;
+        let height_px = fy * 1.45 / f;
+        let x0 = (px_center - width_px / 2.0).floor().max(0.0) as usize;
+        let x1 = (px_center + width_px / 2.0).ceil().min(w as f64) as usize;
+        let y1 = py_bottom.min(h as f64).max(0.0) as usize;
+        let y0 = (py_bottom - height_px).floor().max(0.0) as usize;
+        if x0 >= x1 || y0 >= y1 {
+            continue;
+        }
+        // Vehicle paint: strongly blue signature, shaded by distance and
+        // paint variety (the perception kernel keys on blueness).
+        let fade = 1.0 / (1.0 + 0.006 * f);
+        let shade = npc.shade as f64 * 10.0;
+        let base = [(38.0 + shade) * fade, (42.0 + shade) * fade, (205.0 + shade).min(235.0) * fade];
+        for py in y0..y1 {
+            for px in x0..x1 {
+                // Texture anchored to the vehicle body (4×4 panels) so the
+                // pattern shifts with the projected box.
+                let u = ((px as f64 - x0 as f64) / (x1 - x0).max(1) as f64 * 4.0) as u64;
+                let v = ((py as f64 - y0 as f64) / (y1 - y0).max(1) as f64 * 4.0) as u64;
+                let tex = hash_amp(0xCAFE ^ (i as u64) << 8, u * 16 + v) * 14.0;
+                let mut rgb = [0u8; 3];
+                for ch in 0..3 {
+                    let n = hash_amp(noise_key, ((px * 4 + ch) * 4096 + py) as u64)
+                        * cfg.pixel_noise * 2.0;
+                    rgb[ch] = quantize(base[ch] + tex + n);
+                }
+                img.set_pixel(px, py, rgb);
+            }
+        }
+    }
+    img
+}
+
+/// Whether track coordinates `(lat, along)` fall on a lane marking.
+fn marking_at(lat: f64, along: f64, halfwidth: f64) -> bool {
+    // Right road edge (solid), lane divider (dashed), left road edge (solid).
+    let right = -LANE_WIDTH / 2.0;
+    let mid = LANE_WIDTH / 2.0;
+    let leftb = 1.5 * LANE_WIDTH;
+    if (lat - right).abs() < halfwidth || (lat - leftb).abs() < halfwidth {
+        return true;
+    }
+    if (lat - mid).abs() < halfwidth {
+        return along.rem_euclid(4.0) < 2.0;
+    }
+    false
+}
+
+/// Cast one LiDAR ray against the NPC footprints; returns range (m).
+fn cast_ray(origin: Vec2, dir: Vec2, scene: &RenderScene<'_>, max_range: f64) -> f64 {
+    let mut best = max_range;
+    for npc in scene.npcs {
+        let fp = npc.footprint(scene.track);
+        let corners = fp.corners();
+        for k in 0..4 {
+            let a = corners[k];
+            let b = corners[(k + 1) % 4];
+            if let Some(t) = ray_segment(origin, dir, a, b) {
+                if t < best {
+                    best = t;
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Ray–segment intersection: returns distance along the ray, if any.
+fn ray_segment(o: Vec2, d: Vec2, a: Vec2, b: Vec2) -> Option<f64> {
+    let v = b - a;
+    let denom = d.cross(v);
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    let ao = a - o;
+    let t = ao.cross(v) / denom;
+    let u = ao.cross(d) / denom;
+    (t >= 0.0 && (0.0..=1.0).contains(&u)).then_some(t)
+}
+
+/// Produce a LiDAR scan: one range per azimuth bin, with small noise.
+pub fn lidar_scan(cfg: &SensorConfig, scene: &RenderScene<'_>) -> Vec<f32> {
+    let n = cfg.lidar_rays;
+    (0..n)
+        .map(|i| {
+            let az = scene.ego.heading + i as f64 / n as f64 * std::f64::consts::TAU;
+            let dir = Vec2::from_heading(az);
+            let r = cast_ray(scene.ego.pos, dir, scene, cfg.lidar_range);
+            let noise = hash_amp(scene.frame_seed ^ 0x11DA, i as u64) * 0.03;
+            (r + noise) as f32
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::npc::NpcBehavior;
+
+    fn scene_with<'a>(track: &'a Track, npcs: &'a [Npc], seed: u64) -> RenderScene<'a> {
+        RenderScene {
+            track,
+            ego: Pose::new(Vec2::ZERO, 0.0),
+            ego_s: 0.0,
+            npcs,
+            frame_seed: seed,
+        }
+    }
+
+    #[test]
+    fn image_pixel_roundtrip() {
+        let mut img = Image::new(4, 3);
+        img.set_pixel(2, 1, [1, 2, 3]);
+        assert_eq!(img.pixel(2, 1), [1, 2, 3]);
+        assert_eq!(img.pixel(0, 0), [0, 0, 0]);
+        assert_eq!(img.data().len(), 4 * 3 * 3);
+    }
+
+    #[test]
+    fn ppm_encoding_has_header_and_payload() {
+        let img = Image::new(4, 3);
+        let ppm = img.to_ppm();
+        assert!(ppm.starts_with(b"P6\n4 3\n255\n"));
+        assert_eq!(ppm.len(), 11 + 4 * 3 * 3);
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let track = Track::straight(200.0);
+        let npcs = [Npc::new(25.0, 0.0, 5.0, NpcBehavior::Cruise)];
+        let cfg = SensorConfig::default();
+        let a = render_camera(&cfg, &scene_with(&track, &npcs, 7), 1);
+        let b = render_camera(&cfg, &scene_with(&track, &npcs, 7), 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn frame_seed_changes_pixels() {
+        let track = Track::straight(200.0);
+        let npcs = [];
+        let cfg = SensorConfig::default();
+        let a = render_camera(&cfg, &scene_with(&track, &npcs, 1), 1);
+        let b = render_camera(&cfg, &scene_with(&track, &npcs, 2), 1);
+        assert_ne!(a, b, "per-frame noise must differ between frames");
+    }
+
+    #[test]
+    fn vehicle_is_visible_and_blue() {
+        let track = Track::straight(200.0);
+        let npcs = [Npc::new(20.0, 0.0, 5.0, NpcBehavior::Cruise)];
+        let cfg = SensorConfig::default();
+        let img = render_camera(&cfg, &scene_with(&track, &npcs, 3), 1);
+        // Somewhere below the horizon there must be a strongly blue pixel.
+        let mut max_blueness = i32::MIN;
+        for y in cfg.height / 2..cfg.height {
+            for x in 0..cfg.width {
+                let [r, g, b] = img.pixel(x, y);
+                max_blueness = max_blueness.max(b as i32 - (r as i32 + g as i32) / 2);
+            }
+        }
+        assert!(max_blueness > 60, "vehicle blueness {max_blueness}");
+    }
+
+    #[test]
+    fn closer_vehicle_has_lower_bottom_row() {
+        let track = Track::straight(300.0);
+        let cfg = SensorConfig::default();
+        let bottom_row = |dist: f64| {
+            let npcs = [Npc::new(dist, 0.0, 5.0, NpcBehavior::Cruise)];
+            let img = render_camera(&cfg, &scene_with(&track, &npcs, 3), 1);
+            (0..cfg.height)
+                .rev()
+                .find(|&y| {
+                    (0..cfg.width).any(|x| {
+                        let [r, g, b] = img.pixel(x, y);
+                        b as i32 - (r as i32 + g as i32) / 2 > 60
+                    })
+                })
+                .expect("vehicle visible")
+        };
+        let near = bottom_row(12.0);
+        let far = bottom_row(40.0);
+        assert!(near > far, "near bottom row {near} vs far {far}");
+    }
+
+    #[test]
+    fn lane_markings_appear_in_bottom_rows() {
+        let track = Track::straight(200.0);
+        let cfg = SensorConfig::default();
+        let img = render_camera(&cfg, &scene_with(&track, &[], 9), 1);
+        // Bright (whitish) pixels in the bottom third.
+        let mut found = false;
+        for y in cfg.height * 2 / 3..cfg.height {
+            for x in 0..cfg.width {
+                let [r, g, b] = img.pixel(x, y);
+                if r > 160 && g > 160 && b > 150 {
+                    found = true;
+                }
+            }
+        }
+        assert!(found, "no lane markings rendered");
+    }
+
+    #[test]
+    fn sky_above_horizon_is_not_vehicle_blue() {
+        let track = Track::straight(200.0);
+        let cfg = SensorConfig::default();
+        let img = render_camera(&cfg, &scene_with(&track, &[], 9), 1);
+        for y in 0..cfg.height / 2 {
+            for x in 0..cfg.width {
+                let [r, g, b] = img.pixel(x, y);
+                let blueness = b as i32 - (r as i32 + g as i32) / 2;
+                assert!(blueness < 45, "sky pixel ({x},{y}) too blue: {blueness}");
+            }
+        }
+    }
+
+    #[test]
+    fn marking_pattern_dashes() {
+        // Divider dashes: on for along ∈ [0,2), off for [2,4).
+        assert!(marking_at(LANE_WIDTH / 2.0, 1.0, 0.1));
+        assert!(!marking_at(LANE_WIDTH / 2.0, 3.0, 0.1));
+        // Edges solid regardless of along.
+        assert!(marking_at(-LANE_WIDTH / 2.0, 3.0, 0.1));
+        assert!(marking_at(1.5 * LANE_WIDTH, 7.7, 0.1));
+        // Lane centers are unmarked.
+        assert!(!marking_at(0.0, 1.0, 0.1));
+    }
+
+    #[test]
+    fn lidar_sees_vehicle_ahead() {
+        let track = Track::straight(200.0);
+        let npcs = [Npc::new(20.0, 0.0, 0.0, NpcBehavior::Cruise)];
+        let cfg = SensorConfig { enable_lidar: true, ..Default::default() };
+        let scan = lidar_scan(&cfg, &scene_with(&track, &npcs, 5));
+        assert_eq!(scan.len(), cfg.lidar_rays);
+        // Ray 0 points along +x (ego heading): hits the NPC rear at ~17.8 m.
+        assert!(
+            (scan[0] - 17.8).abs() < 0.5,
+            "forward LiDAR range {} should be near the NPC rear",
+            scan[0]
+        );
+        // A sideways ray sees max range.
+        let side = scan[cfg.lidar_rays / 4];
+        assert!(side > cfg.lidar_range as f32 - 1.0);
+    }
+
+    #[test]
+    fn ray_segment_math() {
+        // Ray along +x hits the vertical segment x=5, y ∈ [-1, 1] at t=5.
+        let t = ray_segment(Vec2::ZERO, Vec2::new(1.0, 0.0), Vec2::new(5.0, -1.0), Vec2::new(5.0, 1.0));
+        assert!((t.expect("hit") - 5.0).abs() < 1e-9);
+        // Misses a segment off to the side.
+        let miss = ray_segment(Vec2::ZERO, Vec2::new(1.0, 0.0), Vec2::new(5.0, 2.0), Vec2::new(5.0, 3.0));
+        assert_eq!(miss, None);
+        // Behind the origin → no hit.
+        let behind =
+            ray_segment(Vec2::ZERO, Vec2::new(1.0, 0.0), Vec2::new(-5.0, -1.0), Vec2::new(-5.0, 1.0));
+        assert_eq!(behind, None);
+    }
+
+    #[test]
+    fn hash_amp_is_bounded_and_stable() {
+        for i in 0..1000u64 {
+            let v = hash_amp(i, i * 31);
+            assert!((-1.0..=1.0).contains(&v));
+            assert_eq!(v, hash_amp(i, i * 31));
+        }
+    }
+}

@@ -1,0 +1,368 @@
+//! Route/track model: a polyline centerline with arclength
+//! parameterization, lane geometry, and traffic lights.
+//!
+//! A [`Track`] is the centerline of the *ego lane*. The adjacent (passing)
+//! lane lies at lateral offset `+LANE_WIDTH` (to the left). Long training
+//! routes are generated as sequences of straights and arcs, standing in for
+//! the CARLA Town01/03/06 routes of the paper's §IV-C.
+
+use crate::geometry::{Pose, Vec2};
+
+/// Lane width in meters (both lanes).
+pub const LANE_WIDTH: f64 = 3.5;
+
+/// A polyline track with cumulative arclength.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Track {
+    pts: Vec<Vec2>,
+    cum: Vec<f64>,
+}
+
+impl Track {
+    /// Build a track from a polyline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two points are supplied.
+    pub fn from_points(pts: Vec<Vec2>) -> Self {
+        assert!(pts.len() >= 2, "a track needs at least two points");
+        let mut cum = Vec::with_capacity(pts.len());
+        let mut s = 0.0;
+        cum.push(0.0);
+        for w in pts.windows(2) {
+            s += w[0].dist(w[1]);
+            cum.push(s);
+        }
+        Track { pts, cum }
+    }
+
+    /// A straight track along +x starting at the origin.
+    pub fn straight(length: f64) -> Self {
+        let n = (length / 2.0).ceil() as usize + 1;
+        let pts = (0..n).map(|i| Vec2::new(i as f64 * length / (n - 1) as f64, 0.0)).collect();
+        Track::from_points(pts)
+    }
+
+    /// Total arclength (m).
+    pub fn length(&self) -> f64 {
+        *self.cum.last().expect("track is nonempty")
+    }
+
+    /// Index of the segment containing arclength `s` (clamped).
+    fn segment(&self, s: f64) -> usize {
+        let s = s.clamp(0.0, self.length());
+        match self.cum.binary_search_by(|c| c.partial_cmp(&s).expect("finite arclength")) {
+            Ok(i) => i.min(self.pts.len() - 2),
+            Err(i) => (i - 1).min(self.pts.len() - 2),
+        }
+    }
+
+    /// Centerline point at arclength `s` (clamped to the track).
+    pub fn pos_at(&self, s: f64) -> Vec2 {
+        let i = self.segment(s);
+        let seg_len = (self.cum[i + 1] - self.cum[i]).max(1e-12);
+        let t = (s.clamp(0.0, self.length()) - self.cum[i]) / seg_len;
+        self.pts[i].lerp(self.pts[i + 1], t)
+    }
+
+    /// Unit tangent direction at arclength `s`.
+    pub fn dir_at(&self, s: f64) -> Vec2 {
+        let i = self.segment(s);
+        (self.pts[i + 1] - self.pts[i]).normalized()
+    }
+
+    /// Heading (radians) at arclength `s`.
+    pub fn heading_at(&self, s: f64) -> f64 {
+        let d = self.dir_at(s);
+        d.y.atan2(d.x)
+    }
+
+    /// Signed curvature (1/m) at arclength `s`, estimated by finite
+    /// differences of heading over a 4 m window.
+    pub fn curvature_at(&self, s: f64) -> f64 {
+        let h = 2.0;
+        let a = self.heading_at((s - h).max(0.0));
+        let b = self.heading_at((s + h).min(self.length()));
+        let mut dh = b - a;
+        while dh > std::f64::consts::PI {
+            dh -= 2.0 * std::f64::consts::PI;
+        }
+        while dh < -std::f64::consts::PI {
+            dh += 2.0 * std::f64::consts::PI;
+        }
+        dh / (2.0 * h)
+    }
+
+    /// World pose at arclength `s` with signed lateral offset `lateral`
+    /// (positive = left of travel direction).
+    pub fn pose_at(&self, s: f64, lateral: f64) -> Pose {
+        let pos = self.pos_at(s) + self.dir_at(s).perp() * lateral;
+        Pose::new(pos, self.heading_at(s))
+    }
+
+    /// Project a world point onto the track near a known arclength.
+    ///
+    /// Only segments within `±window` meters of `s_hint` are examined,
+    /// making per-step ego tracking O(window) instead of O(track length).
+    pub fn project_near(&self, p: Vec2, s_hint: f64, window: f64) -> (f64, f64) {
+        let lo = self.segment((s_hint - window).max(0.0));
+        let hi = self.segment((s_hint + window).min(self.length()));
+        self.project_range(p, lo, hi + 1)
+    }
+
+    /// Project a world point onto the track: returns `(s, lateral)`.
+    ///
+    /// Performs an exact projection per segment; cost is linear in the
+    /// number of polyline points, which is fine at simulator scale.
+    pub fn project(&self, p: Vec2) -> (f64, f64) {
+        self.project_range(p, 0, self.pts.len() - 1)
+    }
+
+    fn project_range(&self, p: Vec2, lo: usize, hi: usize) -> (f64, f64) {
+        let mut best = (0.0, 0.0, f64::INFINITY);
+        for i in lo..hi.min(self.pts.len() - 1).max(lo + 1) {
+            let a = self.pts[i];
+            let b = self.pts[i + 1];
+            let ab = b - a;
+            let len2 = ab.dot(ab).max(1e-12);
+            let t = ((p - a).dot(ab) / len2).clamp(0.0, 1.0);
+            let q = a.lerp(b, t);
+            let d2 = (p - q).dot(p - q);
+            if d2 < best.2 {
+                let s = self.cum[i] + t * (self.cum[i + 1] - self.cum[i]);
+                // Signed lateral: component of (p - q) along the left normal.
+                let lat = ab.normalized().perp().dot(p - q);
+                best = (s, lat, d2);
+            }
+        }
+        (best.0, best.1)
+    }
+}
+
+/// Traffic-light phases.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum LightPhase {
+    /// Proceed.
+    Green,
+    /// Prepare to stop.
+    Yellow,
+    /// Stop at the stop line.
+    Red,
+}
+
+/// A traffic light at a fixed arclength along a track.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct TrafficLight {
+    /// Stop-line position as arclength along the track (m).
+    pub s: f64,
+    /// Green duration (s).
+    pub green: f64,
+    /// Yellow duration (s).
+    pub yellow: f64,
+    /// Red duration (s).
+    pub red: f64,
+    /// Phase offset (s) into the cycle at t = 0.
+    pub offset: f64,
+}
+
+impl TrafficLight {
+    /// The light's phase at time `t`.
+    pub fn phase(&self, t: f64) -> LightPhase {
+        let cycle = self.green + self.yellow + self.red;
+        let x = (t + self.offset).rem_euclid(cycle);
+        if x < self.green {
+            LightPhase::Green
+        } else if x < self.green + self.yellow {
+            LightPhase::Yellow
+        } else {
+            LightPhase::Red
+        }
+    }
+
+    /// Whether a vehicle approaching the stop line should stop at time `t`.
+    pub fn demands_stop(&self, t: f64) -> bool {
+        !matches!(self.phase(t), LightPhase::Green)
+    }
+}
+
+/// Deterministically generate a long training route: a mix of straights and
+/// left/right turns, parameterized by a route seed (A/B/C analogues of the
+/// paper's Route02/15/42).
+pub fn generate_long_route(seed: u64, approx_length: f64) -> Track {
+    // Simple xorshift so the route shape is stable across rand versions.
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+
+    let mut pts = vec![Vec2::ZERO];
+    let mut pos = Vec2::ZERO;
+    let mut heading = 0.0f64;
+    let mut built = 0.0;
+    while built < approx_length {
+        let r = next();
+        let straight_len = 60.0 + (r % 120) as f64;
+        let n = (straight_len / 2.0) as usize;
+        for _ in 0..n {
+            pos += Vec2::from_heading(heading) * 2.0;
+            pts.push(pos);
+        }
+        built += straight_len;
+        if built >= approx_length {
+            break;
+        }
+        // A turn: ±90° or ±45°, radius 18–40 m.
+        let r2 = next();
+        let angle = match r2 % 4 {
+            0 => std::f64::consts::FRAC_PI_2,
+            1 => -std::f64::consts::FRAC_PI_2,
+            2 => std::f64::consts::FRAC_PI_4,
+            _ => -std::f64::consts::FRAC_PI_4,
+        };
+        let radius = 18.0 + (r2 / 7 % 22) as f64;
+        let arc_len = radius * angle.abs();
+        let steps = (arc_len / 1.5).ceil() as usize;
+        for _ in 0..steps {
+            heading += angle / steps as f64;
+            pos += Vec2::from_heading(heading) * (arc_len / steps as f64);
+            pts.push(pos);
+        }
+        built += arc_len;
+    }
+    Track::from_points(pts)
+}
+
+/// Place traffic lights every ~200 m along a route with staggered phases.
+pub fn generate_lights(track: &Track, spacing: f64) -> Vec<TrafficLight> {
+    let mut lights = Vec::new();
+    let mut s = spacing;
+    let mut k = 0;
+    while s < track.length() - 30.0 {
+        lights.push(TrafficLight {
+            s,
+            green: 9.0,
+            yellow: 2.0,
+            red: 6.0,
+            offset: (k as f64) * 5.0,
+        });
+        s += spacing;
+        k += 1;
+    }
+    lights
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_track_parameterization() {
+        let t = Track::straight(100.0);
+        assert!((t.length() - 100.0).abs() < 1e-9);
+        assert!((t.pos_at(50.0) - Vec2::new(50.0, 0.0)).norm() < 1e-9);
+        assert!((t.dir_at(10.0) - Vec2::new(1.0, 0.0)).norm() < 1e-9);
+        assert_eq!(t.heading_at(0.0), 0.0);
+        assert!(t.curvature_at(50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pos_at_clamps() {
+        let t = Track::straight(100.0);
+        assert!((t.pos_at(-5.0) - Vec2::ZERO).norm() < 1e-9);
+        assert!((t.pos_at(1e9) - Vec2::new(100.0, 0.0)).norm() < 1e-9);
+    }
+
+    #[test]
+    fn project_recovers_s_and_lateral() {
+        let t = Track::straight(100.0);
+        let (s, lat) = t.project(Vec2::new(30.0, 2.0));
+        assert!((s - 30.0).abs() < 1e-9);
+        assert!((lat - 2.0).abs() < 1e-9, "left of +x travel is positive lateral");
+        let (_, lat2) = t.project(Vec2::new(30.0, -1.5));
+        assert!((lat2 + 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pose_at_offsets_left() {
+        let t = Track::straight(50.0);
+        let p = t.pose_at(10.0, LANE_WIDTH);
+        assert!((p.pos - Vec2::new(10.0, LANE_WIDTH)).norm() < 1e-9);
+    }
+
+    #[test]
+    fn project_roundtrips_pose_at() {
+        let t = generate_long_route(7, 800.0);
+        for &(s, lat) in &[(50.0, 0.0), (200.0, 1.0), (400.0, -1.5)] {
+            let p = t.pose_at(s, lat);
+            let (s2, lat2) = t.project(p.pos);
+            assert!((s2 - s).abs() < 1.5, "s {s} → {s2}");
+            assert!((lat2 - lat).abs() < 0.3, "lat {lat} → {lat2}");
+        }
+    }
+
+    #[test]
+    fn long_route_has_requested_scale_and_turns() {
+        let t = generate_long_route(42, 2000.0);
+        assert!(t.length() >= 2000.0 * 0.9);
+        // At least one point with nontrivial curvature.
+        let mut max_curv: f64 = 0.0;
+        let mut s = 0.0;
+        while s < t.length() {
+            max_curv = max_curv.max(t.curvature_at(s).abs());
+            s += 10.0;
+        }
+        assert!(max_curv > 0.01, "route should contain turns, max curvature {max_curv}");
+    }
+
+    #[test]
+    fn long_route_is_deterministic() {
+        let a = generate_long_route(5, 500.0);
+        let b = generate_long_route(5, 500.0);
+        assert_eq!(a, b);
+        let c = generate_long_route(6, 500.0);
+        assert_ne!(a, c, "different seeds give different routes");
+    }
+
+    #[test]
+    fn project_near_matches_full_projection() {
+        let t = generate_long_route(11, 1000.0);
+        for &s in &[100.0, 400.0, 800.0] {
+            let p = t.pose_at(s, 0.8).pos;
+            let full = t.project(p);
+            let near = t.project_near(p, s + 3.0, 30.0);
+            assert!((full.0 - near.0).abs() < 1e-6);
+            assert!((full.1 - near.1).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn traffic_light_cycles() {
+        let l = TrafficLight { s: 0.0, green: 5.0, yellow: 1.0, red: 4.0, offset: 0.0 };
+        assert_eq!(l.phase(0.0), LightPhase::Green);
+        assert_eq!(l.phase(5.5), LightPhase::Yellow);
+        assert_eq!(l.phase(7.0), LightPhase::Red);
+        assert_eq!(l.phase(10.0), LightPhase::Green, "cycle wraps");
+        assert!(!l.demands_stop(1.0));
+        assert!(l.demands_stop(8.0));
+    }
+
+    #[test]
+    fn generated_lights_are_spaced() {
+        let t = Track::straight(1000.0);
+        let lights = generate_lights(&t, 200.0);
+        assert!(!lights.is_empty());
+        for w in lights.windows(2) {
+            assert!((w[1].s - w[0].s - 200.0).abs() < 1e-9);
+        }
+        assert!(lights.iter().all(|l| l.s < t.length()));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn single_point_track_panics() {
+        let _ = Track::from_points(vec![Vec2::ZERO]);
+    }
+}

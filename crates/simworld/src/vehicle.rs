@@ -1,0 +1,251 @@
+//! Ego-vehicle dynamics: a kinematic bicycle model driven by
+//! throttle/brake/steer actuation commands.
+
+use crate::geometry::{Obb, Pose, Vec2};
+
+/// Actuation commands applied to a vehicle for one control period.
+///
+/// This is the paper's actuation-output tuple `u_t = (throttle, brake,
+/// steer)`; the DiverseAV error detector compares these values between the
+/// two agents.
+#[derive(Copy, Clone, Debug, PartialEq, Default)]
+pub struct Controls {
+    /// Throttle command in `[0, 1]`.
+    pub throttle: f64,
+    /// Brake command in `[0, 1]`.
+    pub brake: f64,
+    /// Steering command in `[-1, 1]` (positive = left).
+    pub steer: f64,
+}
+
+impl Controls {
+    /// Construct with each component clamped to its valid range.
+    pub fn clamped(throttle: f64, brake: f64, steer: f64) -> Self {
+        fn sane(x: f64) -> f64 {
+            if x.is_finite() {
+                x
+            } else {
+                0.0
+            }
+        }
+        Controls {
+            throttle: sane(throttle).clamp(0.0, 1.0),
+            brake: sane(brake).clamp(0.0, 1.0),
+            steer: sane(steer).clamp(-1.0, 1.0),
+        }
+    }
+
+    /// A full-brake command (used by the fail-back path).
+    pub fn full_brake() -> Self {
+        Controls { throttle: 0.0, brake: 1.0, steer: 0.0 }
+    }
+}
+
+/// Physical parameters of a vehicle.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct VehicleParams {
+    /// Body length (m).
+    pub length: f64,
+    /// Body width (m).
+    pub width: f64,
+    /// Wheelbase (m).
+    pub wheelbase: f64,
+    /// Maximum acceleration at full throttle (m/s²).
+    pub max_accel: f64,
+    /// Maximum deceleration at full brake (m/s²).
+    pub max_brake: f64,
+    /// Maximum front-wheel steering angle (rad).
+    pub max_steer: f64,
+    /// Quadratic drag coefficient (1/m).
+    pub drag: f64,
+}
+
+impl Default for VehicleParams {
+    fn default() -> Self {
+        VehicleParams {
+            length: 4.6,
+            width: 1.9,
+            wheelbase: 2.8,
+            max_accel: 3.5,
+            max_brake: 8.0,
+            max_steer: 35f64.to_radians(),
+            drag: 0.004,
+        }
+    }
+}
+
+/// Kinematic state of the ego vehicle.
+///
+/// Besides pose and speed we track acceleration, yaw rate, and yaw
+/// acceleration because the paper's error detector bins its thresholds by
+/// the vehicle-state tuple ⟨v, a, ω, α⟩.
+#[derive(Copy, Clone, Debug, PartialEq, Default)]
+pub struct VehicleState {
+    /// Center pose.
+    pub pose: Pose,
+    /// Longitudinal speed (m/s, non-negative).
+    pub speed: f64,
+    /// Longitudinal acceleration over the last step (m/s²).
+    pub accel: f64,
+    /// Yaw rate over the last step (rad/s).
+    pub yaw_rate: f64,
+    /// Yaw acceleration over the last step (rad/s²).
+    pub yaw_accel: f64,
+}
+
+/// A controllable vehicle: state + parameters.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Vehicle {
+    /// Current kinematic state.
+    pub state: VehicleState,
+    /// Physical parameters.
+    pub params: VehicleParams,
+}
+
+impl Vehicle {
+    /// Create a vehicle at `pose` moving at `speed` with default parameters.
+    pub fn new(pose: Pose, speed: f64) -> Self {
+        Vehicle {
+            state: VehicleState { pose, speed, ..Default::default() },
+            params: VehicleParams::default(),
+        }
+    }
+
+    /// Advance the vehicle by `dt` seconds under `controls`.
+    ///
+    /// Uses a kinematic bicycle model: longitudinal acceleration from
+    /// throttle/brake minus quadratic drag, yaw rate `v/L·tan(δ)`.
+    pub fn step(&mut self, controls: Controls, dt: f64) {
+        let c = Controls::clamped(controls.throttle, controls.brake, controls.steer);
+        let p = &self.params;
+        let s = &mut self.state;
+
+        let drive = c.throttle * p.max_accel;
+        let brake = c.brake * p.max_brake;
+        let drag = p.drag * s.speed * s.speed;
+        let mut accel = drive - brake - drag;
+        // Brakes cannot push the vehicle backwards.
+        if s.speed + accel * dt < 0.0 {
+            accel = -s.speed / dt;
+        }
+        let new_speed = (s.speed + accel * dt).max(0.0);
+
+        let steer_angle = c.steer * p.max_steer;
+        let new_yaw_rate = if new_speed > 1e-6 {
+            new_speed / p.wheelbase * steer_angle.tan()
+        } else {
+            0.0
+        };
+
+        s.yaw_accel = (new_yaw_rate - s.yaw_rate) / dt;
+        s.yaw_rate = new_yaw_rate;
+        s.accel = accel;
+        // Integrate with the mid-step heading for better curvature fidelity.
+        let mid_heading = s.pose.heading + new_yaw_rate * dt * 0.5;
+        let avg_speed = 0.5 * (s.speed + new_speed);
+        s.pose.pos += Vec2::from_heading(mid_heading) * (avg_speed * dt);
+        s.pose.heading += new_yaw_rate * dt;
+        s.speed = new_speed;
+    }
+
+    /// The vehicle's footprint for collision detection.
+    pub fn footprint(&self) -> Obb {
+        Obb::new(self.state.pose, self.params.length, self.params.width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn straight_vehicle(speed: f64) -> Vehicle {
+        Vehicle::new(Pose::new(Vec2::ZERO, 0.0), speed)
+    }
+
+    #[test]
+    fn controls_clamp_ranges() {
+        let c = Controls::clamped(2.0, -1.0, -3.0);
+        assert_eq!(c, Controls { throttle: 1.0, brake: 0.0, steer: -1.0 });
+    }
+
+    #[test]
+    fn controls_clamp_rejects_non_finite() {
+        let c = Controls::clamped(f64::NAN, f64::INFINITY, f64::NEG_INFINITY);
+        assert_eq!(c, Controls { throttle: 0.0, brake: 0.0, steer: 0.0 });
+    }
+
+    #[test]
+    fn full_throttle_accelerates() {
+        let mut v = straight_vehicle(0.0);
+        for _ in 0..40 {
+            v.step(Controls { throttle: 1.0, ..Default::default() }, 0.025);
+        }
+        assert!(v.state.speed > 3.0, "speed after 1 s of full throttle: {}", v.state.speed);
+        assert!(v.state.pose.pos.x > 1.0);
+        assert!(v.state.pose.pos.y.abs() < 1e-9, "no lateral drift when straight");
+    }
+
+    #[test]
+    fn full_brake_stops_without_reversing() {
+        let mut v = straight_vehicle(10.0);
+        for _ in 0..400 {
+            v.step(Controls::full_brake(), 0.025);
+        }
+        assert_eq!(v.state.speed, 0.0);
+    }
+
+    #[test]
+    fn braking_never_reverses_within_one_step() {
+        let mut v = straight_vehicle(0.1);
+        v.step(Controls::full_brake(), 0.025);
+        assert!(v.state.speed >= 0.0);
+    }
+
+    #[test]
+    fn steering_turns_left() {
+        let mut v = straight_vehicle(8.0);
+        for _ in 0..40 {
+            v.step(Controls { throttle: 0.3, steer: 0.5, ..Default::default() }, 0.025);
+        }
+        assert!(v.state.pose.heading > 0.05, "positive steer turns left (CCW)");
+        assert!(v.state.pose.pos.y > 0.0);
+        assert!(v.state.yaw_rate > 0.0);
+    }
+
+    #[test]
+    fn stationary_vehicle_does_not_yaw() {
+        let mut v = straight_vehicle(0.0);
+        v.step(Controls { steer: 1.0, ..Default::default() }, 0.025);
+        assert_eq!(v.state.yaw_rate, 0.0);
+        assert_eq!(v.state.pose.heading, 0.0);
+    }
+
+    #[test]
+    fn drag_limits_top_speed() {
+        let mut v = straight_vehicle(0.0);
+        for _ in 0..40_000 {
+            v.step(Controls { throttle: 1.0, ..Default::default() }, 0.025);
+        }
+        let top = v.state.speed;
+        let p = v.params;
+        let expected = (p.max_accel / p.drag).sqrt();
+        assert!((top - expected).abs() < 1.0, "top speed {top} vs expected {expected}");
+    }
+
+    #[test]
+    fn accel_state_tracks_input() {
+        let mut v = straight_vehicle(5.0);
+        v.step(Controls { throttle: 1.0, ..Default::default() }, 0.025);
+        assert!(v.state.accel > 3.0);
+        v.step(Controls::full_brake(), 0.025);
+        assert!(v.state.accel < -5.0);
+    }
+
+    #[test]
+    fn footprint_matches_dimensions() {
+        let v = straight_vehicle(0.0);
+        let f = v.footprint();
+        assert_eq!(f.half_len * 2.0, v.params.length);
+        assert_eq!(f.half_wid * 2.0, v.params.width);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests of the world substrate: geometry, track
+//! parameterization, vehicle physics, and traffic behaviors.
+
+use diverseav_simworld::{
+    generate_long_route, idm_accel, Controls, IdmParams, Obb, Pose, Track, Vec2, Vehicle,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Projecting a pose generated from (s, lateral) recovers both within
+    /// polyline tolerance, for arbitrary routes and offsets.
+    #[test]
+    fn track_projection_roundtrips(
+        seed in 0u64..50,
+        frac in 0.05f64..0.95,
+        lateral in -3.0f64..3.0,
+    ) {
+        let track = generate_long_route(seed, 600.0);
+        let s = track.length() * frac;
+        let pose = track.pose_at(s, lateral);
+        let (s2, lat2) = track.project(pose.pos);
+        prop_assert!((s2 - s).abs() < 2.0, "s {s:.1} → {s2:.1}");
+        prop_assert!((lat2 - lateral).abs() < 0.5, "lat {lateral:.2} → {lat2:.2}");
+    }
+
+    /// Arclength parameterization is monotone: pos_at of increasing s
+    /// advances along the track (successive points are close together).
+    #[test]
+    fn track_positions_are_continuous(seed in 0u64..50, frac in 0.0f64..0.9) {
+        let track = generate_long_route(seed, 500.0);
+        let s = track.length() * frac;
+        let a = track.pos_at(s);
+        let b = track.pos_at(s + 1.0);
+        let step = a.dist(b);
+        prop_assert!(step <= 1.2, "1 m of arclength moves at most ~1 m: {step:.3}");
+        prop_assert!(step >= 0.5, "and at least half (no degenerate segments): {step:.3}");
+    }
+
+    /// OBB intersection is symmetric and reflexive.
+    #[test]
+    fn obb_intersection_properties(
+        x in -20.0f64..20.0,
+        y in -20.0f64..20.0,
+        h1 in 0.0f64..6.3,
+        h2 in 0.0f64..6.3,
+    ) {
+        let a = Obb::new(Pose::new(Vec2::ZERO, h1), 4.6, 1.9);
+        let b = Obb::new(Pose::new(Vec2::new(x, y), h2), 4.4, 1.8);
+        prop_assert!(a.intersects(&a), "reflexive");
+        prop_assert_eq!(a.intersects(&b), b.intersects(&a), "symmetric");
+        // Far-apart boxes never intersect; near-coincident ones always do.
+        if (x * x + y * y).sqrt() > 10.0 {
+            prop_assert!(!a.intersects(&b));
+        }
+        if (x * x + y * y).sqrt() < 0.5 {
+            prop_assert!(a.intersects(&b));
+        }
+    }
+
+    /// The bicycle model never produces NaN state, never reverses, and
+    /// caps speed, for arbitrary (clamped) control inputs.
+    #[test]
+    fn vehicle_state_stays_physical(
+        throttle in -2.0f64..2.0,
+        brake in -2.0f64..2.0,
+        steer in -2.0f64..2.0,
+        v0 in 0.0f64..30.0,
+    ) {
+        let mut v = Vehicle::new(Pose::new(Vec2::ZERO, 0.0), v0);
+        for _ in 0..200 {
+            v.step(Controls::clamped(throttle, brake, steer), 0.025);
+            prop_assert!(v.state.speed.is_finite());
+            prop_assert!(v.state.pose.pos.x.is_finite() && v.state.pose.pos.y.is_finite());
+            prop_assert!(v.state.speed >= 0.0, "no reversing");
+            prop_assert!(v.state.speed < 60.0, "drag caps speed");
+        }
+    }
+
+    /// IDM never accelerates into a standing obstacle at close range, and
+    /// always accelerates on a free road below desired speed.
+    #[test]
+    fn idm_is_sane(v in 0.0f64..15.0, gap in 0.5f64..100.0) {
+        let p = IdmParams::default();
+        let closing = idm_accel(v, gap, 0.0, &p);
+        if gap < 3.0 && v > 1.0 {
+            prop_assert!(closing < 0.0, "must brake near a standing obstacle");
+        }
+        let free = idm_accel(v.min(p.desired_speed * 0.8), f64::INFINITY, 0.0, &p);
+        prop_assert!(free > 0.0, "free road below desired speed accelerates");
+    }
+
+    /// Track generation is total: any seed/length yields a well-formed
+    /// track with finite curvature everywhere.
+    #[test]
+    fn generated_routes_are_well_formed(seed in 0u64..200, len in 200.0f64..1500.0) {
+        let track = generate_long_route(seed, len);
+        prop_assert!(track.length() >= len * 0.8);
+        let mut s = 0.0;
+        while s < track.length() {
+            let k = track.curvature_at(s);
+            prop_assert!(k.is_finite());
+            prop_assert!(k.abs() < 0.2, "curvature bounded by min turn radius: {k}");
+            s += 25.0;
+        }
+    }
+}
+
+#[test]
+fn straight_track_has_zero_curvature_everywhere() {
+    let t = Track::straight(300.0);
+    for i in 0..30 {
+        assert!(t.curvature_at(i as f64 * 10.0).abs() < 1e-9);
+    }
+}
