@@ -397,8 +397,14 @@ impl SensorimotorAgent {
             self.cfg.gpu_thread_budget,
         )
         .map_err(gerr)?;
-        gpu.run_kernel(&self.programs.lane, &mut self.gpu_ctx, l.w as u32, &[], self.cfg.gpu_thread_budget)
-            .map_err(gerr)?;
+        gpu.run_kernel(
+            &self.programs.lane,
+            &mut self.gpu_ctx,
+            l.w as u32,
+            &[],
+            self.cfg.gpu_thread_budget,
+        )
+        .map_err(gerr)?;
         gpu.run_kernel(&self.programs.decide, &mut self.gpu_ctx, 1, &[], self.cfg.decide_budget)
             .map_err(gerr)?;
 

@@ -95,7 +95,7 @@ pub fn build_rowmax_kernel(l: &GpuLayout) -> Program {
     b.tid(R0);
     b.ldimm_i(r(1), l.w2 as u32);
     b.imul(r(2), R0, r(1)); // row start
-    // r4 = x (zeroed), r5 = running max, r10 = running sum (zeroed).
+                            // r4 = x (zeroed), r5 = running max, r10 = running sum (zeroed).
     let top = b.new_label();
     b.bind(top);
     b.iadd(r(6), r(2), r(4));

@@ -128,8 +128,24 @@ impl GpuLayout {
         let out = params + param::COUNT;
         let total = out + out::COUNT;
         GpuLayout {
-            w, h, w2, h2, img_r, img_g, img_b, lanew, mask, conv, rowmax, rowsum, lane, dist,
-            hist, params, out, total,
+            w,
+            h,
+            w2,
+            h2,
+            img_r,
+            img_g,
+            img_b,
+            lanew,
+            mask,
+            conv,
+            rowmax,
+            rowsum,
+            lane,
+            dist,
+            hist,
+            params,
+            out,
+            total,
         }
     }
 }

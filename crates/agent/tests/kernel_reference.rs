@@ -94,11 +94,7 @@ fn conv_kernel_is_a_3x3_box_filter() {
             // The kernel accumulates tap·(1/9) with FMA in tap order; the
             // tolerance absorbs association differences.
             let got = ctx.read_f32(l.conv + y2 * l.w2 + x2);
-            assert!(
-                (got - sum / 9.0).abs() < 1e-5,
-                "conv[{x2},{y2}] = {got} vs {}",
-                sum / 9.0
-            );
+            assert!((got - sum / 9.0).abs() < 1e-5, "conv[{x2},{y2}] = {got} vs {}", sum / 9.0);
         }
     }
 }
@@ -129,13 +125,17 @@ fn rowmax_and_rowsum_match_reference() {
 fn lane_kernel_sums_whiteness_over_bottom_third() {
     let l = GpuLayout::new(W, H);
     // Bright "marking" column at x = 20 in the bottom third.
-    let mut ctx = make_ctx(&l, |x, y| {
-        if x == 20 && y >= H * 2 / 3 {
-            (0.85, 0.85, 0.82)
-        } else {
-            (0.2, 0.2, 0.2)
-        }
-    });
+    let mut ctx =
+        make_ctx(
+            &l,
+            |x, y| {
+                if x == 20 && y >= H * 2 / 3 {
+                    (0.85, 0.85, 0.82)
+                } else {
+                    (0.2, 0.2, 0.2)
+                }
+            },
+        );
     let mut gpu = Fabric::new(Profile::Gpu);
     gpu.run_kernel(&kernels::build_lane_kernel(&l), &mut ctx, W as u32, &[], 400).expect("lane");
     for x in 0..W {

@@ -11,9 +11,7 @@
 //! simulator, so every measured property arises from actual scene motion
 //! rather than ad-hoc randomness.
 
-use diverseav_simworld::{
-    long_route, Controls, Image, SensorConfig, Vec2, World,
-};
+use diverseav_simworld::{long_route, Controls, Image, SensorConfig, Vec2, World};
 
 /// One frame of a synthetic real-world-like sequence.
 #[derive(Clone, Debug)]

@@ -3,17 +3,17 @@
 //! the safety margin — and the footnote-5 partial-overlap distribution
 //! (detection quality vs compute cost).
 
+use diverseav::TrainSample;
 use diverseav::{AgentMode, DetectorConfig, DetectorModel};
 use diverseav_bench::evaluate_cell;
 use diverseav_bench::experiments::{BEST_RW, BEST_TD};
 use diverseav_fabric::Profile;
-use diverseav::TrainSample;
 use diverseav_faultinj::{
     collect_training_runs, generate_plan, mean_trajectory, run_experiment, scenario_for,
     CampaignScale, FaultModelKind, PlanConfig, RunConfig,
 };
-use diverseav_simworld::long_route;
 use diverseav_faultinj::{Campaign, CampaignResult};
+use diverseav_simworld::long_route;
 use diverseav_simworld::{ScenarioKind, SensorConfig, TrajPoint};
 
 fn ablation_scale() -> CampaignScale {
@@ -27,7 +27,10 @@ fn ablation_scale() -> CampaignScale {
 }
 
 /// Run the GPU campaigns for one overlap setting, recording streams.
-fn campaigns_with_overlap(overlap: Option<u32>, scale: &CampaignScale) -> (Vec<CampaignResult>, f64) {
+fn campaigns_with_overlap(
+    overlap: Option<u32>,
+    scale: &CampaignScale,
+) -> (Vec<CampaignResult>, f64) {
     let mut out = Vec::new();
     let mut gpu_instr_per_run = Vec::new();
     for kind in [FaultModelKind::Transient, FaultModelKind::Permanent] {

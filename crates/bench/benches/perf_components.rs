@@ -9,9 +9,7 @@ use diverseav::{
 };
 use diverseav_agent::{AgentConfig, SensorimotorAgent};
 use diverseav_fabric::{Fabric, Profile, ProgramBuilder, Reg};
-use diverseav_simworld::{
-    lead_slowdown, render_camera, RenderScene, SensorConfig, World,
-};
+use diverseav_simworld::{lead_slowdown, render_camera, RenderScene, SensorConfig, World};
 
 /// Straight-line float pipeline for raw interpreter throughput.
 fn interpreter_throughput(c: &mut Criterion) {

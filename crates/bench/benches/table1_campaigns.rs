@@ -6,5 +6,9 @@ fn main() {
     let started = std::time::Instant::now();
     let report = diverseav_bench::experiments::table1_report();
     println!("{report}");
-    eprintln!("[table1_campaigns completed in {:.1} s]", started.elapsed().as_secs_f64());
+    diverseav_bench::perf::flush_json("BENCH_campaigns.json").expect("write BENCH_campaigns.json");
+    eprintln!(
+        "[table1_campaigns completed in {:.1} s; per-campaign timings in BENCH_campaigns.json]",
+        started.elapsed().as_secs_f64()
+    );
 }

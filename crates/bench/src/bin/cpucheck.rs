@@ -1,13 +1,26 @@
 //! Quick check of the CPU-permanent outcome profile after the BIST.
 use diverseav::AgentMode;
 use diverseav_fabric::Profile;
-use diverseav_faultinj::{classify, run_campaign_with_traces, Campaign, CampaignScale, FaultModelKind, OutcomeClass};
+use diverseav_faultinj::{
+    classify, run_campaign_with_traces, Campaign, CampaignScale, FaultModelKind, OutcomeClass,
+};
 use diverseav_simworld::{ScenarioKind, SensorConfig};
 
 fn main() {
-    let scale = CampaignScale { n_transient: 24, permanent_repeats: 1, golden_runs: 3, long_route_duration: 40.0, training_runs: 1 };
+    let scale = CampaignScale {
+        n_transient: 24,
+        permanent_repeats: 1,
+        golden_runs: 3,
+        long_route_duration: 40.0,
+        training_runs: 1,
+    };
     for kind in [FaultModelKind::Permanent, FaultModelKind::Transient] {
-        let c = Campaign { scenario: ScenarioKind::LeadSlowdown, target: Profile::Cpu, kind, mode: AgentMode::RoundRobin };
+        let c = Campaign {
+            scenario: ScenarioKind::LeadSlowdown,
+            target: Profile::Cpu,
+            kind,
+            mode: AgentMode::RoundRobin,
+        };
         let r = run_campaign_with_traces(c, &scale, None, SensorConfig::default(), false);
         let mut counts = [0usize; 4];
         for run in &r.injected {
@@ -19,7 +32,14 @@ fn main() {
             };
             counts[i] += 1;
         }
-        println!("CPU {} LSD: total={} hang/crash={} acc={} viol={} benign={}",
-            kind.label(), r.injected.len(), counts[0], counts[1], counts[2], counts[3]);
+        println!(
+            "CPU {} LSD: total={} hang/crash={} acc={} viol={} benign={}",
+            kind.label(),
+            r.injected.len(),
+            counts[0],
+            counts[1],
+            counts[2],
+            counts[3]
+        );
     }
 }

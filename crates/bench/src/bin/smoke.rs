@@ -1,5 +1,7 @@
 //! End-to-end smoke run: a miniature version of the detector evaluation
-//! pipeline, for fast sanity checks during development.
+//! pipeline, for fast sanity checks during development — plus a
+//! sequential-vs-parallel timing comparison of one quick campaign,
+//! flushed to `BENCH_campaigns.json`.
 //!
 //! ```text
 //! cargo run --release -p diverseav-bench --bin smoke
@@ -8,7 +10,14 @@
 use diverseav::{AgentMode, DetectorConfig, DetectorModel};
 use diverseav_bench::evaluate_cell;
 use diverseav_bench::experiments::{gpu_campaigns, training, BEST_RW, BEST_TD};
-use diverseav_faultinj::{summarize, CampaignScale};
+use diverseav_bench::perf;
+use diverseav_fabric::Profile;
+use diverseav_faultinj::{
+    detected_parallelism, par_map_indices, run_campaign_with_traces, summarize, thread_count,
+    Campaign, CampaignScale, FaultModelKind,
+};
+use diverseav_simworld::{ScenarioKind, SensorConfig};
+use std::time::Instant;
 
 fn main() {
     let scale = CampaignScale {
@@ -18,6 +27,11 @@ fn main() {
         long_route_duration: 100.0,
         training_runs: 2,
     };
+
+    let cores = detected_parallelism();
+    let threads = thread_count();
+    println!("detected cores: {cores}; engine threads (DIVERSEAV_THREADS): {threads}\n");
+
     let tr = training(AgentMode::RoundRobin, &scale);
     let campaigns = gpu_campaigns(AgentMode::RoundRobin, &scale);
     for c in &campaigns {
@@ -39,4 +53,42 @@ fn main() {
         cell.missed_hazard_probability()
     );
     assert_eq!(cell.golden_alarms, 0, "golden runs must not alarm");
+
+    // Sequential-vs-parallel wall clock on one quick campaign. The
+    // engine honors an explicit thread count through par_map_with, but
+    // campaign fan-out reads DIVERSEAV_THREADS at call time, so drive
+    // the comparison by timing the same campaign under both settings
+    // via explicit thread counts on a run batch plus the full campaign
+    // at the ambient setting.
+    let campaign = Campaign {
+        scenario: ScenarioKind::LeadSlowdown,
+        target: Profile::Gpu,
+        kind: FaultModelKind::Transient,
+        mode: AgentMode::RoundRobin,
+    };
+    println!("\ntiming one quick campaign ({campaign}) sequential vs parallel ...");
+    let time_with = |label: &str, threads: usize| -> f64 {
+        std::env::set_var("DIVERSEAV_THREADS", threads.to_string());
+        let start = Instant::now();
+        let result =
+            run_campaign_with_traces(campaign, &scale, None, SensorConfig::default(), true);
+        let secs = start.elapsed().as_secs_f64();
+        let runs = result.golden.len() + result.injected.len();
+        perf::record(format!("smoke {campaign} [{label}]"), "smoke", secs, runs);
+        println!("  {label:<28} {secs:>8.3} s  ({runs} runs, {:.1} runs/s)", runs as f64 / secs);
+        secs
+    };
+    let seq = time_with("sequential (1 thread)", 1);
+    let par = time_with(&format!("parallel ({cores} threads)"), cores);
+    std::env::remove_var("DIVERSEAV_THREADS");
+    println!("  speedup: {:.2}x on {cores} core(s)", seq / par);
+
+    // Determinism spot check alongside the timing: identical slot order
+    // from the engine regardless of thread count.
+    let a = par_map_indices(32, |i| i * 7 + 1);
+    let b: Vec<usize> = (0..32).map(|i| i * 7 + 1).collect();
+    assert_eq!(a, b, "engine must be order-identical to sequential");
+
+    perf::flush_json("BENCH_campaigns.json").expect("write BENCH_campaigns.json");
+    println!("\nwrote BENCH_campaigns.json ({} entries)", perf::snapshot().len());
 }

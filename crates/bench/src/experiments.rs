@@ -8,15 +8,15 @@
 use crate::sweep::{evaluate_cell, sweep};
 use diverseav::{AgentMode, DetectorConfig, DetectorModel, TrainSample};
 use diverseav_analysis::{
-    ascii_cdf, cdf_points, estimate_fit, float_bit_diffs, generate_sequence,
-    ground_truth_controls, heatmap, matched_shifts, percentile, pixel_bit_diffs, Boxplot,
-    DiversityStats, FaultOutcomeRates, SynthConfig, Table,
+    ascii_cdf, cdf_points, estimate_fit, float_bit_diffs, generate_sequence, ground_truth_controls,
+    heatmap, matched_shifts, percentile, pixel_bit_diffs, Boxplot, DiversityStats,
+    FaultOutcomeRates, SynthConfig, Table,
 };
 use diverseav_fabric::{FaultModel, Op, Profile};
 use diverseav_faultinj::{
-    collect_training_runs, max_traj_divergence, mean_trajectory, run_campaign_with_traces,
+    collect_training_runs, max_traj_divergence, mean_trajectory, par_map, run_campaign_cached,
     run_experiment, scenario_for, summarize, Campaign, CampaignResult, CampaignScale,
-    FaultModelKind, FaultSpec, RunConfig,
+    FaultModelKind, FaultSpec, GoldenCache, RunConfig,
 };
 use diverseav_simworld::{Scenario, ScenarioKind, SensorConfig, TrajPoint, World};
 use std::fmt::Write as _;
@@ -45,30 +45,63 @@ pub fn scale() -> CampaignScale {
 /// The six GPU campaigns ({transient, permanent} × 3 scenarios) in a mode,
 /// with divergence streams recorded for offline sweeps.
 pub fn gpu_campaigns(mode: AgentMode, scale: &CampaignScale) -> Vec<CampaignResult> {
-    campaigns_for(Profile::Gpu, mode, scale)
+    let cache = GoldenCache::new();
+    campaigns_for(Profile::Gpu, mode, scale, Some(&cache))
 }
 
 /// The six CPU campaigns in a mode.
 pub fn cpu_campaigns(mode: AgentMode, scale: &CampaignScale) -> Vec<CampaignResult> {
-    campaigns_for(Profile::Cpu, mode, scale)
+    let cache = GoldenCache::new();
+    campaigns_for(Profile::Cpu, mode, scale, Some(&cache))
 }
 
-fn campaigns_for(target: Profile, mode: AgentMode, scale: &CampaignScale) -> Vec<CampaignResult> {
-    let mut out = Vec::new();
-    for kind in [FaultModelKind::Transient, FaultModelKind::Permanent] {
-        for scenario in ScenarioKind::safety_critical() {
-            let campaign = Campaign { scenario, target, kind, mode };
-            eprintln!("  running campaign {campaign} ...");
-            out.push(run_campaign_with_traces(campaign, scale, None, SensorConfig::default(), true));
-        }
-    }
-    out
+/// The six campaigns ({transient, permanent} × 3 scenarios) of one
+/// injection target in a mode, with divergence streams recorded.
+///
+/// Campaign cells fan out on the deterministic parallel engine
+/// (`DIVERSEAV_THREADS`); a shared [`GoldenCache`] collapses the golden
+/// sets the cells have in common (per scenario: transient + permanent —
+/// and across targets when the caller shares one cache over the GPU and
+/// CPU calls, the full 4× of a Table-I (scenario, mode) cell). Each
+/// campaign's wall clock is recorded in the [`perf`](crate::perf)
+/// registry.
+pub fn campaigns_for(
+    target: Profile,
+    mode: AgentMode,
+    scale: &CampaignScale,
+    cache: Option<&GoldenCache>,
+) -> Vec<CampaignResult> {
+    let cells: Vec<Campaign> = [FaultModelKind::Transient, FaultModelKind::Permanent]
+        .into_iter()
+        .flat_map(|kind| {
+            ScenarioKind::safety_critical().into_iter().map(move |scenario| Campaign {
+                scenario,
+                target,
+                kind,
+                mode,
+            })
+        })
+        .collect();
+    par_map(&cells, |&campaign| {
+        eprintln!("  running campaign {campaign} ...");
+        crate::perf::timed(
+            campaign.to_string(),
+            "campaign",
+            |r: &CampaignResult| r.golden.len() + r.injected.len(),
+            || run_campaign_cached(campaign, scale, None, SensorConfig::default(), true, cache),
+        )
+    })
 }
 
 /// Fault-free training streams for a mode (long routes, §III-D).
 pub fn training(mode: AgentMode, scale: &CampaignScale) -> Vec<Vec<TrainSample>> {
     eprintln!("  collecting {mode} training runs ...");
-    collect_training_runs(mode, scale, SensorConfig::default())
+    crate::perf::timed(
+        format!("training [{mode}]"),
+        "training",
+        |runs: &Vec<Vec<TrainSample>>| runs.len(),
+        || collect_training_runs(mode, scale, SensorConfig::default()),
+    )
 }
 
 // ---------------------------------------------------------------------
@@ -194,9 +227,7 @@ pub fn fig6_report() -> String {
         let scenario = Scenario::of_kind(kind);
         let golden = |mode: AgentMode, seed0: u64| -> Vec<diverseav_faultinj::RunResult> {
             (0..scale.golden_runs)
-                .map(|i| {
-                    run_experiment(&RunConfig::new(scenario.clone(), mode, seed0 + i as u64))
-                })
+                .map(|i| run_experiment(&RunConfig::new(scenario.clone(), mode, seed0 + i as u64)))
                 .collect()
         };
         eprintln!("  fig6: golden runs for {} ...", kind.abbrev());
@@ -240,8 +271,13 @@ pub fn table1_report() -> String {
     let scale = scale();
     let mut out = String::new();
     let _ = writeln!(out, "== Table I / §V-C: fault-injection campaign summary (DUAL mode) ==\n");
-    let gpu = gpu_campaigns(AgentMode::RoundRobin, &scale);
-    let cpu = cpu_campaigns(AgentMode::RoundRobin, &scale);
+    // One golden cache across all twelve campaigns: the four campaigns of
+    // each (scenario, mode) cell — {GPU, CPU} × {transient, permanent} —
+    // share a single golden set (~4× cut in golden work).
+    let cache = GoldenCache::new();
+    let gpu = campaigns_for(Profile::Gpu, AgentMode::RoundRobin, &scale, Some(&cache));
+    let cpu = campaigns_for(Profile::Cpu, AgentMode::RoundRobin, &scale, Some(&cache));
+    eprintln!("  golden cache: {} misses, {} hits", cache.misses(), cache.hits());
     let mut t = Table::new(vec![
         "FI target",
         "DS",
@@ -315,9 +351,7 @@ pub fn table1_report() -> String {
 // ---------------------------------------------------------------------
 
 /// Shared pipeline for Fig 7/Fig 8: DiverseAV GPU campaigns + training.
-pub fn detector_pipeline(
-    scale: &CampaignScale,
-) -> (Vec<Vec<TrainSample>>, Vec<CampaignResult>) {
+pub fn detector_pipeline(scale: &CampaignScale) -> (Vec<Vec<TrainSample>>, Vec<CampaignResult>) {
     let training = training(AgentMode::RoundRobin, scale);
     let campaigns = gpu_campaigns(AgentMode::RoundRobin, scale);
     (training, campaigns)
@@ -333,7 +367,14 @@ pub fn fig7_report() -> String {
     let col_keys: Vec<String> = result.tds.iter().map(|t| format!("{t:.0}m")).collect();
     let mut out = String::new();
     let _ = writeln!(out, "== Fig 7 / §V-D: detector precision & recall over (td, rw) ==\n");
-    out.push_str(&heatmap("Fig 7a — precision", "rw", &row_keys, "td", &col_keys, &result.precision));
+    out.push_str(&heatmap(
+        "Fig 7a — precision",
+        "rw",
+        &row_keys,
+        "td",
+        &col_keys,
+        &result.precision,
+    ));
     out.push('\n');
     out.push_str(&heatmap("Fig 7b — recall", "rw", &row_keys, "td", &col_keys, &result.recall));
     out.push('\n');
@@ -509,9 +550,10 @@ pub fn fig2_report() -> String {
 
     let mut out = String::new();
     let _ = writeln!(out, "== Fig 2(3)(4): lead-slowdown traces, orig vs DiverseAV ==\n");
-    for (title, orig, ours) in
-        [("fault-free (Fig 2(3))", &orig_ok, &ours_ok), ("permanent GPU fault (Fig 2(4))", &orig_bad, &ours_bad)]
-    {
+    for (title, orig, ours) in [
+        ("fault-free (Fig 2(3))", &orig_ok, &ours_ok),
+        ("permanent GPU fault (Fig 2(4))", &orig_bad, &ours_bad),
+    ] {
         let _ = writeln!(out, "--- {title} ---");
         let mut t = Table::new(vec![
             "t (s)",

@@ -9,6 +9,8 @@
 //! completes in minutes rather than the paper's 40 days.
 
 pub mod experiments;
+pub mod perf;
 pub mod sweep;
 
+pub use perf::{flush_json, CampaignTiming};
 pub use sweep::{evaluate_cell, replay_campaign, sweep, CellEval, ReplayedCampaign, SweepResult};

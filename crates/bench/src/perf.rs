@@ -1,0 +1,166 @@
+//! Wall-clock accounting for campaign execution, emitted as the
+//! machine-readable `BENCH_campaigns.json` artifact.
+//!
+//! Experiment pipelines record one entry per campaign (or training
+//! collection) into a process-global registry; harness binaries flush
+//! the registry to JSON so sequential-vs-parallel timings are
+//! comparable across runs without scraping stderr. The JSON writer is
+//! hand-rolled (no serde in the dependency closure).
+
+use diverseav_faultinj::{detected_parallelism, thread_count};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One timed unit of campaign work.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CampaignTiming {
+    /// Human-readable label (campaign display string, pipeline stage).
+    pub label: String,
+    /// Coarse grouping: `"campaign"`, `"training"`, `"sweep"`, ...
+    pub phase: String,
+    /// Wall-clock seconds.
+    pub wall_secs: f64,
+    /// Simulation runs covered by this entry.
+    pub runs: usize,
+    /// Worker threads the engine was configured with at record time.
+    pub threads: usize,
+}
+
+impl CampaignTiming {
+    /// Runs per wall-clock second (0 for an empty or instant entry).
+    pub fn runs_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.runs as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+static REGISTRY: Mutex<Vec<CampaignTiming>> = Mutex::new(Vec::new());
+
+/// Record one timing entry.
+pub fn record(label: impl Into<String>, phase: impl Into<String>, wall_secs: f64, runs: usize) {
+    let entry = CampaignTiming {
+        label: label.into(),
+        phase: phase.into(),
+        wall_secs,
+        runs,
+        threads: thread_count(),
+    };
+    REGISTRY.lock().expect("perf registry poisoned").push(entry);
+}
+
+/// Time `f`, record the entry (with `runs` derived from the result), and
+/// return the result.
+pub fn timed<R>(
+    label: impl Into<String>,
+    phase: impl Into<String>,
+    runs_of: impl FnOnce(&R) -> usize,
+    f: impl FnOnce() -> R,
+) -> R {
+    let start = Instant::now();
+    let result = f();
+    record(label, phase, start.elapsed().as_secs_f64(), runs_of(&result));
+    result
+}
+
+/// Copy of all recorded entries, in record order.
+pub fn snapshot() -> Vec<CampaignTiming> {
+    REGISTRY.lock().expect("perf registry poisoned").clone()
+}
+
+/// Drop all recorded entries (harness binaries isolate measurement
+/// sections with this).
+pub fn clear() {
+    REGISTRY.lock().expect("perf registry poisoned").clear();
+}
+
+/// Write every recorded entry as JSON to `path`.
+pub fn flush_json(path: &str) -> std::io::Result<()> {
+    std::fs::write(path, render_json(&snapshot()))
+}
+
+/// Render timing entries as the `BENCH_campaigns.json` document.
+pub fn render_json(entries: &[CampaignTiming]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"detected_cores\": {},\n", detected_parallelism()));
+    out.push_str(&format!("  \"threads\": {},\n", thread_count()));
+    out.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let sep = if i + 1 == entries.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"label\": \"{}\", \"phase\": \"{}\", \"wall_secs\": {:.6}, \
+             \"runs\": {}, \"runs_per_sec\": {:.3}, \"threads\": {}}}{sep}\n",
+            escape_json(&e.label),
+            escape_json(&e.phase),
+            e.wall_secs,
+            e.runs,
+            e.runs_per_sec(),
+            e.threads,
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_per_sec_handles_zero_time() {
+        let t = CampaignTiming {
+            label: "x".into(),
+            phase: "campaign".into(),
+            wall_secs: 0.0,
+            runs: 5,
+            threads: 1,
+        };
+        assert_eq!(t.runs_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn json_escapes_and_structures() {
+        let entries = vec![CampaignTiming {
+            label: "GPU-transient \"LSD\"\n".into(),
+            phase: "campaign".into(),
+            wall_secs: 2.0,
+            runs: 10,
+            threads: 4,
+        }];
+        let json = render_json(&entries);
+        assert!(json.contains("\\\"LSD\\\"\\n"));
+        assert!(json.contains("\"runs_per_sec\": 5.000"));
+        assert!(json.contains("\"detected_cores\""));
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn timed_records_an_entry() {
+        clear();
+        let v = timed("unit", "test", |v: &Vec<u8>| v.len(), || vec![1, 2, 3]);
+        assert_eq!(v.len(), 3);
+        let snap = snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].runs, 3);
+        assert_eq!(snap[0].label, "unit");
+        clear();
+    }
+}

@@ -27,11 +27,8 @@ pub fn replay_campaign(
     cfg: DetectorConfig,
     campaign: &CampaignResult,
 ) -> ReplayedCampaign {
-    let alarms = campaign
-        .injected
-        .iter()
-        .map(|r| OnlineDetector::replay(model, cfg, &r.training))
-        .collect();
+    let alarms =
+        campaign.injected.iter().map(|r| OnlineDetector::replay(model, cfg, &r.training)).collect();
     let golden_alarms = campaign
         .golden
         .iter()
@@ -106,7 +103,12 @@ pub fn evaluate_cell(
     cell
 }
 
-fn lead_time(run: &RunResult, baseline: &[diverseav_simworld::TrajPoint], td: f64, alarm: f64) -> Option<f64> {
+fn lead_time(
+    run: &RunResult,
+    baseline: &[diverseav_simworld::TrajPoint],
+    td: f64,
+    alarm: f64,
+) -> Option<f64> {
     let violation =
         run.collision_time.or_else(|| first_violation_time(&run.trajectory, baseline, td))?;
     (violation > alarm).then_some(violation - alarm)
@@ -132,7 +134,11 @@ pub struct SweepResult {
 /// Sweep detector parameters over recorded campaigns.
 ///
 /// One model is trained per `rw` from the fault-free training streams;
-/// every cell replays all recorded runs.
+/// every cell replays all recorded runs. Rows fan out on the
+/// deterministic parallel engine (`DIVERSEAV_THREADS`); best-cell
+/// selection stays a sequential fold in (rw, td) iteration order, so the
+/// tie-breaking is identical to the original nested loop for any thread
+/// count.
 pub fn sweep(
     training: &[Vec<TrainSample>],
     campaigns: &[CampaignResult],
@@ -140,34 +146,53 @@ pub fn sweep(
     tds: &[f64],
     base_cfg: DetectorConfig,
 ) -> SweepResult {
+    struct SweepRow {
+        precision: Vec<f64>,
+        recall: Vec<f64>,
+        f1: Vec<f64>,
+        scores: Vec<f64>,
+    }
+    let rows = diverseav_faultinj::par_map(rws, |&rw| {
+        let cfg = base_cfg.with_rw(rw);
+        let model = DetectorModel::train(training, &cfg);
+        let mut row = SweepRow {
+            precision: Vec::new(),
+            recall: Vec::new(),
+            f1: Vec::new(),
+            scores: Vec::new(),
+        };
+        for &td in tds {
+            let cell = evaluate_cell(&model, cfg, campaigns, td);
+            row.precision.push(cell.eval.precision());
+            row.recall.push(cell.eval.recall());
+            row.f1.push(cell.eval.f1());
+            // Prefer cells with no golden-run false alarms, as the paper
+            // requires; break F1 ties toward smaller windows (faster
+            // detection → longer lead time).
+            row.scores.push(if cell.golden_alarms == 0 {
+                cell.eval.f1()
+            } else {
+                cell.eval.f1() - 1.0
+            });
+        }
+        row
+    });
+
     let mut precision = Vec::new();
     let mut recall = Vec::new();
     let mut f1 = Vec::new();
     let mut best = (rws[0], tds[0]);
     let mut best_f1 = -1.0;
-    for &rw in rws {
-        let cfg = base_cfg.with_rw(rw);
-        let model = DetectorModel::train(training, &cfg);
-        let mut prow = Vec::new();
-        let mut rrow = Vec::new();
-        let mut frow = Vec::new();
-        for &td in tds {
-            let cell = evaluate_cell(&model, cfg, campaigns, td);
-            prow.push(cell.eval.precision());
-            rrow.push(cell.eval.recall());
-            frow.push(cell.eval.f1());
-            // Prefer cells with no golden-run false alarms, as the paper
-            // requires; break F1 ties toward smaller windows (faster
-            // detection → longer lead time).
-            let score = if cell.golden_alarms == 0 { cell.eval.f1() } else { cell.eval.f1() - 1.0 };
+    for (&rw, row) in rws.iter().zip(rows) {
+        for (&td, &score) in tds.iter().zip(&row.scores) {
             if score > best_f1 + 1e-12 {
                 best_f1 = score;
                 best = (rw, td);
             }
         }
-        precision.push(prow);
-        recall.push(rrow);
-        f1.push(frow);
+        precision.push(row.precision);
+        recall.push(row.recall);
+        f1.push(row.f1);
     }
     SweepResult { rws: rws.to_vec(), tds: tds.to_vec(), precision, recall, f1, best }
 }

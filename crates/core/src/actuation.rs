@@ -93,7 +93,13 @@ mod tests {
 
     #[test]
     fn vehstate_from_vehicle_state() {
-        let vs = VehicleState { speed: 5.0, accel: -1.0, yaw_rate: 0.2, yaw_accel: 0.5, ..Default::default() };
+        let vs = VehicleState {
+            speed: 5.0,
+            accel: -1.0,
+            yaw_rate: 0.2,
+            yaw_accel: 0.5,
+            ..Default::default()
+        };
         let s = VehState::from(&vs);
         assert_eq!(s.v, 5.0);
         assert_eq!(s.a, -1.0);

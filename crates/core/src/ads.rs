@@ -183,7 +183,10 @@ impl Ads {
     /// Memory footprint `(vram_bytes, ram_bytes)` across all agents
     /// (Table II accounting).
     pub fn memory_bytes(&self) -> (usize, usize) {
-        self.agents.iter().map(|a| a.memory_bytes()).fold((0, 0), |acc, m| (acc.0 + m.0, acc.1 + m.1))
+        self.agents
+            .iter()
+            .map(|a| a.memory_bytes())
+            .fold((0, 0), |acc, m| (acc.0 + m.0, acc.1 + m.1))
     }
 
     /// Number of frames processed so far.
@@ -233,7 +236,8 @@ impl Ads {
                     (fused, Some((active_u, peer_u)))
                 } else {
                     let active = if recipients[0] { 0 } else { 1 };
-                    let u = self.agents[active].step(frame, hint, dt, &mut unit.gpu, &mut unit.cpu)?;
+                    let u =
+                        self.agents[active].step(frame, hint, dt, &mut unit.gpu, &mut unit.cpu)?;
                     self.last_output[active] = Some(u);
                     let peer = self.last_output[1 - active];
                     let fused = self.cfg.fusion.fuse(u, peer);
@@ -361,7 +365,10 @@ mod tests {
         let mut ads = Ads::new(AdsConfig::for_mode(AgentMode::RoundRobin, 8));
         // An untrained (empty) model has floor thresholds → tiny natural
         // divergence may alarm; attach and ensure the plumbing works.
-        ads.attach_detector(DetectorModel::train(&[], &DetectorConfig::default()), DetectorConfig::default());
+        ads.attach_detector(
+            DetectorModel::train(&[], &DetectorConfig::default()),
+            DetectorConfig::default(),
+        );
         let outs = run_ticks(&mut ads, &mut w, 30);
         let alarmed = outs.iter().any(|o| o.alarm_raised);
         assert_eq!(alarmed, ads.alarm_time().is_some());

@@ -220,11 +220,7 @@ impl SmoothedDivergence {
         // Zero-padded warm-up: always divide by the full window so early
         // blips are diluted the same way in training and at runtime.
         let n = self.rw as f64;
-        Divergence {
-            throttle: self.sum[0] / n,
-            brake: self.sum[1] / n,
-            steer: self.sum[2] / n,
-        }
+        Divergence { throttle: self.sum[0] / n, brake: self.sum[1] / n, steer: self.sum[2] / n }
     }
 }
 
@@ -281,7 +277,11 @@ impl OnlineDetector {
     /// Replay a recorded divergence stream and return the alarm time, if
     /// any — the offline path used when sweeping (td, rw) parameters over
     /// recorded campaigns.
-    pub fn replay(model: &DetectorModel, cfg: DetectorConfig, stream: &[TrainSample]) -> Option<f64> {
+    pub fn replay(
+        model: &DetectorModel,
+        cfg: DetectorConfig,
+        stream: &[TrainSample],
+    ) -> Option<f64> {
         let mut det = OnlineDetector::new(model.clone(), cfg);
         for s in stream {
             det.observe(&s.state, s.div, s.t);
@@ -362,9 +362,21 @@ mod tests {
         cfg.margin = 1.0;
         let model = DetectorModel::train(&runs, &cfg);
         let mut det = OnlineDetector::new(model, cfg);
-        assert!(!det.observe(&state(5.0, 0.0), Divergence { throttle: 0.05, ..Default::default() }, 0.1));
-        assert!(det.observe(&state(5.0, 0.0), Divergence { throttle: 0.5, ..Default::default() }, 0.2));
-        assert!(!det.observe(&state(5.0, 0.0), Divergence { throttle: 0.9, ..Default::default() }, 0.3));
+        assert!(!det.observe(
+            &state(5.0, 0.0),
+            Divergence { throttle: 0.05, ..Default::default() },
+            0.1
+        ));
+        assert!(det.observe(
+            &state(5.0, 0.0),
+            Divergence { throttle: 0.5, ..Default::default() },
+            0.2
+        ));
+        assert!(!det.observe(
+            &state(5.0, 0.0),
+            Divergence { throttle: 0.9, ..Default::default() },
+            0.3
+        ));
         assert_eq!(det.alarm_time(), Some(0.2));
     }
 

@@ -52,11 +52,11 @@ impl AgentMode {
             AgentMode::Single => [true, false],
             AgentMode::RoundRobin => {
                 if let Some(p) = overlap_period {
-                    if p > 0 && step % p as u64 == 0 {
+                    if p > 0 && step.is_multiple_of(p as u64) {
                         return [true, true];
                     }
                 }
-                if step % 2 == 0 {
+                if step.is_multiple_of(2) {
                     [true, false]
                 } else {
                     [false, true]

@@ -540,10 +540,7 @@ mod tests {
         let prog = b.build();
         let mut f = Fabric::new(Profile::Cpu);
         let mut ctx = f.new_context(16);
-        assert_eq!(
-            f.run_scalar(&prog, &mut ctx, 100).unwrap_err(),
-            Trap::OutOfBounds { addr: 99 }
-        );
+        assert_eq!(f.run_scalar(&prog, &mut ctx, 100).unwrap_err(), Trap::OutOfBounds { addr: 99 });
     }
 
     #[test]

@@ -1,8 +1,6 @@
 //! Property-based tests for the fabric VM.
 
-use diverseav_fabric::{
-    f32_to_bits, Fabric, FaultModel, Op, Profile, ProgramBuilder, Reg, Trap,
-};
+use diverseav_fabric::{f32_to_bits, Fabric, FaultModel, Op, Profile, ProgramBuilder, Reg, Trap};
 use proptest::prelude::*;
 
 /// Build a straight-line float pipeline from `(a, b)` pairs.

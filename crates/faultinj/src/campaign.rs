@@ -1,6 +1,8 @@
 //! The Campaign Manager (Fig 3): orchestrates golden runs, profiling, plan
 //! generation, injection runs, and Table-I summarization.
 
+use crate::cache::{GoldenCache, GoldenKey, GoldenSet};
+use crate::exec::{par_map, par_map_indices};
 use crate::outcome::{classify, mean_trajectory, OutcomeClass};
 use crate::plan::{generate_plan, FaultModelKind, PlanConfig};
 use crate::runner::{run_experiment, RunConfig, RunResult};
@@ -139,20 +141,61 @@ pub fn run_campaign_with_traces(
     sensor: SensorConfig,
     collect_traces: bool,
 ) -> CampaignResult {
+    run_campaign_cached(campaign, scale, detector, sensor, collect_traces, None)
+}
+
+/// [`run_campaign_with_traces`] with an optional [`GoldenCache`] shared
+/// across campaigns.
+///
+/// The four campaigns of a (scenario, mode) Table-I cell — {GPU, CPU} ×
+/// {transient, permanent} — request identical golden sets; the cache
+/// computes each distinct set once. Runs fan out on the deterministic
+/// [`par_map`](crate::exec::par_map) engine: every run is seeded
+/// explicitly (golden `1000 + i`, injected `2000 + i`), so results are
+/// bit-identical to sequential execution for any `DIVERSEAV_THREADS`.
+///
+/// Detector-attached golden runs carry per-campaign alarm annotations
+/// and therefore always bypass the cache.
+pub fn run_campaign_cached(
+    campaign: Campaign,
+    scale: &CampaignScale,
+    detector: Option<(DetectorModel, DetectorConfig)>,
+    sensor: SensorConfig,
+    collect_traces: bool,
+    cache: Option<&GoldenCache>,
+) -> CampaignResult {
     let scenario = scenario_for(campaign.scenario, scale);
 
     // Golden runs (also the NVBitFI-style profiling pass).
-    let golden: Vec<RunResult> = (0..scale.golden_runs.max(1))
-        .map(|i| {
+    let run_golden_set = || {
+        let golden = par_map_indices(scale.golden_runs.max(1), |i| {
             let mut cfg = RunConfig::new(scenario.clone(), campaign.mode, 1_000 + i as u64);
             cfg.sensor = sensor;
             cfg.detector = detector.clone();
             cfg.collect_training = collect_traces;
             run_experiment(&cfg)
-        })
-        .collect();
-    let trajectories: Vec<&[TrajPoint]> = golden.iter().map(|g| g.trajectory.as_slice()).collect();
-    let baseline = mean_trajectory(&trajectories);
+        });
+        let trajectories: Vec<&[TrajPoint]> =
+            golden.iter().map(|g| g.trajectory.as_slice()).collect();
+        let baseline = mean_trajectory(&trajectories);
+        GoldenSet { golden, baseline }
+    };
+    let golden_set = match (&detector, cache) {
+        // Detector runs are annotated per campaign — never share them.
+        (None, Some(cache)) => {
+            let key = GoldenKey::new(
+                campaign.scenario,
+                scenario.duration,
+                campaign.mode,
+                &sensor,
+                scale.golden_runs.max(1),
+                collect_traces,
+            );
+            (*cache.get_or_compute(key, run_golden_set)).clone()
+        }
+        _ => run_golden_set(),
+    };
+    let GoldenSet { golden, baseline } = golden_set;
 
     // Injection plan from the first golden run's profile.
     let plan = generate_plan(
@@ -162,24 +205,63 @@ pub fn run_campaign_with_traces(
             target: campaign.target,
             n_transient: scale.n_transient,
             repeats: scale.permanent_repeats,
-            seed: 0xC0FE ^ campaign.scenario.abbrev().len() as u64,
+            seed: plan_seed(&campaign),
         },
     );
 
-    let injected: Vec<RunResult> = plan
-        .iter()
-        .enumerate()
-        .map(|(i, &spec)| {
-            let mut cfg = RunConfig::new(scenario.clone(), campaign.mode, 2_000 + i as u64);
-            cfg.sensor = sensor;
-            cfg.fault = Some(spec);
-            cfg.detector = detector.clone();
-            cfg.collect_training = collect_traces;
-            run_experiment(&cfg)
-        })
-        .collect();
+    let injected: Vec<RunResult> = par_map_indices(plan.len(), |i| {
+        let mut cfg = RunConfig::new(scenario.clone(), campaign.mode, 2_000 + i as u64);
+        cfg.sensor = sensor;
+        cfg.fault = Some(plan[i]);
+        cfg.detector = detector.clone();
+        cfg.collect_training = collect_traces;
+        run_experiment(&cfg)
+    });
 
     CampaignResult { campaign, golden, injected, baseline }
+}
+
+/// Injection-plan seed derived from every campaign discriminant.
+///
+/// The original expression (`0xC0FE ^ abbrev().len()`) collapsed to the
+/// same seed for any two scenarios whose abbreviations share a length —
+/// GhostCutIn ("GC") and FrontAccident ("FA") collided, and the target,
+/// fault model, and agent mode never entered at all. Folding explicit
+/// discriminant codes through SplitMix64 gives every campaign cell a
+/// well-separated seed.
+pub fn plan_seed(campaign: &Campaign) -> u64 {
+    let scenario_code: u64 = match campaign.scenario {
+        ScenarioKind::LeadSlowdown => 1,
+        ScenarioKind::GhostCutIn => 2,
+        ScenarioKind::FrontAccident => 3,
+        ScenarioKind::LongRoute(i) => 0x100 + i as u64,
+    };
+    let target_code: u64 = match campaign.target {
+        Profile::Cpu => 1,
+        Profile::Gpu => 2,
+    };
+    let kind_code: u64 = match campaign.kind {
+        FaultModelKind::Transient => 1,
+        FaultModelKind::Permanent => 2,
+    };
+    let mode_code: u64 = match campaign.mode {
+        AgentMode::Single => 1,
+        AgentMode::RoundRobin => 2,
+        AgentMode::Duplicate => 3,
+    };
+    let mut seed = 0xC0FE;
+    for code in [scenario_code, target_code, kind_code, mode_code] {
+        seed = splitmix64(seed ^ code);
+    }
+    seed
+}
+
+/// SplitMix64 finalizer: one bijective, well-mixing step.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Build the scenario for a campaign at the given scale.
@@ -215,19 +297,17 @@ pub fn collect_training_runs(
     scale: &CampaignScale,
     sensor: SensorConfig,
 ) -> Vec<Vec<TrainSample>> {
-    let mut runs = Vec::new();
-    for route in 0..3u8 {
+    // Route-major job list, fanned out on the deterministic engine: the
+    // output order (and every seed) matches the original nested loop.
+    let jobs: Vec<(u8, usize)> =
+        (0..3u8).flat_map(|route| (0..scale.training_runs).map(move |rep| (route, rep))).collect();
+    par_map(&jobs, |&(route, rep)| {
         let scenario = long_route(route, scale.long_route_duration);
-        for rep in 0..scale.training_runs {
-            let mut cfg =
-                RunConfig::new(scenario.clone(), mode, 7_000 + route as u64 * 31 + rep as u64);
-            cfg.sensor = sensor;
-            cfg.collect_training = true;
-            let result = run_experiment(&cfg);
-            runs.push(result.training);
-        }
-    }
-    runs
+        let mut cfg = RunConfig::new(scenario, mode, 7_000 + route as u64 * 31 + rep as u64);
+        cfg.sensor = sensor;
+        cfg.collect_training = true;
+        run_experiment(&cfg).training
+    })
 }
 
 #[cfg(test)]
@@ -314,6 +394,27 @@ mod tests {
     fn campaign_display_matches_table_style() {
         let c = tiny_campaign(FaultModelKind::Permanent, Profile::Gpu);
         assert_eq!(c.to_string(), "GPU-permanent LSD [diverseav]");
+    }
+
+    #[test]
+    fn plan_seeds_separate_all_campaign_discriminants() {
+        let base = tiny_campaign(FaultModelKind::Transient, Profile::Gpu);
+        // The historical collision: GC and FA abbreviations share a length.
+        let gc = Campaign { scenario: ScenarioKind::GhostCutIn, ..base };
+        let fa = Campaign { scenario: ScenarioKind::FrontAccident, ..base };
+        assert_ne!(plan_seed(&gc), plan_seed(&fa));
+        // Every discriminant must reach the seed.
+        let variants = [
+            Campaign { target: Profile::Cpu, ..base },
+            Campaign { kind: FaultModelKind::Permanent, ..base },
+            Campaign { mode: AgentMode::Single, ..base },
+            Campaign { scenario: ScenarioKind::LongRoute(0), ..base },
+        ];
+        let mut seeds: Vec<u64> = variants.iter().map(plan_seed).collect();
+        seeds.push(plan_seed(&base));
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 5, "all campaign variants must get distinct seeds");
     }
 
     #[test]

@@ -31,7 +31,13 @@ pub fn write_divergence_csv<W: Write>(mut w: W, result: &RunResult) -> io::Resul
         writeln!(
             w,
             "{:.4},{:.4},{:.4},{:.5},{:.5},{:.6},{:.6},{:.6}",
-            s.t, s.state.v, s.state.a, s.state.w, s.state.alpha, s.div.throttle, s.div.brake,
+            s.t,
+            s.state.v,
+            s.state.a,
+            s.state.w,
+            s.state.alpha,
+            s.div.throttle,
+            s.div.brake,
             s.div.steer
         )?;
     }
@@ -88,7 +94,7 @@ pub fn write_summary_csv<W: Write>(mut w: W, results: &[RunResult]) -> io::Resul
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::runner::{RunConfig, run_experiment};
+    use crate::runner::{run_experiment, RunConfig};
     use diverseav::AgentMode;
     use diverseav_simworld::lead_slowdown;
 

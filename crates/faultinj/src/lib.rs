@@ -30,16 +30,20 @@
 //! println!("{campaign}: {} active, {} hang/crash", row.active, row.hang_crash);
 //! ```
 
+pub mod cache;
 pub mod campaign;
+pub mod exec;
 pub mod export;
 pub mod outcome;
 pub mod plan;
 pub mod runner;
 
+pub use cache::{GoldenCache, GoldenKey, GoldenSet};
 pub use campaign::{
-    collect_training_runs, run_campaign, run_campaign_with_traces, scenario_for, summarize,
-    Campaign, CampaignResult, CampaignScale, TableRow,
+    collect_training_runs, plan_seed, run_campaign, run_campaign_cached, run_campaign_with_traces,
+    scenario_for, summarize, Campaign, CampaignResult, CampaignScale, TableRow,
 };
+pub use exec::{detected_parallelism, par_map, par_map_indices, par_map_with, thread_count};
 pub use export::{
     write_actuation_csv, write_divergence_csv, write_summary_csv, write_trajectory_csv,
 };

@@ -32,10 +32,7 @@ pub fn mean_trajectory(runs: &[&[TrajPoint]]) -> Vec<TrajPoint> {
         let (sx, sy, st) = pts
             .iter()
             .fold((0.0, 0.0, 0.0), |acc, p| (acc.0 + p.pos.x, acc.1 + p.pos.y, acc.2 + p.t));
-        out.push(TrajPoint {
-            t: st / n,
-            pos: diverseav_simworld::Vec2::new(sx / n, sy / n),
-        });
+        out.push(TrajPoint { t: st / n, pos: diverseav_simworld::Vec2::new(sx / n, sy / n) });
     }
     out
 }
@@ -43,18 +40,12 @@ pub fn mean_trajectory(runs: &[&[TrajPoint]]) -> Vec<TrajPoint> {
 /// Maximum positional divergence `δ_pos^{E,B}` between a run's trajectory
 /// and the baseline, compared index-aligned over their overlap (§V-B).
 pub fn max_traj_divergence(traj: &[TrajPoint], baseline: &[TrajPoint]) -> f64 {
-    traj.iter()
-        .zip(baseline.iter())
-        .map(|(a, b)| a.pos.dist(b.pos))
-        .fold(0.0, f64::max)
+    traj.iter().zip(baseline.iter()).map(|(a, b)| a.pos.dist(b.pos)).fold(0.0, f64::max)
 }
 
 /// Time at which the trajectory first diverges ≥ `td` from the baseline.
 pub fn first_violation_time(traj: &[TrajPoint], baseline: &[TrajPoint], td: f64) -> Option<f64> {
-    traj.iter()
-        .zip(baseline.iter())
-        .find(|(a, b)| a.pos.dist(b.pos) >= td)
-        .map(|(a, _)| a.t)
+    traj.iter().zip(baseline.iter()).find(|(a, b)| a.pos.dist(b.pos) >= td).map(|(a, _)| a.t)
 }
 
 /// Classify one run against a baseline trajectory with threshold `td`.
@@ -145,9 +136,8 @@ pub fn evaluate_detector(results: &[RunResult], baseline: &[TrajPoint], td: f64)
 /// the run has no alarm or no violation, or the alarm came after.
 pub fn lead_detection_time(result: &RunResult, baseline: &[TrajPoint], td: f64) -> Option<f64> {
     let alarm = result.alarm_time?;
-    let violation = result
-        .collision_time
-        .or_else(|| first_violation_time(&result.trajectory, baseline, td))?;
+    let violation =
+        result.collision_time.or_else(|| first_violation_time(&result.trajectory, baseline, td))?;
     (violation > alarm).then_some(violation - alarm)
 }
 

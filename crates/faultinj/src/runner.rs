@@ -91,7 +91,7 @@ impl RunConfig {
 }
 
 /// Everything recorded from one experimental run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunResult {
     /// Scenario name.
     pub scenario: String,

@@ -291,11 +291,7 @@ mod tests {
     fn obb_rotated_near_miss() {
         let a = Obb::new(Pose::new(Vec2::ZERO, 0.0), 4.0, 2.0);
         // Rotated box diagonally adjacent: centers 3.1m apart on a diagonal.
-        let d = Obb::new(
-            Pose::new(Vec2::new(2.6, 2.2), std::f64::consts::FRAC_PI_4),
-            4.0,
-            2.0,
-        );
+        let d = Obb::new(Pose::new(Vec2::new(2.6, 2.2), std::f64::consts::FRAC_PI_4), 4.0, 2.0);
         // Sanity: the SAT test must be symmetric.
         assert_eq!(a.intersects(&d), d.intersects(&a));
     }

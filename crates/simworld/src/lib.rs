@@ -33,7 +33,9 @@ pub mod world;
 
 pub use geometry::{Obb, Pose, Vec2};
 pub use npc::{idm_accel, GapAhead, IdmParams, Npc, NpcBehavior};
-pub use scenario::{front_accident, ghost_cut_in, lead_slowdown, long_route, Scenario, ScenarioKind};
+pub use scenario::{
+    front_accident, ghost_cut_in, lead_slowdown, long_route, Scenario, ScenarioKind,
+};
 pub use sensors::{
     lidar_scan, render_camera, Image, ImuReading, RenderScene, SensorConfig, SensorFrame,
 };

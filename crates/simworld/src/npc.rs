@@ -236,7 +236,8 @@ mod tests {
 
     #[test]
     fn lead_slowdown_brakes_to_stop() {
-        let mut npc = Npc::new(25.0, 0.0, 8.0, NpcBehavior::LeadSlowdown { brake_at: 1.0, decel: 6.0 });
+        let mut npc =
+            Npc::new(25.0, 0.0, 8.0, NpcBehavior::LeadSlowdown { brake_at: 1.0, decel: 6.0 });
         let dt = 0.025;
         let mut t = 0.0;
         while t < 0.9 {
@@ -278,7 +279,8 @@ mod tests {
     #[test]
     fn merge_pair_stops_at_crash() {
         let dt = 0.025;
-        let mut collider = Npc::new(5.0, LANE_WIDTH, 9.0, NpcBehavior::MergeCollider { crash_at: 3.0 });
+        let mut collider =
+            Npc::new(5.0, LANE_WIDTH, 9.0, NpcBehavior::MergeCollider { crash_at: 3.0 });
         let mut victim = Npc::new(10.0, 0.0, 8.0, NpcBehavior::MergeVictim { crash_at: 3.0 });
         let mut t = 0.0;
         while t < 6.0 {

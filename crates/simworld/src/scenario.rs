@@ -134,8 +134,13 @@ pub fn front_accident() -> Scenario {
         Npc::new(ego_start_s + 35.0, 0.0, speed, NpcBehavior::MergeVictim { crash_at })
             .with_shade(4),
         // The striking merger, gaining in the adjacent lane.
-        Npc::new(ego_start_s + 18.0, LANE_WIDTH, speed + 2.2, NpcBehavior::MergeCollider { crash_at })
-            .with_shade(1),
+        Npc::new(
+            ego_start_s + 18.0,
+            LANE_WIDTH,
+            speed + 2.2,
+            NpcBehavior::MergeCollider { crash_at },
+        )
+        .with_shade(1),
     ];
     Scenario {
         name: "front-accident".to_string(),
@@ -204,7 +209,12 @@ pub fn long_route(route_id: u8, duration: f64) -> Scenario {
             0.0,
             LANE_WIDTH,
             cruise + 2.0,
-            NpcBehavior::CutIn { cut_at: 7.5, duration: cut_duration, target_lateral: 0.0, post_speed },
+            NpcBehavior::CutIn {
+                cut_at: 7.5,
+                duration: cut_duration,
+                target_lateral: 0.0,
+                post_speed,
+            },
         )
         .with_shade(1),
     );

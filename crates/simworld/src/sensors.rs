@@ -228,7 +228,8 @@ pub fn render_camera(cfg: &SensorConfig, scene: &RenderScene<'_>, cam: usize) ->
                 let mut rgb = [0u8; 3];
                 for ch in 0..3 {
                     let n = hash_amp(noise_key, ((px * 4 + ch) * 4096 + py) as u64)
-                        * cfg.pixel_noise * 2.0;
+                        * cfg.pixel_noise
+                        * 2.0;
                     rgb[ch] = quantize(base[ch] + n);
                 }
                 img.set_pixel(px, py, rgb);
@@ -267,7 +268,8 @@ pub fn render_camera(cfg: &SensorConfig, scene: &RenderScene<'_>, cam: usize) ->
             let tex = hash_amp(cellx, celly) * cfg.texture_amp;
             let mut rgb = [0u8; 3];
             for ch in 0..3 {
-                let n = hash_amp(noise_key, ((px * 4 + ch) * 4096 + py) as u64) * cfg.pixel_noise * 2.0;
+                let n =
+                    hash_amp(noise_key, ((px * 4 + ch) * 4096 + py) as u64) * cfg.pixel_noise * 2.0;
                 rgb[ch] = quantize(base[ch] + tex + n);
             }
             img.set_pixel(px, py, rgb);
@@ -305,7 +307,8 @@ pub fn render_camera(cfg: &SensorConfig, scene: &RenderScene<'_>, cam: usize) ->
         // paint variety (the perception kernel keys on blueness).
         let fade = 1.0 / (1.0 + 0.006 * f);
         let shade = npc.shade as f64 * 10.0;
-        let base = [(38.0 + shade) * fade, (42.0 + shade) * fade, (205.0 + shade).min(235.0) * fade];
+        let base =
+            [(38.0 + shade) * fade, (42.0 + shade) * fade, (205.0 + shade).min(235.0) * fade];
         for py in y0..y1 {
             for px in x0..x1 {
                 // Texture anchored to the vehicle body (4×4 panels) so the
@@ -316,7 +319,8 @@ pub fn render_camera(cfg: &SensorConfig, scene: &RenderScene<'_>, cam: usize) ->
                 let mut rgb = [0u8; 3];
                 for ch in 0..3 {
                     let n = hash_amp(noise_key, ((px * 4 + ch) * 4096 + py) as u64)
-                        * cfg.pixel_noise * 2.0;
+                        * cfg.pixel_noise
+                        * 2.0;
                     rgb[ch] = quantize(base[ch] + tex + n);
                 }
                 img.set_pixel(px, py, rgb);
@@ -393,13 +397,7 @@ mod tests {
     use crate::npc::NpcBehavior;
 
     fn scene_with<'a>(track: &'a Track, npcs: &'a [Npc], seed: u64) -> RenderScene<'a> {
-        RenderScene {
-            track,
-            ego: Pose::new(Vec2::ZERO, 0.0),
-            ego_s: 0.0,
-            npcs,
-            frame_seed: seed,
-        }
+        RenderScene { track, ego: Pose::new(Vec2::ZERO, 0.0), ego_s: 0.0, npcs, frame_seed: seed }
     }
 
     #[test]
@@ -543,14 +541,20 @@ mod tests {
     #[test]
     fn ray_segment_math() {
         // Ray along +x hits the vertical segment x=5, y ∈ [-1, 1] at t=5.
-        let t = ray_segment(Vec2::ZERO, Vec2::new(1.0, 0.0), Vec2::new(5.0, -1.0), Vec2::new(5.0, 1.0));
+        let t =
+            ray_segment(Vec2::ZERO, Vec2::new(1.0, 0.0), Vec2::new(5.0, -1.0), Vec2::new(5.0, 1.0));
         assert!((t.expect("hit") - 5.0).abs() < 1e-9);
         // Misses a segment off to the side.
-        let miss = ray_segment(Vec2::ZERO, Vec2::new(1.0, 0.0), Vec2::new(5.0, 2.0), Vec2::new(5.0, 3.0));
+        let miss =
+            ray_segment(Vec2::ZERO, Vec2::new(1.0, 0.0), Vec2::new(5.0, 2.0), Vec2::new(5.0, 3.0));
         assert_eq!(miss, None);
         // Behind the origin → no hit.
-        let behind =
-            ray_segment(Vec2::ZERO, Vec2::new(1.0, 0.0), Vec2::new(-5.0, -1.0), Vec2::new(-5.0, 1.0));
+        let behind = ray_segment(
+            Vec2::ZERO,
+            Vec2::new(1.0, 0.0),
+            Vec2::new(-5.0, -1.0),
+            Vec2::new(-5.0, 1.0),
+        );
         assert_eq!(behind, None);
     }
 

@@ -131,11 +131,8 @@ impl Vehicle {
         let new_speed = (s.speed + accel * dt).max(0.0);
 
         let steer_angle = c.steer * p.max_steer;
-        let new_yaw_rate = if new_speed > 1e-6 {
-            new_speed / p.wheelbase * steer_angle.tan()
-        } else {
-            0.0
-        };
+        let new_yaw_rate =
+            if new_speed > 1e-6 { new_speed / p.wheelbase * steer_angle.tan() } else { 0.0 };
 
         s.yaw_accel = (new_yaw_rate - s.yaw_rate) / dt;
         s.yaw_rate = new_yaw_rate;

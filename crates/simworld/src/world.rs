@@ -5,7 +5,9 @@
 use crate::geometry::Vec2;
 use crate::npc::{next_stopping_light, GapAhead, Npc, NpcBehavior};
 use crate::scenario::Scenario;
-use crate::sensors::{lidar_scan, render_camera, ImuReading, RenderScene, SensorConfig, SensorFrame};
+use crate::sensors::{
+    lidar_scan, render_camera, ImuReading, RenderScene, SensorConfig, SensorFrame,
+};
 use crate::vehicle::{Controls, Vehicle, VehicleState};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -166,7 +168,8 @@ impl World {
         let look = self.ego_s + 8.0;
         let curvature = track.curvature_at(look);
         // Curve comfort limit: lateral acceleration ≤ 2 m/s².
-        let curve_limit = if curvature.abs() > 1e-4 { (2.0 / curvature.abs()).sqrt() } else { f64::MAX };
+        let curve_limit =
+            if curvature.abs() > 1e-4 { (2.0 / curvature.abs()).sqrt() } else { f64::MAX };
         // Traffic-light handling: decelerate to stop ~4 m before the line.
         let light_limit = match next_stopping_light(self.ego_s, self.t, &self.scenario.lights, 45.0)
         {
@@ -177,8 +180,7 @@ impl World {
             None => f64::MAX,
         };
         let limit = self.scenario.cruise_speed.min(curve_limit).min(light_limit);
-        let mut heading_err =
-            self.ego.state.pose.heading - track.heading_at(self.ego_s);
+        let mut heading_err = self.ego.state.pose.heading - track.heading_at(self.ego_s);
         while heading_err > std::f64::consts::PI {
             heading_err -= std::f64::consts::TAU;
         }
@@ -216,7 +218,8 @@ impl World {
             accel: (self.ego.state.accel + self.gauss(self.sensor_cfg.imu_noise)) as f32,
             yaw_rate: (self.ego.state.yaw_rate + self.gauss(self.sensor_cfg.imu_noise)) as f32,
         };
-        let speed = (self.ego.state.speed + self.gauss(self.sensor_cfg.speed_noise)).max(0.0) as f32;
+        let speed =
+            (self.ego.state.speed + self.gauss(self.sensor_cfg.speed_noise)).max(0.0) as f32;
         SensorFrame { t: self.t, step: self.step_idx, cameras, gps, imu, speed, lidar }
     }
 
@@ -230,7 +233,11 @@ impl World {
     /// Advance the world by one tick under the ego `controls`.
     pub fn step(&mut self, controls: Controls) -> WorldStatus {
         if self.finished() {
-            return if self.collision_t.is_some() { WorldStatus::Collision } else { WorldStatus::Finished };
+            return if self.collision_t.is_some() {
+                WorldStatus::Collision
+            } else {
+                WorldStatus::Finished
+            };
         }
         let dt = self.dt();
 
@@ -365,11 +372,7 @@ mod tests {
         while !w.finished() {
             // Perfect-knowledge policy: brake when CVIP shrinks.
             let cvip = w.cvip().unwrap_or(f64::INFINITY);
-            let c = if cvip < 18.0 {
-                Controls::full_brake()
-            } else {
-                cruise_controls(&w, 8.0)
-            };
+            let c = if cvip < 18.0 { Controls::full_brake() } else { cruise_controls(&w, 8.0) };
             w.step(c);
         }
         assert!(w.collision_time().is_none(), "braking policy should be safe");

@@ -6,8 +6,8 @@
 //! cargo run --release --example bit_diversity
 //! ```
 
-use diverseav_analysis::{matched_shifts, percentile, pixel_bit_diffs, DiversityStats};
 use diverseav_analysis::{generate_sequence, SynthConfig};
+use diverseav_analysis::{matched_shifts, percentile, pixel_bit_diffs, DiversityStats};
 use diverseav_simworld::{lead_slowdown, Controls, SensorConfig, World};
 
 fn main() {

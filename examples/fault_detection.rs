@@ -16,11 +16,8 @@ use diverseav_simworld::{lead_slowdown, SensorConfig};
 fn main() {
     // 1. Train the error detector on fault-free long-route executions
     //    (§III-D of the paper). A small scale keeps this example fast.
-    let scale = CampaignScale {
-        long_route_duration: 60.0,
-        training_runs: 1,
-        ..CampaignScale::quick()
-    };
+    let scale =
+        CampaignScale { long_route_duration: 60.0, training_runs: 1, ..CampaignScale::quick() };
     println!("training the error detector on the long routes ...");
     let training = collect_training_runs(AgentMode::RoundRobin, &scale, SensorConfig::default());
     let det_cfg = DetectorConfig::default().with_rw(3);

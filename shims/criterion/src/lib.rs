@@ -1,0 +1,246 @@
+//! Offline stand-in for the subset of the `criterion` 0.5 API this
+//! workspace uses: `Criterion` with `bench_function`/`benchmark_group`,
+//! `Bencher::{iter, iter_batched}`, `Throughput`, `BatchSize`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors this shim via a path dependency. It is a plain timing harness:
+//! each benchmark is warmed up, then timed for the configured measurement
+//! window, and a single mean-per-iteration line (plus derived throughput)
+//! is printed. No statistics, baselines, or HTML reports.
+
+use std::time::{Duration, Instant};
+
+/// Opaque hint preserved for API compatibility.
+#[derive(Copy, Clone, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs (the only variant this workspace uses).
+    SmallInput,
+    /// Larger inputs, batched less aggressively.
+    LargeInput,
+}
+
+/// Per-iteration work declaration for derived rates.
+#[derive(Copy, Clone, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    /// (iterations, total time) recorded by the last `iter*` call.
+    result: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    fn run<F: FnMut()>(&mut self, mut one: F) {
+        let warm_end = Instant::now() + self.warm_up;
+        while Instant::now() < warm_end {
+            one();
+        }
+        let mut iters = 0u64;
+        let start = Instant::now();
+        let end = start + self.measurement;
+        while Instant::now() < end {
+            one();
+            iters += 1;
+        }
+        self.result = Some((iters.max(1), start.elapsed()));
+    }
+
+    /// Time a closure repeatedly.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        self.run(|| {
+            std::hint::black_box(routine());
+        });
+    }
+
+    /// Time `routine` over fresh inputs built by `setup` (setup excluded
+    /// from the timing in real criterion; here it is included in the
+    /// wall-clock window but each `routine` call still gets a fresh
+    /// input, which preserves correctness of the benchmarked code).
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        self.run(|| {
+            let input = setup();
+            std::hint::black_box(routine(input));
+        });
+    }
+}
+
+/// Top-level harness state and configuration.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { warm_up: Duration::from_millis(300), measurement: Duration::from_secs(1) }
+    }
+}
+
+impl Criterion {
+    /// Accepted-but-ignored (no statistical resampling here).
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Set the measurement window.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Set the warm-up window.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(self.warm_up, self.measurement, name, None, f);
+        self
+    }
+
+    /// Open a named group (prefixes benchmark ids, carries throughput).
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string(), throughput: None }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare per-iteration work for derived rates.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let id = format!("{}/{}", self.name, name);
+        run_one(self.criterion.warm_up, self.criterion.measurement, &id, self.throughput, f);
+        self
+    }
+
+    /// End the group (printing is per-benchmark; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    warm_up: Duration,
+    measurement: Duration,
+    id: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher { warm_up, measurement, result: None };
+    f(&mut bencher);
+    match bencher.result {
+        Some((iters, total)) => {
+            let per_iter = total.as_secs_f64() / iters as f64;
+            let rate = match throughput {
+                Some(Throughput::Elements(n)) => {
+                    format!("  {:>12.0} elem/s", n as f64 / per_iter)
+                }
+                Some(Throughput::Bytes(n)) => {
+                    format!("  {:>12.0} B/s", n as f64 / per_iter)
+                }
+                None => String::new(),
+            };
+            println!("{id:<40} {:>12} /iter  ({iters} iters){rate}", fmt_duration(per_iter));
+        }
+        None => println!("{id:<40} (no measurement recorded)"),
+    }
+}
+
+fn fmt_duration(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// `criterion_group!`: both the `name/config/targets` and positional
+/// forms produce a function running every target.
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),* $(,)?
+    ) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )*
+        }
+    };
+    ($name:ident, $($target:path),* $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),*
+        }
+    };
+}
+
+/// `criterion_main!`: entry point invoking each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),* $(,)?) => {
+        fn main() {
+            $( $group(); )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = quick();
+        let mut count = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| count += 1));
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn groups_and_batched_iters_run() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(10));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 8], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

@@ -4,8 +4,8 @@
 use diverseav::{AgentMode, DetectorConfig, DetectorModel, OnlineDetector};
 use diverseav_fabric::{FaultModel, Op, Profile};
 use diverseav_faultinj::{
-    classify, collect_training_runs, generate_plan, mean_trajectory, run_experiment,
-    CampaignScale, FaultModelKind, FaultSpec, OutcomeClass, PlanConfig, RunConfig, Termination,
+    classify, collect_training_runs, generate_plan, mean_trajectory, run_experiment, CampaignScale,
+    FaultModelKind, FaultSpec, OutcomeClass, PlanConfig, RunConfig, Termination,
 };
 use diverseav_simworld::{lead_slowdown, Scenario, ScenarioKind, SensorConfig, TrajPoint};
 
@@ -27,7 +27,8 @@ fn tiny_scale() -> CampaignScale {
 
 #[test]
 fn detector_trains_and_stays_silent_on_golden_run() {
-    let training = collect_training_runs(AgentMode::RoundRobin, &tiny_scale(), SensorConfig::default());
+    let training =
+        collect_training_runs(AgentMode::RoundRobin, &tiny_scale(), SensorConfig::default());
     assert_eq!(training.len(), 3, "one run per long route");
     let cfg = DetectorConfig::default();
     let model = DetectorModel::train(&training, &cfg);
@@ -43,7 +44,8 @@ fn detector_trains_and_stays_silent_on_golden_run() {
 
 #[test]
 fn severe_permanent_gpu_fault_is_detected_or_platform_caught() {
-    let training = collect_training_runs(AgentMode::RoundRobin, &tiny_scale(), SensorConfig::default());
+    let training =
+        collect_training_runs(AgentMode::RoundRobin, &tiny_scale(), SensorConfig::default());
     let cfg = DetectorConfig::default();
     let model = DetectorModel::train(&training, &cfg);
     // An exponent-bit corruption of every FMax destroys perception.
@@ -111,7 +113,8 @@ fn plan_generation_covers_profiled_opcodes() {
 #[test]
 fn fd_mode_detects_single_unit_fault() {
     // FD baseline: fault on one processor, the clean duplicate disagrees.
-    let training = collect_training_runs(AgentMode::Duplicate, &tiny_scale(), SensorConfig::default());
+    let training =
+        collect_training_runs(AgentMode::Duplicate, &tiny_scale(), SensorConfig::default());
     let cfg = DetectorConfig::default();
     let model = DetectorModel::train(&training, &cfg);
     let mut rc = RunConfig::new(short(ScenarioKind::LeadSlowdown, 15.0), AgentMode::Duplicate, 41);
@@ -132,11 +135,13 @@ fn fd_mode_detects_single_unit_fault() {
 #[test]
 fn replay_matches_online_detection() {
     // The offline sweep path must agree with the online detector.
-    let training = collect_training_runs(AgentMode::RoundRobin, &tiny_scale(), SensorConfig::default());
+    let training =
+        collect_training_runs(AgentMode::RoundRobin, &tiny_scale(), SensorConfig::default());
     let cfg = DetectorConfig::default();
     let model = DetectorModel::train(&training, &cfg);
 
-    let mut rc = RunConfig::new(short(ScenarioKind::FrontAccident, 15.0), AgentMode::RoundRobin, 51);
+    let mut rc =
+        RunConfig::new(short(ScenarioKind::FrontAccident, 15.0), AgentMode::RoundRobin, 51);
     rc.detector = Some((model.clone(), cfg));
     rc.collect_training = true;
     rc.fault = Some(FaultSpec {
@@ -180,7 +185,10 @@ fn transient_faults_are_mostly_masked() {
         rc.fault = Some(FaultSpec {
             unit: 0,
             profile: Profile::Gpu,
-            model: FaultModel::Transient { instr_index: space / total as u64 * k as u64 + 17, mask: 1 << 5 },
+            model: FaultModel::Transient {
+                instr_index: space / total as u64 * k as u64 + 17,
+                mask: 1 << 5,
+            },
         });
         let r = run_experiment(&rc);
         if !matches!(classify(&r, &golden, 2.0), OutcomeClass::Accident) {

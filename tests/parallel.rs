@@ -1,0 +1,140 @@
+//! Determinism of the parallel campaign engine and hygiene of the
+//! golden-run cache.
+//!
+//! The engine's contract is that `DIVERSEAV_THREADS` changes wall-clock
+//! only: every run derives from an explicit per-run seed and results
+//! land in index-order slots, so campaign outputs are bit-identical for
+//! any thread count. The golden cache must share golden sets across the
+//! campaigns of one (scenario, mode) cell and never alias cells whose
+//! golden runs could differ.
+//!
+//! Both tests live in one integration binary: they mutate the
+//! `DIVERSEAV_THREADS` process environment, and the engine reads it at
+//! every fan-out, so a concurrently running test only ever observes
+//! *some* valid thread count — which by the determinism contract cannot
+//! change any result.
+
+use diverseav::{AgentMode, DetectorConfig, DetectorModel};
+use diverseav_fabric::Profile;
+use diverseav_faultinj::{
+    collect_training_runs, run_campaign_cached, summarize, Campaign, CampaignScale, FaultModelKind,
+    GoldenCache,
+};
+use diverseav_simworld::{ScenarioKind, SensorConfig};
+
+fn tiny_scale() -> CampaignScale {
+    CampaignScale {
+        n_transient: 3,
+        permanent_repeats: 1,
+        golden_runs: 2,
+        long_route_duration: 20.0,
+        training_runs: 1,
+    }
+}
+
+fn tiny_campaign() -> Campaign {
+    Campaign {
+        scenario: ScenarioKind::LeadSlowdown,
+        target: Profile::Gpu,
+        kind: FaultModelKind::Transient,
+        mode: AgentMode::RoundRobin,
+    }
+}
+
+#[test]
+fn results_are_bit_identical_across_thread_counts() {
+    let scale = tiny_scale();
+    let campaign = tiny_campaign();
+    let run_all = || {
+        let result =
+            run_campaign_cached(campaign, &scale, None, SensorConfig::default(), true, None);
+        let training =
+            collect_training_runs(AgentMode::RoundRobin, &scale, SensorConfig::default());
+        (result, training)
+    };
+
+    std::env::set_var("DIVERSEAV_THREADS", "1");
+    let (seq, seq_training) = run_all();
+    std::env::set_var("DIVERSEAV_THREADS", "4");
+    let (par, par_training) = run_all();
+    std::env::remove_var("DIVERSEAV_THREADS");
+
+    assert_eq!(seq.golden, par.golden, "golden runs must not depend on thread count");
+    assert_eq!(seq.injected, par.injected, "injected runs must not depend on thread count");
+    assert_eq!(seq.baseline, par.baseline, "violation baseline must not depend on thread count");
+    assert_eq!(
+        summarize(&seq, 2.0),
+        summarize(&par, 2.0),
+        "Table-I rows must not depend on thread count"
+    );
+    assert_eq!(seq_training, par_training, "training streams must not depend on thread count");
+}
+
+#[test]
+fn golden_cache_shares_within_a_cell_and_separates_cells() {
+    let scale = tiny_scale();
+    let base = tiny_campaign();
+    let sensor = SensorConfig::default();
+    let cache = GoldenCache::new();
+
+    // The four campaigns of one (scenario, mode) cell — {GPU, CPU} ×
+    // {transient, permanent} — must share one golden set: 1 miss, 3 hits.
+    let gpu_t = run_campaign_cached(base, &scale, None, sensor, true, Some(&cache));
+    let cpu_t = run_campaign_cached(
+        Campaign { target: Profile::Cpu, ..base },
+        &scale,
+        None,
+        sensor,
+        true,
+        Some(&cache),
+    );
+    let gpu_p = run_campaign_cached(
+        Campaign { kind: FaultModelKind::Permanent, ..base },
+        &scale,
+        None,
+        sensor,
+        true,
+        Some(&cache),
+    );
+    let cpu_p = run_campaign_cached(
+        Campaign { target: Profile::Cpu, kind: FaultModelKind::Permanent, ..base },
+        &scale,
+        None,
+        sensor,
+        true,
+        Some(&cache),
+    );
+    assert_eq!((cache.misses(), cache.hits()), (1, 3), "one golden set per cell");
+    assert_eq!(gpu_t.golden, cpu_t.golden);
+    assert_eq!(gpu_t.golden, gpu_p.golden);
+    assert_eq!(gpu_t.baseline, cpu_p.baseline);
+
+    // Key hygiene: anything that reaches a golden run must split the key.
+    let miss = |campaign: Campaign, scale: &CampaignScale, sensor: SensorConfig| {
+        let before = cache.misses();
+        run_campaign_cached(campaign, scale, None, sensor, true, Some(&cache));
+        assert_eq!(cache.misses(), before + 1, "expected a fresh cache key");
+    };
+    miss(Campaign { scenario: ScenarioKind::GhostCutIn, ..base }, &scale, sensor);
+    miss(Campaign { mode: AgentMode::Single, ..base }, &scale, sensor);
+    miss(base, &CampaignScale { golden_runs: 3, ..scale }, sensor);
+    miss(base, &scale, SensorConfig { pixel_noise: sensor.pixel_noise + 0.5, ..sensor });
+    // LongRoute duration comes from the scale; a different duration is a
+    // different golden set even for the same scenario kind.
+    let long = Campaign { scenario: ScenarioKind::LongRoute(0), ..base };
+    miss(long, &scale, sensor);
+    miss(long, &CampaignScale { long_route_duration: 24.0, ..scale }, sensor);
+
+    // Detector-attached campaigns bypass the cache entirely: their golden
+    // runs carry per-campaign alarm annotations.
+    let cfg = DetectorConfig::default();
+    let training = collect_training_runs(AgentMode::RoundRobin, &scale, sensor);
+    let model = DetectorModel::train(&training, &cfg);
+    let (hits, misses) = (cache.hits(), cache.misses());
+    run_campaign_cached(base, &scale, Some((model, cfg)), sensor, true, Some(&cache));
+    assert_eq!(
+        (cache.hits(), cache.misses()),
+        (hits, misses),
+        "detector campaigns must not touch the cache"
+    );
+}
