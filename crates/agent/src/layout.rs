@@ -234,7 +234,7 @@ mod tests {
 
     #[test]
     fn cpu_layout_slots_fit() {
-        assert!(cpu::GUARD + 4 <= cpu::PARAMS);
+        const { assert!(cpu::GUARD + 4 <= cpu::PARAMS) };
         assert_eq!(cpu::TOTAL, cpu::PARAMS + cpu::PARAM_COUNT);
     }
 }

@@ -7,8 +7,8 @@
 use diverseav_agent::{AgentConfig, SensorimotorAgent};
 use diverseav_fabric::{Fabric, FaultModel, Op, Profile};
 use diverseav_simworld::{
-    front_accident, ghost_cut_in, lead_slowdown, long_route, Controls, Scenario, SensorConfig,
-    World, WorldStatus,
+    front_accident, ghost_cut_in, lead_slowdown, long_route, Scenario, SensorConfig, World,
+    WorldStatus,
 };
 
 /// Drive a scenario with a single agent at the full 40 Hz rate.
@@ -18,11 +18,10 @@ fn drive(scenario: Scenario, seed: u64) -> World {
     let mut agent = SensorimotorAgent::new(AgentConfig::default(), seed ^ 0x5A);
     let mut gpu = Fabric::new(Profile::Gpu);
     let mut cpu = Fabric::new(Profile::Cpu);
-    let mut controls = Controls::default();
     while !world.finished() {
         let frame = world.sense();
         let hint = world.route_hint();
-        controls = agent
+        let controls = agent
             .step(&frame, hint, 0.025, &mut gpu, &mut cpu)
             .expect("fault-free run must not trap");
         if world.step(controls) == WorldStatus::Collision {
@@ -162,7 +161,7 @@ fn permanent_fmul_gpu_fault_perturbs_actuation() {
         if faulty.is_err() {
             break;
         }
-        world.step(clean.clone().expect("clean run"));
+        world.step(clean.expect("clean run"));
     }
     match (clean, faulty) {
         (Ok(_), Ok(_)) => {
@@ -230,7 +229,7 @@ fn debug_lane_trace() {
         let hint = world.route_hint();
         let c = agent.step(&frame, hint, 0.025, &mut gpu, &mut cpu).expect("no trap");
         world.step(c);
-        if i % 40 == 0 {
+        if i.is_multiple_of(40) {
             let d = agent.perception_debug();
             println!(
                 "t={:5.1} s={:6.1} lat={:+5.2} curv={:+.4} limit={:4.1} v={:4.1} steer={:+.3} latpx={:+6.1} dist={:6.1} thr={:.2} brk={:.2}",

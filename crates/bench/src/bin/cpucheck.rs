@@ -2,8 +2,9 @@
 use diverseav::AgentMode;
 use diverseav_fabric::Profile;
 use diverseav_faultinj::{
-    classify, run_campaign_with_traces, Campaign, CampaignScale, FaultModelKind, OutcomeClass,
+    run_campaign_with_traces, summarize, Campaign, CampaignScale, FaultModelKind,
 };
+use diverseav_obs::{journal, metrics};
 use diverseav_simworld::{ScenarioKind, SensorConfig};
 
 fn main() {
@@ -22,24 +23,25 @@ fn main() {
             mode: AgentMode::RoundRobin,
         };
         let r = run_campaign_with_traces(c, &scale, None, SensorConfig::default(), false);
-        let mut counts = [0usize; 4];
-        for run in &r.injected {
-            let i = match classify(run, &r.baseline, 2.0) {
-                OutcomeClass::HangCrash => 0,
-                OutcomeClass::Accident => 1,
-                OutcomeClass::TrajViolation => 2,
-                OutcomeClass::Benign => 3,
-            };
-            counts[i] += 1;
-        }
+        let row = summarize(&r, 2.0);
         println!(
             "CPU {} LSD: total={} hang/crash={} acc={} viol={} benign={}",
             kind.label(),
-            r.injected.len(),
-            counts[0],
-            counts[1],
-            counts[2],
-            counts[3]
+            row.total,
+            row.hang_crash,
+            row.accidents,
+            row.traj_violations,
+            row.total - row.hang_crash - row.accidents - row.traj_violations
         );
     }
+    metrics::flush_json("METRICS_campaigns.json").expect("write METRICS_campaigns.json");
+    if let Some(path) = journal::flush_if_enabled().expect("write trace journal") {
+        println!("wrote {path} ({} journal lines)", journal::len());
+    }
+    println!(
+        "wrote METRICS_campaigns.json (hang={} crash={} sdc={})",
+        metrics::counter_get("outcome.hang"),
+        metrics::counter_get("outcome.crash"),
+        metrics::counter_get("outcome.sdc"),
+    );
 }

@@ -16,6 +16,7 @@ use diverseav_faultinj::{
     detected_parallelism, par_map_indices, run_campaign_with_traces, summarize, thread_count,
     Campaign, CampaignScale, FaultModelKind,
 };
+use diverseav_obs::{journal, metrics};
 use diverseav_simworld::{ScenarioKind, SensorConfig};
 use std::time::Instant;
 
@@ -91,4 +92,17 @@ fn main() {
 
     perf::flush_json("BENCH_campaigns.json").expect("write BENCH_campaigns.json");
     println!("\nwrote BENCH_campaigns.json ({} entries)", perf::snapshot().len());
+
+    diverseav_bench::flush_metrics_json("METRICS_campaigns.json")
+        .expect("write METRICS_campaigns.json");
+    println!(
+        "wrote METRICS_campaigns.json (cache {} hits / {} misses; {} alarms; {} sdc outcomes)",
+        metrics::counter_get("cache.hits"),
+        metrics::counter_get("cache.misses"),
+        metrics::counter_get("detector.alarms"),
+        metrics::counter_get("outcome.sdc"),
+    );
+    if let Some(path) = journal::flush_if_enabled().expect("write trace journal") {
+        println!("wrote {path} ({} journal lines)", journal::len());
+    }
 }

@@ -278,6 +278,7 @@ pub fn table1_report() -> String {
     let gpu = campaigns_for(Profile::Gpu, AgentMode::RoundRobin, &scale, Some(&cache));
     let cpu = campaigns_for(Profile::Cpu, AgentMode::RoundRobin, &scale, Some(&cache));
     eprintln!("  golden cache: {} misses, {} hits", cache.misses(), cache.hits());
+    diverseav_obs::metrics::gauge_set("cache.entries", cache.len() as f64);
     let mut t = Table::new(vec![
         "FI target",
         "DS",

@@ -12,5 +12,5 @@ pub mod experiments;
 pub mod perf;
 pub mod sweep;
 
-pub use perf::{flush_json, CampaignTiming};
+pub use perf::{flush_json, flush_metrics_json, CampaignTiming};
 pub use sweep::{evaluate_cell, replay_campaign, sweep, CellEval, ReplayedCampaign, SweepResult};

@@ -6,8 +6,15 @@
 //! the registry to JSON so sequential-vs-parallel timings are
 //! comparable across runs without scraping stderr. The JSON writer is
 //! hand-rolled (no serde in the dependency closure).
+//!
+//! Every [`record`] also accumulates its phase wall-clock into the
+//! [`diverseav_obs::metrics`] registry, so `METRICS_campaigns.json`
+//! (flushed with [`flush_metrics_json`]) carries per-phase totals next
+//! to the per-entry timings in `BENCH_campaigns.json`.
 
 use diverseav_faultinj::{detected_parallelism, thread_count};
+use diverseav_obs::json::escape as escape_json;
+use diverseav_obs::metrics;
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -39,7 +46,8 @@ impl CampaignTiming {
 
 static REGISTRY: Mutex<Vec<CampaignTiming>> = Mutex::new(Vec::new());
 
-/// Record one timing entry.
+/// Record one timing entry (and accumulate it under the phase's metrics
+/// wall-clock).
 pub fn record(label: impl Into<String>, phase: impl Into<String>, wall_secs: f64, runs: usize) {
     let entry = CampaignTiming {
         label: label.into(),
@@ -48,6 +56,7 @@ pub fn record(label: impl Into<String>, phase: impl Into<String>, wall_secs: f64
         runs,
         threads: thread_count(),
     };
+    metrics::phase_add(&entry.phase, wall_secs);
     REGISTRY.lock().expect("perf registry poisoned").push(entry);
 }
 
@@ -81,6 +90,14 @@ pub fn flush_json(path: &str) -> std::io::Result<()> {
     std::fs::write(path, render_json(&snapshot()))
 }
 
+/// Flush the observability metrics registry (counters, gauges, phase
+/// wall-clocks) as the `METRICS_campaigns.json` artifact.
+pub fn flush_metrics_json(path: &str) -> std::io::Result<()> {
+    metrics::gauge_set("engine.detected_cores", detected_parallelism() as f64);
+    metrics::gauge_set("engine.threads", thread_count() as f64);
+    metrics::flush_json(path)
+}
+
 /// Render timing entries as the `BENCH_campaigns.json` document.
 pub fn render_json(entries: &[CampaignTiming]) -> String {
     let mut out = String::from("{\n");
@@ -101,22 +118,6 @@ pub fn render_json(entries: &[CampaignTiming]) -> String {
         ));
     }
     out.push_str("  ]\n}\n");
-    out
-}
-
-fn escape_json(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
     out
 }
 
@@ -150,6 +151,14 @@ mod tests {
         assert!(json.contains("\"runs_per_sec\": 5.000"));
         assert!(json.contains("\"detected_cores\""));
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn record_feeds_phase_metrics() {
+        record("m", "test.perf.phase_unique", 0.5, 1);
+        let stat = metrics::phase_get("test.perf.phase_unique");
+        assert_eq!(stat.count, 1);
+        assert!((stat.wall_secs - 0.5).abs() < 1e-12);
     }
 
     #[test]

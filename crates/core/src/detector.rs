@@ -245,6 +245,10 @@ impl OnlineDetector {
 
     /// Feed one divergence observation at time `t`; returns `true` if this
     /// observation raises the alarm (first exceedance only).
+    ///
+    /// The first exceedance also increments the process-global
+    /// `detector.alarms` counter (at most once per run — alarm events,
+    /// not ticks), surfacing alarm totals in `METRICS_campaigns.json`.
     pub fn observe(&mut self, state: &VehState, div: Divergence, t: f64) -> bool {
         let sm = self.window.push(div);
         if self.alarm_at.is_some() {
@@ -253,6 +257,7 @@ impl OnlineDetector {
         for ch in 0..3 {
             if sm.channel(ch) > self.model.threshold(state, ch, &self.cfg) {
                 self.alarm_at = Some(t);
+                diverseav_obs::metrics::counter_add("detector.alarms", 1);
                 return true;
             }
         }
@@ -415,7 +420,47 @@ mod tests {
         cfg.margin = 1.0;
         let model = DetectorModel::train(&[run], &cfg);
         let th = model.threshold(&state(5.0, 0.0), 0, &cfg);
-        assert!(th <= 0.21 && th >= 0.19, "smoothed threshold, got {th}");
+        assert!((0.19..=0.21).contains(&th), "smoothed threshold, got {th}");
+    }
+
+    #[test]
+    fn replay_of_empty_stream_never_alarms() {
+        let model = DetectorModel::train(&[], &DetectorConfig::default());
+        assert_eq!(OnlineDetector::replay(&model, DetectorConfig::default(), &[]), None);
+    }
+
+    #[test]
+    fn replay_can_alarm_on_the_first_sample() {
+        // An empty model bottoms out at the floor; a large first
+        // divergence with rw=1 must alarm immediately — there is no
+        // warm-up grace period.
+        let cfg = DetectorConfig::default().with_rw(1);
+        let model = DetectorModel::train(&[], &cfg);
+        let stream = [TrainSample {
+            t: 0.0,
+            state: state(5.0, 0.0),
+            div: Divergence { throttle: 1.0, ..Default::default() },
+        }];
+        assert_eq!(OnlineDetector::replay(&model, cfg, &stream), Some(0.0));
+    }
+
+    #[test]
+    fn replay_window_longer_than_stream_keeps_zero_padding() {
+        // rw=10 over a 3-sample stream: the window never fills, and the
+        // zero-padded mean divides by the full window — 0.1, 0.2, 0.3 —
+        // so a floor of 0.25 alarms exactly at the third sample.
+        let mut cfg = DetectorConfig::default().with_rw(10);
+        cfg.margin = 1.0;
+        cfg.floor = 0.25;
+        let model = DetectorModel::train(&[], &cfg);
+        let stream: Vec<TrainSample> = (0..3)
+            .map(|i| TrainSample {
+                t: i as f64,
+                state: state(5.0, 0.0),
+                div: Divergence { throttle: 1.0, ..Default::default() },
+            })
+            .collect();
+        assert_eq!(OnlineDetector::replay(&model, cfg, &stream), Some(2.0));
     }
 
     #[test]

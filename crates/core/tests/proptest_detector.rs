@@ -25,7 +25,7 @@ proptest! {
     ) {
         let run = stream(&divs, v);
         let cfg = DetectorConfig::default().with_rw(rw);
-        let model = DetectorModel::train(&[run.clone()], &cfg);
+        let model = DetectorModel::train(std::slice::from_ref(&run), &cfg);
         prop_assert_eq!(OnlineDetector::replay(&model, cfg, &run), None);
     }
 
@@ -42,7 +42,7 @@ proptest! {
         let cfg = DetectorConfig::default().with_rw(3);
         let m_small = DetectorModel::train(&[small], &cfg);
         let m_big = DetectorModel::train(&[big], &cfg);
-        let test = stream(&vec![probe; 12], 5.0);
+        let test = stream(&[probe; 12], 5.0);
         let alarm_big = OnlineDetector::replay(&m_big, cfg, &test).is_some();
         let alarm_small = OnlineDetector::replay(&m_small, cfg, &test).is_some();
         // Anything the lenient (big-threshold) model flags, the strict
@@ -62,7 +62,7 @@ proptest! {
         let train = stream(&divs, 5.0);
         let base_cfg = DetectorConfig::default().with_rw(3);
         let model = DetectorModel::train(&[train], &base_cfg);
-        let test = stream(&vec![probe; 10], 5.0);
+        let test = stream(&[probe; 10], 5.0);
         let mut wide_cfg = base_cfg;
         wide_cfg.margin = base_cfg.margin + extra;
         let narrow = OnlineDetector::replay(&model, base_cfg, &test);

@@ -97,7 +97,9 @@ pub struct GoldenSet {
 /// key's `OnceLock` guarantees the golden set is computed exactly once
 /// even under concurrent first requests (later arrivals block until the
 /// initializer finishes), so hit/miss counts are deterministic: one miss
-/// per distinct key, hits for every other request.
+/// per distinct key, hits for every other request. Every request also
+/// feeds the process-global `cache.hits` / `cache.misses` counters in
+/// [`diverseav_obs::metrics`] for the `METRICS_campaigns.json` artifact.
 #[derive(Default)]
 pub struct GoldenCache {
     entries: Mutex<HashMap<GoldenKey, Arc<OnceLock<Arc<GoldenSet>>>>>,
@@ -130,8 +132,10 @@ impl GoldenCache {
         });
         if computed {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            diverseav_obs::metrics::counter_add("cache.misses", 1);
         } else {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            diverseav_obs::metrics::counter_add("cache.hits", 1);
         }
         Arc::clone(set)
     }

@@ -5,11 +5,13 @@ use crate::cache::{GoldenCache, GoldenKey, GoldenSet};
 use crate::exec::{par_map, par_map_indices};
 use crate::outcome::{classify, mean_trajectory, OutcomeClass};
 use crate::plan::{generate_plan, FaultModelKind, PlanConfig};
-use crate::runner::{run_experiment, RunConfig, RunResult};
+use crate::runner::{run_experiment, run_record, RunConfig, RunResult};
 use diverseav::{AgentMode, DetectorConfig, DetectorModel, TrainSample};
 use diverseav_fabric::Profile;
+use diverseav_obs::{journal, metrics, trace};
 use diverseav_simworld::{long_route, Scenario, ScenarioKind, SensorConfig, TrajPoint};
 use std::fmt;
+use std::time::Instant;
 
 /// Experiment scale: quick (CI-friendly) vs paper-scale counts.
 ///
@@ -180,6 +182,7 @@ pub fn run_campaign_cached(
         let baseline = mean_trajectory(&trajectories);
         GoldenSet { golden, baseline }
     };
+    let phase_start = Instant::now();
     let golden_set = match (&detector, cache) {
         // Detector runs are annotated per campaign — never share them.
         (None, Some(cache)) => {
@@ -196,8 +199,11 @@ pub fn run_campaign_cached(
         _ => run_golden_set(),
     };
     let GoldenSet { golden, baseline } = golden_set;
+    metrics::phase_add("campaign.golden", phase_start.elapsed().as_secs_f64());
+    metrics::counter_add("campaign.golden_runs", golden.len() as u64);
 
     // Injection plan from the first golden run's profile.
+    let phase_start = Instant::now();
     let plan = generate_plan(
         &golden[0],
         &PlanConfig {
@@ -208,7 +214,9 @@ pub fn run_campaign_cached(
             seed: plan_seed(&campaign),
         },
     );
+    metrics::phase_add("campaign.plan", phase_start.elapsed().as_secs_f64());
 
+    let phase_start = Instant::now();
     let injected: Vec<RunResult> = par_map_indices(plan.len(), |i| {
         let mut cfg = RunConfig::new(scenario.clone(), campaign.mode, 2_000 + i as u64);
         cfg.sensor = sensor;
@@ -217,6 +225,26 @@ pub fn run_campaign_cached(
         cfg.collect_training = collect_traces;
         run_experiment(&cfg)
     });
+    metrics::phase_add("campaign.injected", phase_start.elapsed().as_secs_f64());
+    metrics::counter_add("campaign.injected_runs", injected.len() as u64);
+    metrics::counter_add("campaign.cells", 1);
+    metrics::counter_add(
+        "campaign.alarms",
+        injected.iter().chain(golden.iter()).filter(|r| r.alarm_time.is_some()).count() as u64,
+    );
+
+    // Journal every run, index-ordered (the engine's slot order), so the
+    // JSONL lines for a fixed campaign sequence are bit-identical for
+    // any thread count.
+    if trace::enabled() {
+        let label = campaign.to_string();
+        for (i, r) in golden.iter().enumerate() {
+            journal::append_record(&run_record(&label, "golden", i, r));
+        }
+        for (i, r) in injected.iter().enumerate() {
+            journal::append_record(&run_record(&label, "injected", i, r));
+        }
+    }
 
     CampaignResult { campaign, golden, injected, baseline }
 }
@@ -273,19 +301,37 @@ pub fn scenario_for(kind: ScenarioKind, scale: &CampaignScale) -> Scenario {
 }
 
 /// Summarize a campaign into a Table-I row with trajectory threshold `td`.
+///
+/// Outcome tallies also feed the process-global `outcome.*` counters in
+/// [`diverseav_obs::metrics`]: hang vs crash (split by trap type),
+/// accidents, trajectory violations, benign runs, and `outcome.sdc`
+/// (silent safety-critical corruptions = accidents + violations).
 pub fn summarize(result: &CampaignResult, td: f64) -> TableRow {
     let mut row = TableRow { total: result.injected.len(), ..Default::default() };
+    let mut benign = 0u64;
+    let mut hangs = 0u64;
     for r in &result.injected {
         if r.fault_activated {
             row.active += 1;
         }
         match classify(r, &result.baseline, td) {
-            OutcomeClass::HangCrash => row.hang_crash += 1,
+            OutcomeClass::HangCrash => {
+                row.hang_crash += 1;
+                if r.termination.is_hang() {
+                    hangs += 1;
+                }
+            }
             OutcomeClass::Accident => row.accidents += 1,
             OutcomeClass::TrajViolation => row.traj_violations += 1,
-            OutcomeClass::Benign => {}
+            OutcomeClass::Benign => benign += 1,
         }
     }
+    metrics::counter_add("outcome.hang", hangs);
+    metrics::counter_add("outcome.crash", row.hang_crash as u64 - hangs);
+    metrics::counter_add("outcome.accident", row.accidents as u64);
+    metrics::counter_add("outcome.traj_violation", row.traj_violations as u64);
+    metrics::counter_add("outcome.benign", benign);
+    metrics::counter_add("outcome.sdc", (row.accidents + row.traj_violations) as u64);
     row
 }
 
@@ -301,6 +347,7 @@ pub fn collect_training_runs(
     // output order (and every seed) matches the original nested loop.
     let jobs: Vec<(u8, usize)> =
         (0..3u8).flat_map(|route| (0..scale.training_runs).map(move |rep| (route, rep))).collect();
+    metrics::counter_add("campaign.training_runs", jobs.len() as u64);
     par_map(&jobs, |&(route, rep)| {
         let scenario = long_route(route, scale.long_route_duration);
         let mut cfg = RunConfig::new(scenario, mode, 7_000 + route as u64 * 31 + rep as u64);

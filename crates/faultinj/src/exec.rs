@@ -16,7 +16,18 @@
 //!
 //! No dependencies beyond `std`; panics in workers propagate to the
 //! caller when the scope joins.
+//!
+//! Observability: when `DIVERSEAV_TRACE` is on, each fan-out
+//! pre-allocates an index-ordered [`SlotJournal`] and workers write
+//! span begin/end plus a worker-id counter into the slot of the index
+//! they claimed — lock-free, because the atomic index counter already
+//! guarantees slot exclusivity. The journal is drained into the global
+//! JSONL sink in index order after the scope joins, so recording never
+//! adds hot-path synchronization and cannot perturb determinism (run
+//! content stays a pure function of index; only timestamps and worker
+//! ids vary between invocations).
 
+use diverseav_obs::{journal, metrics, trace, SlotJournal};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -57,8 +68,28 @@ where
 {
     let n = items.len();
     let threads = threads.clamp(1, n.max(1));
+    metrics::counter_add("exec.fan_outs", 1);
+    metrics::counter_add("exec.items", n as u64);
+    let journal = trace::enabled().then(|| SlotJournal::with_slots(n));
     if threads == 1 {
-        return items.iter().map(f).collect();
+        let out = items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| {
+                if let Some(j) = &journal {
+                    let w = j.writer(i);
+                    w.span_begin("exec.item");
+                    w.counter("worker", 0);
+                    let r = f(item);
+                    w.span_end("exec.item");
+                    r
+                } else {
+                    f(item)
+                }
+            })
+            .collect();
+        drain_journal(journal);
+        return out;
     }
 
     // Index-order result slots: workers race for *indices* (the atomic
@@ -66,23 +97,43 @@ where
     let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
+        let (next, slots, f, journal) = (&next, &slots, &f, journal.as_ref());
+        for worker in 0..threads {
+            scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
+                let writer = journal.map(|j| {
+                    let w = j.writer(i);
+                    w.span_begin("exec.item");
+                    w.counter("worker", worker as u64);
+                    w
+                });
                 let result = f(&items[i]);
+                if let Some(w) = writer {
+                    w.span_end("exec.item");
+                }
                 *slots[i].lock().expect("result slot poisoned") = Some(result);
             });
         }
     });
+    drain_journal(journal);
     slots
         .into_iter()
         .map(|slot| {
             slot.into_inner().expect("result slot poisoned").expect("every index was claimed")
         })
         .collect()
+}
+
+/// Append a fan-out's slot events to the global JSONL sink, index-ordered.
+fn drain_journal(journal: Option<SlotJournal>) {
+    if let Some(j) = journal {
+        for (i, events) in j.drain().into_iter().enumerate() {
+            journal::append_slot_events("exec.par_map", i, &events);
+        }
+    }
 }
 
 /// Map `f` over `0..n` in parallel, preserving index order (convenience
@@ -137,5 +188,25 @@ mod tests {
     fn thread_count_clamps_to_items() {
         // 200 threads over 3 items must not panic or drop results.
         assert_eq!(par_map_with(200, &[1, 2, 3], |&x| x), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn tracing_journals_every_item_without_changing_results() {
+        let items: Vec<u64> = (0..9).collect();
+        let expected: Vec<u64> = items.iter().map(|&x| x + 10).collect();
+        std::env::set_var("DIVERSEAV_TRACE", "1");
+        let before = journal::len();
+        let traced_seq = par_map_with(1, &items, |&x| x + 10);
+        let traced_par = par_map_with(3, &items, |&x| x + 10);
+        std::env::remove_var("DIVERSEAV_TRACE");
+        assert_eq!(traced_seq, expected);
+        assert_eq!(traced_par, expected);
+        let new_lines: Vec<String> = journal::snapshot()
+            .split_off(before)
+            .into_iter()
+            .filter(|l| l.contains("exec.par_map"))
+            .collect();
+        assert!(new_lines.len() >= 2 * items.len(), "one span line per traced item");
+        assert!(new_lines[0].contains("\"span_begin\""));
     }
 }

@@ -46,6 +46,16 @@ impl Termination {
     pub fn is_hang(&self) -> bool {
         matches!(self, Termination::Trap(AgentError { trap: Trap::Watchdog, .. }))
     }
+
+    /// Stable journal label: `completed`, `collision`, `hang`, or `crash`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Termination::Completed => "completed",
+            Termination::Collision => "collision",
+            _ if self.is_hang() => "hang",
+            _ => "crash",
+        }
+    }
 }
 
 /// Configuration of one experimental run.
@@ -138,6 +148,59 @@ impl RunResult {
     pub fn has_accident(&self) -> bool {
         self.collision_time.is_some()
     }
+
+    /// Peak raw divergence per channel `[throttle, brake, steer]` over
+    /// the recorded stream (zeros when no stream was collected).
+    pub fn divergence_peak(&self) -> [f64; 3] {
+        self.training.iter().fold([0.0; 3], |acc, s| {
+            [acc[0].max(s.div.throttle), acc[1].max(s.div.brake), acc[2].max(s.div.steer)]
+        })
+    }
+}
+
+/// Flatten one run into a journal [`RunRecord`](diverseav_obs::RunRecord)
+/// for the `DIVERSEAV_TRACE` JSONL artifact.
+///
+/// Every field is a pure function of the run's inputs, so for a fixed
+/// campaign sequence the rendered lines are bit-identical across thread
+/// counts and across traced/untraced re-runs.
+pub fn run_record(
+    campaign: &str,
+    kind: &'static str,
+    index: usize,
+    r: &RunResult,
+) -> diverseav_obs::RunRecord {
+    let fault = r.fault.map(|f| {
+        let (model, cycle, op, mask) = match f.model {
+            FaultModel::Transient { instr_index, mask } => {
+                ("transient", Some(instr_index), None, mask)
+            }
+            FaultModel::Permanent { op, mask } => ("permanent", None, Some(op.to_string()), mask),
+        };
+        diverseav_obs::FaultSite {
+            profile: f.profile.to_string(),
+            unit: f.unit,
+            model: model.to_string(),
+            mask,
+            cycle,
+            op,
+        }
+    });
+    diverseav_obs::RunRecord {
+        campaign: campaign.to_string(),
+        kind,
+        index,
+        seed: r.seed,
+        scenario: r.scenario.clone(),
+        outcome: r.termination.label().to_string(),
+        end_time: r.end_time,
+        collision_time: r.collision_time,
+        alarm_time: r.alarm_time,
+        fault_activated: r.fault_activated,
+        min_cvip: r.min_cvip,
+        div_peak: r.divergence_peak(),
+        fault,
+    }
 }
 
 /// Execute one experiment.
@@ -146,6 +209,7 @@ impl RunResult {
 /// run continues so that lead detection time (alarm → collision) can be
 /// measured; the fail-back system is assumed, not simulated.
 pub fn run_experiment(cfg: &RunConfig) -> RunResult {
+    diverseav_obs::metrics::counter_add("runner.experiments", 1);
     let mut world = World::new(cfg.scenario.clone(), cfg.sensor, cfg.seed);
     let mut ads = Ads::new(AdsConfig {
         mode: cfg.mode,
@@ -290,6 +354,38 @@ mod tests {
         let b = run_experiment(&cfg);
         assert_eq!(a.trajectory, b.trajectory);
         assert_eq!(a.gpu_dyn_instr, b.gpu_dyn_instr);
+    }
+
+    #[test]
+    fn termination_labels_are_stable() {
+        assert_eq!(Termination::Completed.label(), "completed");
+        assert_eq!(Termination::Collision.label(), "collision");
+        let hang = Termination::Trap(AgentError { fabric: Profile::Cpu, trap: Trap::Watchdog });
+        assert_eq!(hang.label(), "hang");
+        let crash = Termination::Trap(AgentError {
+            fabric: Profile::Cpu,
+            trap: Trap::OutOfBounds { addr: 7 },
+        });
+        assert_eq!(crash.label(), "crash");
+    }
+
+    #[test]
+    fn run_record_flattens_fault_site() {
+        let mut cfg = RunConfig::new(short_scenario(), AgentMode::RoundRobin, 8);
+        cfg.fault = Some(FaultSpec {
+            unit: 0,
+            profile: Profile::Gpu,
+            model: FaultModel::Transient { instr_index: 42, mask: 7 },
+        });
+        cfg.collect_training = true;
+        let r = run_experiment(&cfg);
+        let rec = run_record("GPU-transient LSD [diverseav]", "injected", 3, &r);
+        assert_eq!((rec.kind, rec.index, rec.seed), ("injected", 3, 8));
+        assert_eq!(rec.outcome, r.termination.label());
+        assert!(rec.render().contains("\"type\": \"run\""));
+        let site = rec.fault.expect("fault site recorded");
+        assert_eq!((site.cycle, site.mask, site.op), (Some(42), 7, None));
+        assert!(r.divergence_peak().iter().all(|&p| p >= 0.0));
     }
 
     #[test]

@@ -1,0 +1,245 @@
+//! The per-run JSONL journal: one line per simulation run, buffered in a
+//! process-global sink and flushed to the path selected by
+//! `DIVERSEAV_TRACE` (see [`crate::trace::trace_path`]).
+//!
+//! Run records carry no timestamps — every field is a pure function of
+//! the run's inputs — so, for a fixed sequence of campaigns, the
+//! journal's run lines are bit-identical for any `DIVERSEAV_THREADS`
+//! value (campaign code appends them from the engine's index-ordered
+//! results, never from worker completion order). Engine span lines
+//! (`"type": "span_events"`) do carry timestamps and worker ids, which
+//! vary run to run by design.
+
+use crate::json;
+use crate::trace::Event;
+use std::sync::Mutex;
+
+/// The injection site of a faulted run, flattened for the journal.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultSite {
+    /// Target fabric (`"GPU"` / `"CPU"`).
+    pub profile: String,
+    /// Processor unit index.
+    pub unit: usize,
+    /// Fault model label (`"transient"` / `"permanent"`).
+    pub model: String,
+    /// XOR bit mask applied to the destination register.
+    pub mask: u32,
+    /// Dynamic-instruction index (cycle) for transient faults.
+    pub cycle: Option<u64>,
+    /// Targeted opcode for permanent faults.
+    pub op: Option<String>,
+}
+
+/// Everything the journal records about one run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunRecord {
+    /// Campaign display label.
+    pub campaign: String,
+    /// `"golden"` or `"injected"`.
+    pub kind: &'static str,
+    /// Run index within its campaign phase.
+    pub index: usize,
+    /// The run seed.
+    pub seed: u64,
+    /// Scenario name.
+    pub scenario: String,
+    /// Outcome label: `"completed"`, `"collision"`, `"crash"`, `"hang"`.
+    pub outcome: String,
+    /// Simulation time reached (s).
+    pub end_time: f64,
+    /// Collision time, if the ego collided.
+    pub collision_time: Option<f64>,
+    /// Detector alarm time, if raised.
+    pub alarm_time: Option<f64>,
+    /// Whether the armed fault corrupted at least one register.
+    pub fault_activated: bool,
+    /// Minimum CVIP distance over the run (`null` when no NPC was ever
+    /// in view — infinity has no JSON encoding).
+    pub min_cvip: f64,
+    /// Peak rolling divergence per channel `[throttle, brake, steer]`.
+    pub div_peak: [f64; 3],
+    /// Injection site (`None` for golden runs).
+    pub fault: Option<FaultSite>,
+}
+
+impl RunRecord {
+    /// Render the record as one JSONL line (no trailing newline).
+    pub fn render(&self) -> String {
+        let fault = match &self.fault {
+            None => "null".to_string(),
+            Some(f) => format!(
+                "{{\"profile\": \"{}\", \"unit\": {}, \"model\": \"{}\", \"mask\": {}, \
+                 \"cycle\": {}, \"op\": {}}}",
+                json::escape(&f.profile),
+                f.unit,
+                json::escape(&f.model),
+                f.mask,
+                f.cycle.map(|c| c.to_string()).unwrap_or_else(|| "null".to_string()),
+                json::opt_str(f.op.as_deref()),
+            ),
+        };
+        format!(
+            "{{\"type\": \"run\", \"campaign\": \"{}\", \"kind\": \"{}\", \"index\": {}, \
+             \"seed\": {}, \"scenario\": \"{}\", \"outcome\": \"{}\", \"end_time\": {}, \
+             \"collision_time\": {}, \"alarm_time\": {}, \"fault_activated\": {}, \
+             \"min_cvip\": {}, \"div_peak\": [{}, {}, {}], \"fault\": {}}}",
+            json::escape(&self.campaign),
+            self.kind,
+            self.index,
+            self.seed,
+            json::escape(&self.scenario),
+            json::escape(&self.outcome),
+            json::num(self.end_time),
+            json::opt_num(self.collision_time),
+            json::opt_num(self.alarm_time),
+            self.fault_activated,
+            json::num(self.min_cvip),
+            json::num(self.div_peak[0]),
+            json::num(self.div_peak[1]),
+            json::num(self.div_peak[2]),
+            fault,
+        )
+    }
+}
+
+static SINK: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+/// Append one pre-rendered JSONL line to the sink.
+pub fn append_line(line: String) {
+    SINK.lock().expect("journal sink poisoned").push(line);
+}
+
+/// Append a run record to the sink.
+pub fn append_record(record: &RunRecord) {
+    append_line(record.render());
+}
+
+/// Append one fan-out slot's trace events as a single JSONL line.
+pub fn append_slot_events(label: &str, index: usize, events: &[Event]) {
+    if events.is_empty() {
+        return;
+    }
+    let body: Vec<String> = events.iter().map(|e| format!("{{{}}}", e.render_fields())).collect();
+    append_line(format!(
+        "{{\"type\": \"span_events\", \"label\": \"{}\", \"index\": {}, \"events\": [{}]}}",
+        json::escape(label),
+        index,
+        body.join(", "),
+    ));
+}
+
+/// Copy of all buffered lines, in append order.
+pub fn snapshot() -> Vec<String> {
+    SINK.lock().expect("journal sink poisoned").clone()
+}
+
+/// Number of buffered lines (cheaper than [`snapshot`] for slicing).
+pub fn len() -> usize {
+    SINK.lock().expect("journal sink poisoned").len()
+}
+
+/// Drop all buffered lines.
+pub fn clear() {
+    SINK.lock().expect("journal sink poisoned").clear();
+}
+
+/// Write all buffered lines to `path` as JSONL.
+pub fn flush(path: &str) -> std::io::Result<()> {
+    let lines = snapshot();
+    let mut doc = lines.join("\n");
+    if !doc.is_empty() {
+        doc.push('\n');
+    }
+    std::fs::write(path, doc)
+}
+
+/// Flush to the `DIVERSEAV_TRACE` path when tracing is enabled; returns
+/// the path written, if any.
+pub fn flush_if_enabled() -> std::io::Result<Option<String>> {
+    match crate::trace::trace_path() {
+        Some(path) => {
+            flush(&path)?;
+            Ok(Some(path))
+        }
+        None => Ok(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> RunRecord {
+        RunRecord {
+            campaign: "GPU-transient LSD [diverseav]".into(),
+            kind: "injected",
+            index: 3,
+            seed: 2003,
+            scenario: "lead_slowdown".into(),
+            outcome: "collision".into(),
+            end_time: 12.5,
+            collision_time: Some(12.5),
+            alarm_time: Some(9.25),
+            fault_activated: true,
+            min_cvip: 0.0,
+            div_peak: [0.5, 0.25, 0.125],
+            fault: Some(FaultSite {
+                profile: "GPU".into(),
+                unit: 0,
+                model: "transient".into(),
+                mask: 1 << 21,
+                cycle: Some(123_456),
+                op: None,
+            }),
+        }
+    }
+
+    #[test]
+    fn run_record_renders_complete_line() {
+        let line = record().render();
+        assert!(line.starts_with("{\"type\": \"run\""));
+        assert!(line.contains("\"cycle\": 123456"));
+        assert!(line.contains("\"op\": null"));
+        assert!(line.contains("\"alarm_time\": 9.250000"));
+        assert!(line.contains("\"div_peak\": [0.500000, 0.250000, 0.125000]"));
+        assert!(line.ends_with('}'));
+    }
+
+    #[test]
+    fn golden_record_has_null_fault() {
+        let mut r = record();
+        r.fault = None;
+        r.kind = "golden";
+        r.min_cvip = f64::INFINITY;
+        let line = r.render();
+        assert!(line.contains("\"fault\": null"));
+        assert!(line.contains("\"min_cvip\": null"));
+    }
+
+    #[test]
+    fn slot_events_render_one_line() {
+        let before = len();
+        append_slot_events(
+            "test.journal.slot",
+            2,
+            &[
+                Event::SpanBegin { name: "item", t_ns: 10 },
+                Event::Counter { name: "worker", value: 1 },
+                Event::SpanEnd { name: "item", t_ns: 20 },
+            ],
+        );
+        append_slot_events("test.journal.slot", 3, &[]);
+        let lines = snapshot();
+        assert_eq!(lines.len(), before + 1, "empty slots are skipped");
+        let line = &lines[before];
+        assert!(line.contains("\"label\": \"test.journal.slot\""));
+        assert!(line.contains("\"span_begin\""));
+        assert!(line.contains("\"value\": 1"));
+    }
+
+    #[test]
+    fn records_are_deterministic() {
+        assert_eq!(record().render(), record().render());
+    }
+}

@@ -1,0 +1,61 @@
+//! Minimal hand-rolled JSON rendering helpers (no serde in the
+//! dependency closure). Shared by the metrics and journal writers and by
+//! `bench::perf`.
+
+/// Escape a string for inclusion inside a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render an `f64` as a JSON value: finite values as decimals, non-finite
+/// values (JSON has no Infinity/NaN) as `null`.
+pub fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Render an optional `f64` (`None` → `null`).
+pub fn opt_num(v: Option<f64>) -> String {
+    v.map(num).unwrap_or_else(|| "null".to_string())
+}
+
+/// Render an optional string (`None` → `null`).
+pub fn opt_str(v: Option<&str>) -> String {
+    v.map(|s| format!("\"{}\"", escape(s))).unwrap_or_else(|| "null".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_controls_and_quotes() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(num(f64::INFINITY), "null");
+        assert_eq!(num(f64::NAN), "null");
+        assert_eq!(num(2.5), "2.500000");
+        assert_eq!(opt_num(None), "null");
+        assert_eq!(opt_str(Some("x")), "\"x\"");
+        assert_eq!(opt_str(None), "null");
+    }
+}

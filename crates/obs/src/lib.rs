@@ -1,0 +1,35 @@
+//! # diverseav-obs
+//!
+//! Zero-dependency observability layer for the DiverseAV campaign
+//! engine: the substrate every perf PR is measured against.
+//!
+//! Three cooperating pieces, all `std`-only:
+//!
+//! * [`trace`] — a lock-free per-worker event journal. A fan-out
+//!   allocates one slot per work item *before* spawning workers; each
+//!   worker writes span/counter/gauge events into the slot of the index
+//!   it claimed. Slots are index-ordered and claimed exactly once, so
+//!   enabling tracing never introduces cross-worker synchronization on
+//!   the hot path and never perturbs the deterministic engine.
+//! * [`metrics`] — a process-global registry of named counters, gauges,
+//!   and per-phase wall-clock accumulators, flushed as the
+//!   `METRICS_campaigns.json` artifact next to `BENCH_campaigns.json`.
+//! * [`journal`] — a buffered per-run JSONL journal (injection site,
+//!   bit mask, cycle, outcome, alarm time, divergence peaks) behind the
+//!   `DIVERSEAV_TRACE` environment switch.
+//!
+//! Determinism contract: observability is *read-only* with respect to
+//! campaign outcomes. Run results are pure functions of their explicit
+//! seeds; this crate only records what happened (timestamps and worker
+//! ids may vary between runs, recorded outcomes may not). The
+//! differential test in `tests/parallel.rs` asserts campaign outputs
+//! are bit-identical with tracing on and off at any thread count.
+
+pub mod journal;
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use journal::{FaultSite, RunRecord};
+pub use metrics::MetricsSnapshot;
+pub use trace::{Event, SlotJournal, SlotWriter};

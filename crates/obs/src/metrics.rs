@@ -1,0 +1,185 @@
+//! Process-global metrics registry: named counters, gauges, and
+//! per-phase wall-clock accumulators, flushed as `METRICS_campaigns.json`.
+//!
+//! Counters and phase accumulators are recorded at campaign granularity
+//! (once per campaign, fan-out, or cache request — never per simulation
+//! tick), so the always-on cost is a handful of mutex-protected map
+//! operations per campaign. Harness binaries flush the registry next to
+//! `BENCH_campaigns.json`; tests isolate themselves by asserting on
+//! uniquely named keys rather than clearing the shared registry.
+
+use crate::json;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Accumulated wall-clock for one phase label.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct PhaseStat {
+    /// Total wall-clock seconds recorded under this phase.
+    pub wall_secs: f64,
+    /// Number of recordings.
+    pub count: u64,
+}
+
+static COUNTERS: Mutex<BTreeMap<String, u64>> = Mutex::new(BTreeMap::new());
+static GAUGES: Mutex<BTreeMap<String, f64>> = Mutex::new(BTreeMap::new());
+static PHASES: Mutex<BTreeMap<String, PhaseStat>> = Mutex::new(BTreeMap::new());
+
+/// Add `n` to the named counter (creating it at zero).
+pub fn counter_add(name: &str, n: u64) {
+    let mut counters = COUNTERS.lock().expect("metrics counters poisoned");
+    *counters.entry(name.to_string()).or_insert(0) += n;
+}
+
+/// Current value of a counter (0 if never touched).
+pub fn counter_get(name: &str) -> u64 {
+    COUNTERS.lock().expect("metrics counters poisoned").get(name).copied().unwrap_or(0)
+}
+
+/// Set the named gauge to `value` (last write wins).
+pub fn gauge_set(name: &str, value: f64) {
+    GAUGES.lock().expect("metrics gauges poisoned").insert(name.to_string(), value);
+}
+
+/// Current value of a gauge, if ever set.
+pub fn gauge_get(name: &str) -> Option<f64> {
+    GAUGES.lock().expect("metrics gauges poisoned").get(name).copied()
+}
+
+/// Accumulate `secs` of wall-clock under the named phase.
+pub fn phase_add(name: &str, secs: f64) {
+    let mut phases = PHASES.lock().expect("metrics phases poisoned");
+    let stat = phases.entry(name.to_string()).or_default();
+    stat.wall_secs += secs;
+    stat.count += 1;
+}
+
+/// Accumulated stats of a phase (zero if never recorded).
+pub fn phase_get(name: &str) -> PhaseStat {
+    PHASES.lock().expect("metrics phases poisoned").get(name).copied().unwrap_or_default()
+}
+
+/// A point-in-time copy of the whole registry.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// All counters, sorted by name.
+    pub counters: BTreeMap<String, u64>,
+    /// All gauges, sorted by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// All phase accumulators, sorted by name.
+    pub phases: BTreeMap<String, PhaseStat>,
+}
+
+/// Snapshot the registry.
+pub fn snapshot() -> MetricsSnapshot {
+    MetricsSnapshot {
+        counters: COUNTERS.lock().expect("metrics counters poisoned").clone(),
+        gauges: GAUGES.lock().expect("metrics gauges poisoned").clone(),
+        phases: PHASES.lock().expect("metrics phases poisoned").clone(),
+    }
+}
+
+/// Drop every recorded metric (harness binaries isolate measurement
+/// sections; tests should prefer unique key names instead).
+pub fn clear() {
+    COUNTERS.lock().expect("metrics counters poisoned").clear();
+    GAUGES.lock().expect("metrics gauges poisoned").clear();
+    PHASES.lock().expect("metrics phases poisoned").clear();
+}
+
+/// Render a snapshot as the `METRICS_campaigns.json` document.
+pub fn render_json(snap: &MetricsSnapshot) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"trace_enabled\": {},\n", crate::trace::enabled()));
+
+    out.push_str("  \"counters\": {");
+    let mut first = true;
+    for (k, v) in &snap.counters {
+        out.push_str(if first { "\n" } else { ",\n" });
+        first = false;
+        out.push_str(&format!("    \"{}\": {v}", json::escape(k)));
+    }
+    out.push_str(if first { "},\n" } else { "\n  },\n" });
+
+    out.push_str("  \"gauges\": {");
+    first = true;
+    for (k, v) in &snap.gauges {
+        out.push_str(if first { "\n" } else { ",\n" });
+        first = false;
+        out.push_str(&format!("    \"{}\": {}", json::escape(k), json::num(*v)));
+    }
+    out.push_str(if first { "},\n" } else { "\n  },\n" });
+
+    out.push_str("  \"phases\": {");
+    first = true;
+    for (k, v) in &snap.phases {
+        out.push_str(if first { "\n" } else { ",\n" });
+        first = false;
+        out.push_str(&format!(
+            "    \"{}\": {{\"wall_secs\": {}, \"count\": {}}}",
+            json::escape(k),
+            json::num(v.wall_secs),
+            v.count
+        ));
+    }
+    out.push_str(if first { "}\n" } else { "\n  }\n" });
+    out.push_str("}\n");
+    out
+}
+
+/// Write the current registry as JSON to `path`.
+pub fn flush_json(path: &str) -> std::io::Result<()> {
+    std::fs::write(path, render_json(&snapshot()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        counter_add("test.metrics.counter_a", 2);
+        counter_add("test.metrics.counter_a", 3);
+        assert_eq!(counter_get("test.metrics.counter_a"), 5);
+        assert_eq!(counter_get("test.metrics.never_touched"), 0);
+    }
+
+    #[test]
+    fn gauges_take_last_write() {
+        gauge_set("test.metrics.gauge_a", 1.0);
+        gauge_set("test.metrics.gauge_a", 2.5);
+        assert_eq!(gauge_get("test.metrics.gauge_a"), Some(2.5));
+        assert_eq!(gauge_get("test.metrics.gauge_none"), None);
+    }
+
+    #[test]
+    fn phases_accumulate_time_and_count() {
+        phase_add("test.metrics.phase_a", 0.5);
+        phase_add("test.metrics.phase_a", 1.5);
+        let stat = phase_get("test.metrics.phase_a");
+        assert!((stat.wall_secs - 2.0).abs() < 1e-12);
+        assert_eq!(stat.count, 2);
+    }
+
+    #[test]
+    fn json_has_all_sections_and_escapes() {
+        counter_add("test.metrics.\"quoted\"", 1);
+        gauge_set("test.metrics.inf_gauge", f64::INFINITY);
+        phase_add("test.metrics.phase_json", 0.25);
+        let doc = render_json(&snapshot());
+        assert!(doc.contains("\"counters\""));
+        assert!(doc.contains("\"gauges\""));
+        assert!(doc.contains("\"phases\""));
+        assert!(doc.contains("\\\"quoted\\\""));
+        assert!(doc.contains("\"test.metrics.inf_gauge\": null"));
+        assert!(doc.contains("\"wall_secs\": 0.250000, \"count\": 1"));
+        assert!(doc.starts_with('{') && doc.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_valid_json() {
+        let doc = render_json(&MetricsSnapshot::default());
+        assert!(doc.contains("\"counters\": {}"));
+        assert!(doc.contains("\"phases\": {}"));
+    }
+}

@@ -1,0 +1,281 @@
+//! Lock-free per-worker event tracing for the deterministic parallel
+//! engine.
+//!
+//! A fan-out over `n` items pre-allocates a [`SlotJournal`] with `n`
+//! index-ordered slots. The engine guarantees each index is claimed by
+//! exactly one worker (a shared atomic counter hands out indices); the
+//! worker obtains the [`SlotWriter`] for its index and appends events
+//! without any cross-worker synchronization — each slot is touched by
+//! one thread only, which an atomic claim flag enforces at runtime.
+//!
+//! Because slots are addressed by *item index*, not completion order,
+//! the journal's layout is identical for any thread count; only
+//! timestamps and worker ids vary. Recording therefore cannot perturb
+//! the engine's determinism contract.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+/// One trace event, timestamped in nanoseconds since the journal epoch.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Event {
+    /// A named span opened.
+    SpanBegin {
+        /// Span name.
+        name: &'static str,
+        /// Nanoseconds since the journal epoch.
+        t_ns: u64,
+    },
+    /// A named span closed.
+    SpanEnd {
+        /// Span name.
+        name: &'static str,
+        /// Nanoseconds since the journal epoch.
+        t_ns: u64,
+    },
+    /// A named integer observation (e.g. the worker id that ran a slot).
+    Counter {
+        /// Counter name.
+        name: &'static str,
+        /// Observed value.
+        value: u64,
+    },
+    /// A named float observation.
+    Gauge {
+        /// Gauge name.
+        name: &'static str,
+        /// Observed value.
+        value: f64,
+    },
+}
+
+impl Event {
+    /// Render the event as the fields of a JSON object (no braces), for
+    /// embedding into journal lines.
+    pub fn render_fields(&self) -> String {
+        match self {
+            Event::SpanBegin { name, t_ns } => {
+                format!("\"event\": \"span_begin\", \"name\": \"{name}\", \"t_ns\": {t_ns}")
+            }
+            Event::SpanEnd { name, t_ns } => {
+                format!("\"event\": \"span_end\", \"name\": \"{name}\", \"t_ns\": {t_ns}")
+            }
+            Event::Counter { name, value } => {
+                format!("\"event\": \"counter\", \"name\": \"{name}\", \"value\": {value}")
+            }
+            Event::Gauge { name, value } => {
+                format!(
+                    "\"event\": \"gauge\", \"name\": \"{name}\", \"value\": {}",
+                    crate::json::num(*value)
+                )
+            }
+        }
+    }
+}
+
+/// A slot: an event buffer owned by whichever worker claims its index.
+struct Slot {
+    claimed: AtomicBool,
+    events: UnsafeCell<Vec<Event>>,
+}
+
+/// Pre-allocated, index-ordered event storage for one fan-out.
+///
+/// See the module docs for the (lock-free) access discipline.
+pub struct SlotJournal {
+    epoch: Instant,
+    slots: Vec<Slot>,
+}
+
+// SAFETY: a slot's `events` buffer is only reachable through the
+// `SlotWriter` returned by `writer()`, and the atomic `claimed` flag
+// guarantees at most one writer ever exists per slot; `drain()` takes
+// `self` by value, so no writer can outlive the shared phase.
+unsafe impl Sync for SlotJournal {}
+
+impl SlotJournal {
+    /// A journal with `n` empty slots; the epoch for timestamps is now.
+    pub fn with_slots(n: usize) -> Self {
+        SlotJournal {
+            epoch: Instant::now(),
+            slots: (0..n)
+                .map(|_| Slot {
+                    claimed: AtomicBool::new(false),
+                    events: UnsafeCell::new(Vec::new()),
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the journal has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Claim slot `index` and return its writer.
+    ///
+    /// Panics if the slot was already claimed: the engine hands each
+    /// index to exactly one worker, so a second claim is a bug.
+    pub fn writer(&self, index: usize) -> SlotWriter<'_> {
+        let slot = &self.slots[index];
+        assert!(
+            !slot.claimed.swap(true, Ordering::AcqRel),
+            "trace slot {index} claimed twice (engine index discipline violated)"
+        );
+        SlotWriter { journal: self, index }
+    }
+
+    /// Consume the journal, returning each slot's events in index order.
+    pub fn drain(self) -> Vec<Vec<Event>> {
+        self.slots.into_iter().map(|s| s.events.into_inner()).collect()
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+}
+
+/// Exclusive event writer for one claimed slot.
+pub struct SlotWriter<'a> {
+    journal: &'a SlotJournal,
+    index: usize,
+}
+
+impl SlotWriter<'_> {
+    /// The slot index this writer owns.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    fn push(&self, e: Event) {
+        // SAFETY: the claim flag in `SlotJournal::writer` guarantees this
+        // writer is the only accessor of the slot's buffer.
+        unsafe { (*self.journal.slots[self.index].events.get()).push(e) }
+    }
+
+    /// Record a span opening now.
+    pub fn span_begin(&self, name: &'static str) {
+        self.push(Event::SpanBegin { name, t_ns: self.journal.now_ns() });
+    }
+
+    /// Record a span closing now.
+    pub fn span_end(&self, name: &'static str) {
+        self.push(Event::SpanEnd { name, t_ns: self.journal.now_ns() });
+    }
+
+    /// Record an integer observation.
+    pub fn counter(&self, name: &'static str, value: u64) {
+        self.push(Event::Counter { name, value });
+    }
+
+    /// Record a float observation.
+    pub fn gauge(&self, name: &'static str, value: f64) {
+        self.push(Event::Gauge { name, value });
+    }
+}
+
+/// Whether run-journal tracing is enabled (`DIVERSEAV_TRACE` set to
+/// anything other than empty or `0`).
+///
+/// Read from the environment on every call — tracing toggles are
+/// consulted once per fan-out or per run, never per tick, and tests
+/// flip the variable at runtime.
+pub fn enabled() -> bool {
+    match std::env::var("DIVERSEAV_TRACE") {
+        Ok(v) => !matches!(v.trim(), "" | "0"),
+        Err(_) => false,
+    }
+}
+
+/// The journal output path selected by `DIVERSEAV_TRACE`: `None` when
+/// tracing is off; the default `TRACE_runs.jsonl` for bare switch values
+/// (`1`, `true`, `on`); otherwise the variable's value verbatim.
+pub fn trace_path() -> Option<String> {
+    if !enabled() {
+        return None;
+    }
+    match std::env::var("DIVERSEAV_TRACE").ok()?.trim() {
+        "1" | "true" | "on" => Some("TRACE_runs.jsonl".to_string()),
+        path => Some(path.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_record_in_index_order_regardless_of_claim_order() {
+        let j = SlotJournal::with_slots(3);
+        // Claim out of order, as parallel workers would.
+        let w2 = j.writer(2);
+        let w0 = j.writer(0);
+        w2.counter("worker", 7);
+        w0.counter("worker", 1);
+        w0.span_begin("item");
+        let events = j.drain();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].len(), 2);
+        assert!(events[1].is_empty(), "unclaimed slot stays empty");
+        assert_eq!(events[2], vec![Event::Counter { name: "worker", value: 7 }]);
+    }
+
+    #[test]
+    #[should_panic(expected = "claimed twice")]
+    fn double_claim_panics() {
+        let j = SlotJournal::with_slots(1);
+        let _a = j.writer(0);
+        let _b = j.writer(0);
+    }
+
+    #[test]
+    fn concurrent_writers_do_not_interfere() {
+        let j = SlotJournal::with_slots(64);
+        std::thread::scope(|scope| {
+            for w in 0..4usize {
+                let j = &j;
+                scope.spawn(move || {
+                    for i in (w..64).step_by(4) {
+                        let writer = j.writer(i);
+                        writer.span_begin("item");
+                        writer.counter("worker", w as u64);
+                        writer.span_end("item");
+                    }
+                });
+            }
+        });
+        for (i, events) in j.drain().into_iter().enumerate() {
+            assert_eq!(events.len(), 3, "slot {i}");
+            assert!(matches!(events[0], Event::SpanBegin { name: "item", .. }));
+        }
+    }
+
+    #[test]
+    fn span_timestamps_are_monotonic() {
+        let j = SlotJournal::with_slots(1);
+        let w = j.writer(0);
+        w.span_begin("x");
+        w.span_end("x");
+        let events = j.drain().remove(0);
+        match (&events[0], &events[1]) {
+            (Event::SpanBegin { t_ns: b, .. }, Event::SpanEnd { t_ns: e, .. }) => {
+                assert!(e >= b)
+            }
+            other => panic!("unexpected events: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn event_fields_render_as_json_fragments() {
+        let e = Event::Gauge { name: "g", value: f64::NAN };
+        assert!(e.render_fields().contains("null"));
+        let e = Event::SpanBegin { name: "s", t_ns: 5 };
+        assert_eq!(e.render_fields(), "\"event\": \"span_begin\", \"name\": \"s\", \"t_ns\": 5");
+    }
+}

@@ -27,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             max_div = max_div.max(div.throttle.max(div.brake).max(div.steer));
         }
         let status = world.step(out.controls);
-        if world.trajectory().len() % 40 == 0 {
+        if world.trajectory().len().is_multiple_of(40) {
             println!(
                 "{:5.1}  {:5.2}  {:6.2}  {:5.2}  {:7.1}  {:.3}",
                 world.time(),

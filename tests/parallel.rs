@@ -20,6 +20,7 @@ use diverseav_faultinj::{
     collect_training_runs, run_campaign_cached, summarize, Campaign, CampaignScale, FaultModelKind,
     GoldenCache,
 };
+use diverseav_obs::journal;
 use diverseav_simworld::{ScenarioKind, SensorConfig};
 
 fn tiny_scale() -> CampaignScale {
@@ -137,4 +138,82 @@ fn golden_cache_shares_within_a_cell_and_separates_cells() {
         (hits, misses),
         "detector campaigns must not touch the cache"
     );
+}
+
+/// Differential test for the observability layer: a full Table-I cell —
+/// {GPU, CPU} × {transient, permanent} on one (scenario, mode) — must
+/// produce bit-identical campaign outcomes with `DIVERSEAV_TRACE` on or
+/// off and `DIVERSEAV_THREADS` ∈ {1, 4}; tracing is an observer, never a
+/// participant. The trace-on run journals must themselves be
+/// bit-identical across thread counts (run records carry no timestamps
+/// and are appended from the engine's index-ordered results).
+///
+/// This cell uses FrontAccident so its journal lines are the only ones
+/// in this binary carrying the " FA [" campaign label — the other tests
+/// here run LSD / GC / Rxx campaigns, which keeps the line filter exact
+/// even when the test harness interleaves them.
+#[test]
+fn tracing_is_an_observer_of_a_full_table1_cell() {
+    let scale = CampaignScale { n_transient: 2, ..tiny_scale() };
+    let base = Campaign {
+        scenario: ScenarioKind::FrontAccident,
+        target: Profile::Gpu,
+        kind: FaultModelKind::Transient,
+        mode: AgentMode::RoundRobin,
+    };
+    let cell = [
+        base,
+        Campaign { target: Profile::Cpu, ..base },
+        Campaign { kind: FaultModelKind::Permanent, ..base },
+        Campaign { target: Profile::Cpu, kind: FaultModelKind::Permanent, ..base },
+    ];
+    let run_cell = || {
+        let cache = GoldenCache::new();
+        cell.iter()
+            .map(|&c| {
+                run_campaign_cached(c, &scale, None, SensorConfig::default(), true, Some(&cache))
+            })
+            .collect::<Vec<_>>()
+    };
+
+    let mut outputs = Vec::new();
+    for (trace, threads) in [(false, 1), (false, 4), (true, 1), (true, 4)] {
+        std::env::set_var("DIVERSEAV_THREADS", threads.to_string());
+        if trace {
+            std::env::set_var("DIVERSEAV_TRACE", "1");
+        } else {
+            std::env::remove_var("DIVERSEAV_TRACE");
+        }
+        let before = journal::len();
+        let results = run_cell();
+        let run_lines: Vec<String> = journal::snapshot()
+            .into_iter()
+            .skip(before)
+            .filter(|l| l.starts_with("{\"type\": \"run\"") && l.contains(" FA ["))
+            .collect();
+        outputs.push((trace, threads, results, run_lines));
+    }
+    std::env::remove_var("DIVERSEAV_TRACE");
+    std::env::remove_var("DIVERSEAV_THREADS");
+
+    let reference = &outputs[0].2;
+    for (trace, threads, results, run_lines) in &outputs {
+        for (r, e) in results.iter().zip(reference) {
+            let what = format!("trace={trace} threads={threads} {}", r.campaign);
+            assert_eq!(r.golden, e.golden, "golden runs changed: {what}");
+            assert_eq!(r.injected, e.injected, "injected runs changed: {what}");
+            assert_eq!(r.baseline, e.baseline, "baseline changed: {what}");
+            assert_eq!(summarize(r, 2.0), summarize(e, 2.0), "Table-I row changed: {what}");
+        }
+        if !trace {
+            assert!(run_lines.is_empty(), "journal must stay silent with tracing off");
+        }
+    }
+
+    let lines_t1 = &outputs[2].3;
+    let lines_t4 = &outputs[3].3;
+    let expected =
+        cell.len() * scale.golden_runs + reference.iter().map(|r| r.injected.len()).sum::<usize>();
+    assert_eq!(lines_t1.len(), expected, "one journal line per golden+injected run");
+    assert_eq!(lines_t1, lines_t4, "run journal must not depend on thread count");
 }
