@@ -3,32 +3,33 @@
 //! These are the substrate-level sanity checks the whole evaluation rests
 //! on: the agent must lane-keep, car-follow, stop for braking leads, and
 //! handle the cut-in and front-accident scenarios without collisions.
+//!
+//! All tests drive the canonical [`SimLoop`] from `diverseav-runtime`
+//! (via [`AgentDriver`] or a purpose-built [`LoopDriver`]) rather than
+//! hand-rolling the `sense → step` loop.
 
-use diverseav_agent::{AgentConfig, SensorimotorAgent};
+use diverseav::{TickOutput, VehState};
+use diverseav_agent::{AgentConfig, AgentError, SensorimotorAgent};
 use diverseav_fabric::{Fabric, FaultModel, Op, Profile};
+use diverseav_runtime::{AgentDriver, LoopDriver, LoopObserver, SimLoop, Termination, TickContext};
 use diverseav_simworld::{
-    front_accident, ghost_cut_in, lead_slowdown, long_route, Scenario, SensorConfig, World,
-    WorldStatus,
+    front_accident, ghost_cut_in, lead_slowdown, long_route, RouteHint, Scenario, SensorConfig,
+    SensorFrame, World,
 };
 
+fn sim(scenario: Scenario, seed: u64) -> SimLoop<AgentDriver> {
+    let world = World::new(scenario, SensorConfig::default(), seed);
+    let agent = SensorimotorAgent::new(AgentConfig::default(), seed ^ 0x5A);
+    SimLoop::new(world, AgentDriver::new(agent))
+}
+
 /// Drive a scenario with a single agent at the full 40 Hz rate.
-/// Returns the world after the run and whether a fabric error occurred.
+/// Returns the world after the run; a fault-free run must not trap.
 fn drive(scenario: Scenario, seed: u64) -> World {
-    let mut world = World::new(scenario, SensorConfig::default(), seed);
-    let mut agent = SensorimotorAgent::new(AgentConfig::default(), seed ^ 0x5A);
-    let mut gpu = Fabric::new(Profile::Gpu);
-    let mut cpu = Fabric::new(Profile::Cpu);
-    while !world.finished() {
-        let frame = world.sense();
-        let hint = world.route_hint();
-        let controls = agent
-            .step(&frame, hint, 0.025, &mut gpu, &mut cpu)
-            .expect("fault-free run must not trap");
-        if world.step(controls) == WorldStatus::Collision {
-            break;
-        }
-    }
-    world
+    let mut sim = sim(scenario, seed);
+    let term = sim.run();
+    assert!(!term.is_hang_or_crash(), "fault-free run must not trap: {term:?}");
+    sim.into_parts().0
 }
 
 #[test]
@@ -78,38 +79,30 @@ fn agent_lane_keeps_on_long_route() {
 
 #[test]
 fn agent_reaches_cruise_speed_on_empty_road() {
+    struct Speeds(Vec<f64>);
+    impl LoopObserver for Speeds {
+        fn on_tick(&mut self, ctx: &TickContext<'_>) {
+            self.0.push(ctx.world.ego_state().speed);
+        }
+    }
     let mut scenario = lead_slowdown();
     scenario.npcs.clear();
-    let mut world = World::new(scenario, SensorConfig::default(), 15);
-    let mut agent = SensorimotorAgent::new(AgentConfig::default(), 99);
-    let mut gpu = Fabric::new(Profile::Gpu);
-    let mut cpu = Fabric::new(Profile::Cpu);
-    let mut speeds = Vec::new();
-    while !world.finished() {
-        let frame = world.sense();
-        let hint = world.route_hint();
-        let c = agent.step(&frame, hint, 0.025, &mut gpu, &mut cpu).expect("no trap");
-        world.step(c);
-        speeds.push(world.ego_state().speed);
-    }
+    let world = World::new(scenario, SensorConfig::default(), 15);
+    let agent = SensorimotorAgent::new(AgentConfig::default(), 99);
+    let mut sim = SimLoop::new(world, AgentDriver::new(agent));
+    let mut speeds = Speeds(Vec::new());
+    assert_eq!(sim.run_observed(&mut [&mut speeds]), Termination::Completed);
+    let speeds = speeds.0;
     let late_avg = speeds[speeds.len() - 200..].iter().sum::<f64>() / 200.0;
     assert!((late_avg - 8.0).abs() < 1.0, "cruise speed settled at {late_avg:.2}");
 }
 
 #[test]
 fn perception_estimates_lead_distance() {
-    let mut world = World::new(lead_slowdown(), SensorConfig::default(), 16);
-    let mut agent = SensorimotorAgent::new(AgentConfig::default(), 1);
-    let mut gpu = Fabric::new(Profile::Gpu);
-    let mut cpu = Fabric::new(Profile::Cpu);
     // Three frames so the temporal median filter confirms the detection.
-    for _ in 0..3 {
-        let frame = world.sense();
-        let hint = world.route_hint();
-        let c = agent.step(&frame, hint, 0.025, &mut gpu, &mut cpu).expect("no trap");
-        world.step(c);
-    }
-    let dbg = agent.perception_debug();
+    let mut sim = sim(lead_slowdown(), 16);
+    assert!(sim.run_for(3, &mut []).is_none(), "run is still live after 3 ticks");
+    let dbg = sim.driver().agent.perception_debug();
     // True bumper gap is ~20.5 m (25 m center-to-center); row quantization
     // near the horizon makes the estimate coarse.
     assert!(
@@ -123,14 +116,9 @@ fn perception_estimates_lead_distance() {
 fn perception_reports_no_vehicle_on_empty_road() {
     let mut scenario = lead_slowdown();
     scenario.npcs.clear();
-    let mut world = World::new(scenario, SensorConfig::default(), 17);
-    let mut agent = SensorimotorAgent::new(AgentConfig::default(), 2);
-    let mut gpu = Fabric::new(Profile::Gpu);
-    let mut cpu = Fabric::new(Profile::Cpu);
-    let frame = world.sense();
-    let hint = world.route_hint();
-    agent.step(&frame, hint, 0.025, &mut gpu, &mut cpu).expect("no trap");
-    assert!(agent.perception_debug().distance > 100.0, "no vehicle → huge distance");
+    let mut sim = sim(scenario, 17);
+    assert!(sim.run_for(1, &mut []).is_none());
+    assert!(sim.driver().agent.perception_debug().distance > 100.0, "no vehicle → huge distance");
 }
 
 #[test]
@@ -141,103 +129,145 @@ fn agent_memory_accounting_is_plausible() {
     assert!(ram < 4_096, "CPU context is small: {ram}");
 }
 
+/// Two agents fed the same frames: the clean one drives the world, the
+/// faulty one runs shadow inference on its own fabric pair. A faulty-side
+/// trap terminates the loop through the driver's error path.
+struct ShadowPair {
+    clean: AgentDriver,
+    faulty: AgentDriver,
+}
+
+impl LoopDriver for ShadowPair {
+    fn tick(
+        &mut self,
+        frame: &SensorFrame,
+        hint: RouteHint,
+        state: VehState,
+        t: f64,
+        world: &World,
+    ) -> Result<TickOutput, AgentError> {
+        let clean = self.clean.tick(frame, hint, state, t, world).expect("clean run");
+        self.faulty.tick(frame, hint, state, t, world)?;
+        Ok(clean)
+    }
+}
+
 #[test]
 fn permanent_fmul_gpu_fault_perturbs_actuation() {
-    let mut world = World::new(lead_slowdown(), SensorConfig::default(), 18);
-    let mut clean_agent = SensorimotorAgent::new(AgentConfig::default(), 4);
-    let mut faulty_agent = SensorimotorAgent::new(AgentConfig::default(), 4);
-    let mut gpu_clean = Fabric::new(Profile::Gpu);
-    let mut gpu_faulty = Fabric::new(Profile::Gpu);
-    gpu_faulty.inject(FaultModel::Permanent { op: Op::FFma, mask: 1 << 30 });
-    let mut cpu1 = Fabric::new(Profile::Cpu);
-    let mut cpu2 = Fabric::new(Profile::Cpu);
+    let world = World::new(lead_slowdown(), SensorConfig::default(), 18);
+    let mut driver = ShadowPair {
+        clean: AgentDriver::new(SensorimotorAgent::new(AgentConfig::default(), 4)),
+        faulty: AgentDriver::new(SensorimotorAgent::new(AgentConfig::default(), 4)),
+    };
+    driver.faulty.gpu.inject(FaultModel::Permanent { op: Op::FFma, mask: 1 << 30 });
+    let mut sim = SimLoop::new(world, driver);
     // Several frames so corruption passes the temporal median filter.
-    let (mut clean, mut faulty) = (Ok(Default::default()), Ok(Default::default()));
-    for _ in 0..3 {
-        let frame = world.sense();
-        let hint = world.route_hint();
-        clean = clean_agent.step(&frame, hint, 0.025, &mut gpu_clean, &mut cpu1);
-        faulty = faulty_agent.step(&frame, hint, 0.025, &mut gpu_faulty, &mut cpu2);
-        if faulty.is_err() {
-            break;
-        }
-        world.step(clean.expect("clean run"));
-    }
-    match (clean, faulty) {
-        (Ok(_), Ok(_)) => {
+    match sim.run_for(3, &mut []) {
+        None | Some(Termination::Completed) | Some(Termination::Collision) => {
             // Actuation may saturate identically; the perception state must
             // differ under an always-on FMA corruption.
+            let d = sim.driver();
             assert_ne!(
-                clean_agent.perception_debug(),
-                faulty_agent.perception_debug(),
+                d.clean.agent.perception_debug(),
+                d.faulty.agent.perception_debug(),
                 "a permanent FFma fault must perturb perception"
             );
         }
-        (Ok(_), Err(_)) => {} // crash/hang is also an acceptable manifestation
-        other => panic!("unexpected outcomes: {other:?}"),
+        Some(Termination::Trap(_)) => {} // crash/hang is also acceptable
     }
 }
 
 #[test]
 fn corrupted_cpu_loop_counter_hangs_or_crashes() {
-    let mut world = World::new(lead_slowdown(), SensorConfig::default(), 19);
-    let mut agent = SensorimotorAgent::new(AgentConfig::default(), 5);
-    let mut gpu = Fabric::new(Profile::Gpu);
-    let mut cpu = Fabric::new(Profile::Cpu);
-    cpu.inject(FaultModel::Permanent { op: Op::IAdd, mask: 1 });
-    let frame = world.sense();
-    let hint = world.route_hint();
-    let res = agent.step(&frame, hint, 0.025, &mut gpu, &mut cpu);
-    assert!(res.is_err(), "permanent IAdd corruption must trap, got {res:?}");
-    let err = res.unwrap_err();
-    assert_eq!(err.fabric, Profile::Cpu);
+    let world = World::new(lead_slowdown(), SensorConfig::default(), 19);
+    let mut driver = AgentDriver::new(SensorimotorAgent::new(AgentConfig::default(), 5));
+    driver.cpu.inject(FaultModel::Permanent { op: Op::IAdd, mask: 1 });
+    let mut sim = SimLoop::new(world, driver);
+    match sim.run_for(1, &mut []) {
+        Some(Termination::Trap(err)) => assert_eq!(err.fabric, Profile::Cpu),
+        other => panic!("permanent IAdd corruption must trap, got {other:?}"),
+    }
+}
+
+/// Two agents time-sharing one fabric pair (the DiverseAV deployment
+/// shape): agent `a` drives; agent `b` shadows on the same fabrics.
+struct SharedFabricPair {
+    a: SensorimotorAgent,
+    b: SensorimotorAgent,
+    gpu: Fabric,
+    cpu: Fabric,
+}
+
+impl LoopDriver for SharedFabricPair {
+    fn tick(
+        &mut self,
+        frame: &SensorFrame,
+        hint: RouteHint,
+        _state: VehState,
+        _t: f64,
+        _world: &World,
+    ) -> Result<TickOutput, AgentError> {
+        let ca = self.a.step(frame, hint, 0.025, &mut self.gpu, &mut self.cpu)?;
+        let cb = self.b.step(frame, hint, 0.025, &mut self.gpu, &mut self.cpu)?;
+        // Outputs are close (same inputs) but jitter keeps them distinct
+        // over several steps; state must not leak between contexts.
+        let _ = cb;
+        Ok(TickOutput { controls: ca, pair: None, divergence: None, alarm_raised: false })
+    }
 }
 
 #[test]
 fn agent_state_is_private_between_instances() {
-    // Two agents stepping on the same fabrics keep independent PID state.
-    let mut world = World::new(lead_slowdown(), SensorConfig::default(), 20);
-    let mut a = SensorimotorAgent::new(AgentConfig::default(), 6);
-    let mut b = SensorimotorAgent::new(AgentConfig::default(), 7);
-    let mut gpu = Fabric::new(Profile::Gpu);
-    let mut cpu = Fabric::new(Profile::Cpu);
-    for _ in 0..5 {
-        let frame = world.sense();
-        let hint = world.route_hint();
-        let ca = a.step(&frame, hint, 0.025, &mut gpu, &mut cpu).expect("a ok");
-        let cb = b.step(&frame, hint, 0.025, &mut gpu, &mut cpu).expect("b ok");
-        // Outputs are close (same inputs) but jitter keeps them distinct
-        // over several steps; state must not leak between contexts.
-        let _ = (ca, cb);
-        world.step(ca);
-    }
-    assert_eq!(a.steps(), 5);
-    assert_eq!(b.steps(), 5);
+    let world = World::new(lead_slowdown(), SensorConfig::default(), 20);
+    let driver = SharedFabricPair {
+        a: SensorimotorAgent::new(AgentConfig::default(), 6),
+        b: SensorimotorAgent::new(AgentConfig::default(), 7),
+        gpu: Fabric::new(Profile::Gpu),
+        cpu: Fabric::new(Profile::Cpu),
+    };
+    let mut sim = SimLoop::new(world, driver);
+    assert!(sim.run_for(5, &mut []).is_none(), "both agents stay trap-free");
+    assert_eq!(sim.driver().a.steps(), 5);
+    assert_eq!(sim.driver().b.steps(), 5);
 }
 
 #[test]
 #[ignore = "diagnostic trace for gain tuning"]
 fn debug_lane_trace() {
-    let scenario = long_route(0, 45.0);
-    let mut world = World::new(scenario, SensorConfig::default(), 14);
-    let mut agent = SensorimotorAgent::new(AgentConfig::default(), 14 ^ 0x5A);
-    let mut gpu = Fabric::new(Profile::Gpu);
-    let mut cpu = Fabric::new(Profile::Cpu);
-    let mut i = 0u64;
-    while !world.finished() {
-        let frame = world.sense();
-        let hint = world.route_hint();
-        let c = agent.step(&frame, hint, 0.025, &mut gpu, &mut cpu).expect("no trap");
-        world.step(c);
-        if i.is_multiple_of(40) {
-            let d = agent.perception_debug();
-            println!(
-                "t={:5.1} s={:6.1} lat={:+5.2} curv={:+.4} limit={:4.1} v={:4.1} steer={:+.3} latpx={:+6.1} dist={:6.1} thr={:.2} brk={:.2}",
-                world.time(), world.ego_s(), hint.lateral_offset, hint.curvature,
-                hint.speed_limit, world.ego_state().speed, c.steer, d.lat_err_px, d.distance,
-                c.throttle, c.brake
-            );
-        }
-        i += 1;
+    /// Wraps the bare agent driver to print a 1 Hz diagnostic line.
+    struct Traced {
+        inner: AgentDriver,
+        i: u64,
     }
+    impl LoopDriver for Traced {
+        fn tick(
+            &mut self,
+            frame: &SensorFrame,
+            hint: RouteHint,
+            state: VehState,
+            t: f64,
+            world: &World,
+        ) -> Result<TickOutput, AgentError> {
+            let out = self.inner.tick(frame, hint, state, t, world)?;
+            if self.i.is_multiple_of(40) {
+                let d = self.inner.agent.perception_debug();
+                let c = out.controls;
+                println!(
+                    "t={:5.1} s={:6.1} lat={:+5.2} curv={:+.4} limit={:4.1} v={:4.1} steer={:+.3} latpx={:+6.1} dist={:6.1} thr={:.2} brk={:.2}",
+                    world.time(), world.ego_s(), hint.lateral_offset, hint.curvature,
+                    hint.speed_limit, world.ego_state().speed, c.steer, d.lat_err_px, d.distance,
+                    c.throttle, c.brake
+                );
+            }
+            self.i += 1;
+            Ok(out)
+        }
+    }
+    let world = World::new(long_route(0, 45.0), SensorConfig::default(), 14);
+    let driver = Traced {
+        inner: AgentDriver::new(SensorimotorAgent::new(AgentConfig::default(), 14 ^ 0x5A)),
+        i: 0,
+    };
+    let term = SimLoop::new(world, driver).run();
+    assert!(!term.is_hang_or_crash(), "no trap on the diagnostic route: {term:?}");
 }

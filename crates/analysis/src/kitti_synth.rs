@@ -11,6 +11,7 @@
 //! simulator, so every measured property arises from actual scene motion
 //! rather than ad-hoc randomness.
 
+use diverseav_runtime::{LoopObserver, PolicyDriver, SimLoop, TickContext};
 use diverseav_simworld::{long_route, Controls, Image, SensorConfig, Vec2, World};
 
 /// One frame of a synthetic real-world-like sequence.
@@ -76,55 +77,74 @@ pub fn generate_sequence(cfg: &SynthConfig) -> Vec<SynthFrame> {
         lidar_rays: 360,
         ..Default::default()
     };
-    // A long route with background traffic; 10 Hz sampling = every 4th
-    // tick of the 40 Hz world.
+    // A long route with background traffic; the sensor stack runs at the
+    // world's 40 Hz rate, the dataset keeps every 4th frame (10 Hz).
     let scenario = long_route((cfg.seed % 3) as u8, cfg.n_frames as f64 * 0.1 + 30.0);
-    let mut world = World::new(scenario, sensor, cfg.seed);
-    let mut frames = Vec::with_capacity(cfg.n_frames);
+    let world = World::new(scenario, sensor, cfg.seed);
     let fx = (cfg.width as f64 / 2.0) / (sensor.hfov_deg.to_radians() / 2.0).tan();
     let (cx, cy) = (cfg.width as f64 / 2.0, cfg.height as f64 / 2.0);
 
-    for _ in 0..cfg.n_frames {
-        // Capture at 10 Hz.
-        let frame = world.sense();
-        let ego = *world.ego_state();
-        let fwd = Vec2::from_heading(ego.pose.heading);
-        let left = fwd.perp();
-        let mut objects_px = Vec::new();
-        let mut objects_ego = Vec::new();
-        for (id, npc) in world.npcs().iter().enumerate() {
-            let pos = npc.pose(&world.scenario().track).pos;
-            let rel = pos - ego.pose.pos;
-            let f = fwd.dot(rel);
-            let l = left.dot(rel);
-            if (2.0..=90.0).contains(&f) {
-                let px = cx - fx * l / f;
-                let py_bottom = cy + fx * sensor.cam_height / f;
-                let py = py_bottom - 0.5 * fx * 1.45 / f;
-                if (0.0..cfg.width as f64).contains(&px) {
-                    objects_px.push((id, px, py));
+    /// Keeps every 4th streamed frame, annotated with ground-truth tracks.
+    struct Capture<'a> {
+        cfg: &'a SynthConfig,
+        sensor: SensorConfig,
+        fx: f64,
+        cx: f64,
+        cy: f64,
+        tick: usize,
+        frames: Vec<SynthFrame>,
+    }
+
+    impl LoopObserver for Capture<'_> {
+        fn on_tick(&mut self, ctx: &TickContext<'_>) {
+            let keep = self.tick.is_multiple_of(4) && self.frames.len() < self.cfg.n_frames;
+            self.tick += 1;
+            if !keep {
+                return;
+            }
+            let (world, frame) = (ctx.world, ctx.frame);
+            let ego = *world.ego_state();
+            let fwd = Vec2::from_heading(ego.pose.heading);
+            let left = fwd.perp();
+            let mut objects_px = Vec::new();
+            let mut objects_ego = Vec::new();
+            for (id, npc) in world.npcs().iter().enumerate() {
+                let pos = npc.pose(&world.scenario().track).pos;
+                let rel = pos - ego.pose.pos;
+                let f = fwd.dot(rel);
+                let l = left.dot(rel);
+                if (2.0..=90.0).contains(&f) {
+                    let px = self.cx - self.fx * l / f;
+                    let py_bottom = self.cy + self.fx * self.sensor.cam_height / f;
+                    let py = py_bottom - 0.5 * self.fx * 1.45 / f;
+                    if (0.0..self.cfg.width as f64).contains(&px) {
+                        objects_px.push((id, px, py));
+                    }
+                    objects_ego.push((id, f, l));
                 }
-                objects_ego.push((id, f, l));
             }
-        }
-        frames.push(SynthFrame {
-            t: world.time(),
-            camera: frame.cameras[1].clone(),
-            imu_gps: [frame.imu.accel, frame.imu.yaw_rate, frame.gps[0], frame.gps[1], frame.speed],
-            lidar: frame.lidar.expect("lidar enabled"),
-            objects_px,
-            objects_ego,
-        });
-        // Advance 4 ticks with the ground-truth route follower.
-        for _ in 0..4 {
-            let controls = ground_truth_controls(&world);
-            world.step(controls);
-            if world.finished() {
-                return frames;
-            }
+            self.frames.push(SynthFrame {
+                t: world.time(),
+                camera: frame.cameras[1].clone(),
+                imu_gps: [
+                    frame.imu.accel,
+                    frame.imu.yaw_rate,
+                    frame.gps[0],
+                    frame.gps[1],
+                    frame.speed,
+                ],
+                lidar: frame.lidar.clone().expect("lidar enabled"),
+                objects_px,
+                objects_ego,
+            });
         }
     }
-    frames
+
+    let mut capture =
+        Capture { cfg, sensor, fx, cx, cy, tick: 0, frames: Vec::with_capacity(cfg.n_frames) };
+    let mut sim = SimLoop::new(world, PolicyDriver(ground_truth_controls));
+    sim.run_for(cfg.n_frames * 4, &mut [&mut capture]);
+    capture.frames
 }
 
 /// A ground-truth driving policy used only for data collection: follows

@@ -9,7 +9,10 @@ use diverseav::{
 };
 use diverseav_agent::{AgentConfig, SensorimotorAgent};
 use diverseav_fabric::{Fabric, Profile, ProgramBuilder, Reg};
-use diverseav_simworld::{lead_slowdown, render_camera, RenderScene, SensorConfig, World};
+use diverseav_runtime::{PolicyDriver, SimLoop};
+use diverseav_simworld::{
+    lead_slowdown, render_camera, Controls, RenderScene, SensorConfig, World,
+};
 
 /// Straight-line float pipeline for raw interpreter throughput.
 fn interpreter_throughput(c: &mut Criterion) {
@@ -99,15 +102,20 @@ fn ads_tick(c: &mut Criterion) {
     });
 }
 
-/// Full world step including sensing (the simulation inner loop).
+/// Full world step including sensing (the simulation inner loop), driven
+/// through the canonical `SimLoop` tick.
 fn world_step(c: &mut Criterion) {
     c.bench_function("world/sense_plus_step", |bench| {
         bench.iter_batched(
-            || World::new(lead_slowdown(), SensorConfig::default(), 10),
-            |mut world| {
-                let frame = world.sense();
-                world.step(Default::default());
-                frame
+            || {
+                SimLoop::new(
+                    World::new(lead_slowdown(), SensorConfig::default(), 10),
+                    PolicyDriver(|_: &World| Controls::default()),
+                )
+            },
+            |mut sim| {
+                sim.run_for(1, &mut []);
+                sim
             },
             BatchSize::SmallInput,
         );

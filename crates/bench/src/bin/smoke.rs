@@ -70,13 +70,19 @@ fn main() {
     println!("\ntiming one quick campaign ({campaign}) sequential vs parallel ...");
     let time_with = |label: &str, threads: usize| -> f64 {
         std::env::set_var("DIVERSEAV_THREADS", threads.to_string());
+        let ticks_before = metrics::counter_get("runtime.ticks");
         let start = Instant::now();
         let result =
             run_campaign_with_traces(campaign, &scale, None, SensorConfig::default(), true);
         let secs = start.elapsed().as_secs_f64();
+        let ticks = metrics::counter_get("runtime.ticks") - ticks_before;
         let runs = result.golden.len() + result.injected.len();
-        perf::record(format!("smoke {campaign} [{label}]"), "smoke", secs, runs);
-        println!("  {label:<28} {secs:>8.3} s  ({runs} runs, {:.1} runs/s)", runs as f64 / secs);
+        perf::record(format!("smoke {campaign} [{label}]"), "smoke", secs, runs, ticks);
+        println!(
+            "  {label:<28} {secs:>8.3} s  ({runs} runs, {:.1} runs/s, {:.0} ticks/s)",
+            runs as f64 / secs,
+            ticks as f64 / secs
+        );
         secs
     };
     let seq = time_with("sequential (1 thread)", 1);

@@ -18,6 +18,7 @@ use diverseav_faultinj::{
     run_experiment, scenario_for, summarize, Campaign, CampaignResult, CampaignScale,
     FaultModelKind, FaultSpec, GoldenCache, RunConfig,
 };
+use diverseav_runtime::{LoopObserver, PolicyDriver, SimLoop, TickContext};
 use diverseav_simworld::{Scenario, ScenarioKind, SensorConfig, TrajPoint, World};
 use std::fmt::Write as _;
 
@@ -176,23 +177,31 @@ pub fn fig5_report() -> String {
     }
 
     // --- Fig 5b: simulator cameras at 40 Hz on the test scenarios ---
-    let mut sim_diffs = Vec::new();
-    for kind in ScenarioKind::safety_critical() {
-        let scenario = Scenario::of_kind(kind);
-        let mut world = World::new(scenario, SensorConfig::default(), 0xF16);
-        let mut prev = world.sense();
-        for _ in 0..120 {
-            world.step(ground_truth_controls(&world));
-            let next = world.sense();
-            for c in 0..3 {
-                sim_diffs.extend(pixel_bit_diffs(&prev.cameras[c], &next.cameras[c]));
+    /// Accumulates bit diffs between consecutive frames of all 3 cameras.
+    #[derive(Default)]
+    struct CameraDiffs {
+        prev: Option<Vec<diverseav_simworld::Image>>,
+        diffs: Vec<u32>,
+    }
+    impl LoopObserver for CameraDiffs {
+        fn on_tick(&mut self, ctx: &TickContext<'_>) {
+            if let Some(prev) = &self.prev {
+                for (p, cur) in prev.iter().zip(&ctx.frame.cameras) {
+                    self.diffs.extend(pixel_bit_diffs(p, cur));
+                }
             }
-            prev = next;
-            if world.finished() {
-                break;
-            }
+            self.prev = Some(ctx.frame.cameras.clone());
         }
     }
+    let mut camera_diffs = CameraDiffs::default();
+    for kind in ScenarioKind::safety_critical() {
+        let scenario = Scenario::of_kind(kind);
+        let world = World::new(scenario, SensorConfig::default(), 0xF16);
+        let mut sim = SimLoop::new(world, PolicyDriver(ground_truth_controls));
+        camera_diffs.prev = None;
+        sim.run_for(121, &mut [&mut camera_diffs]);
+    }
+    let sim_diffs = camera_diffs.diffs;
     let sim = DiversityStats::of(&sim_diffs);
     let _ = writeln!(
         out,
@@ -242,7 +251,7 @@ pub fn fig6_report() -> String {
             let b = Boxplot::of(&divs);
             overall_max = overall_max.max(b.max);
             t.row(vec![
-                kind.abbrev(),
+                kind.abbrev().to_string(),
                 label.to_string(),
                 format!("{:.3}", b.min),
                 format!("{:.3}", b.q1),
@@ -292,7 +301,7 @@ pub fn table1_report() -> String {
         let row = summarize(c, BEST_TD);
         t.row(vec![
             format!("{}-{}", c.campaign.target, c.campaign.kind.label()),
-            c.campaign.scenario.abbrev(),
+            c.campaign.scenario.abbrev().to_string(),
             row.active.to_string(),
             row.hang_crash.to_string(),
             row.total.to_string(),
@@ -613,10 +622,8 @@ fn fmt_cvip(v: f64) -> String {
 pub fn drive_ground_truth(kind: ScenarioKind, seed: u64) -> World {
     let scale = scale();
     let scenario = scenario_for(kind, &scale);
-    let mut world = World::new(scenario, SensorConfig::default(), seed);
-    while !world.finished() {
-        let c = ground_truth_controls(&world);
-        world.step(c);
-    }
-    world
+    let world = World::new(scenario, SensorConfig::default(), seed);
+    let mut sim = SimLoop::new(world, PolicyDriver(ground_truth_controls));
+    sim.run();
+    sim.into_parts().0
 }

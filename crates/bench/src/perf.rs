@@ -29,6 +29,9 @@ pub struct CampaignTiming {
     pub wall_secs: f64,
     /// Simulation runs covered by this entry.
     pub runs: usize,
+    /// Simulation ticks executed during this entry (from the
+    /// `runtime.ticks` counter that `PerfObserver` feeds).
+    pub ticks: u64,
     /// Worker threads the engine was configured with at record time.
     pub threads: usize,
 }
@@ -42,35 +45,55 @@ impl CampaignTiming {
             0.0
         }
     }
+
+    /// Simulation ticks per wall-clock second (0 for an instant entry).
+    pub fn ticks_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.ticks as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
 }
 
 static REGISTRY: Mutex<Vec<CampaignTiming>> = Mutex::new(Vec::new());
 
 /// Record one timing entry (and accumulate it under the phase's metrics
 /// wall-clock).
-pub fn record(label: impl Into<String>, phase: impl Into<String>, wall_secs: f64, runs: usize) {
+pub fn record(
+    label: impl Into<String>,
+    phase: impl Into<String>,
+    wall_secs: f64,
+    runs: usize,
+    ticks: u64,
+) {
     let entry = CampaignTiming {
         label: label.into(),
         phase: phase.into(),
         wall_secs,
         runs,
+        ticks,
         threads: thread_count(),
     };
     metrics::phase_add(&entry.phase, wall_secs);
     REGISTRY.lock().expect("perf registry poisoned").push(entry);
 }
 
-/// Time `f`, record the entry (with `runs` derived from the result), and
-/// return the result.
+/// Time `f`, record the entry (with `runs` derived from the result and
+/// `ticks` sampled from the `runtime.ticks` counter around the timed
+/// section), and return the result.
 pub fn timed<R>(
     label: impl Into<String>,
     phase: impl Into<String>,
     runs_of: impl FnOnce(&R) -> usize,
     f: impl FnOnce() -> R,
 ) -> R {
+    let ticks_before = metrics::counter_get("runtime.ticks");
     let start = Instant::now();
     let result = f();
-    record(label, phase, start.elapsed().as_secs_f64(), runs_of(&result));
+    let wall_secs = start.elapsed().as_secs_f64();
+    let ticks = metrics::counter_get("runtime.ticks") - ticks_before;
+    record(label, phase, wall_secs, runs_of(&result), ticks);
     result
 }
 
@@ -108,12 +131,15 @@ pub fn render_json(entries: &[CampaignTiming]) -> String {
         let sep = if i + 1 == entries.len() { "" } else { "," };
         out.push_str(&format!(
             "    {{\"label\": \"{}\", \"phase\": \"{}\", \"wall_secs\": {:.6}, \
-             \"runs\": {}, \"runs_per_sec\": {:.3}, \"threads\": {}}}{sep}\n",
+             \"runs\": {}, \"runs_per_sec\": {:.3}, \"ticks\": {}, \
+             \"ticks_per_sec\": {:.1}, \"threads\": {}}}{sep}\n",
             escape_json(&e.label),
             escape_json(&e.phase),
             e.wall_secs,
             e.runs,
             e.runs_per_sec(),
+            e.ticks,
+            e.ticks_per_sec(),
             e.threads,
         ));
     }
@@ -132,9 +158,11 @@ mod tests {
             phase: "campaign".into(),
             wall_secs: 0.0,
             runs: 5,
+            ticks: 200,
             threads: 1,
         };
         assert_eq!(t.runs_per_sec(), 0.0);
+        assert_eq!(t.ticks_per_sec(), 0.0);
     }
 
     #[test]
@@ -144,18 +172,21 @@ mod tests {
             phase: "campaign".into(),
             wall_secs: 2.0,
             runs: 10,
+            ticks: 4000,
             threads: 4,
         }];
         let json = render_json(&entries);
         assert!(json.contains("\\\"LSD\\\"\\n"));
         assert!(json.contains("\"runs_per_sec\": 5.000"));
+        assert!(json.contains("\"ticks\": 4000"));
+        assert!(json.contains("\"ticks_per_sec\": 2000.0"));
         assert!(json.contains("\"detected_cores\""));
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
     }
 
     #[test]
     fn record_feeds_phase_metrics() {
-        record("m", "test.perf.phase_unique", 0.5, 1);
+        record("m", "test.perf.phase_unique", 0.5, 1, 20);
         let stat = metrics::phase_get("test.perf.phase_unique");
         assert_eq!(stat.count, 1);
         assert!((stat.wall_secs - 0.5).abs() < 1e-12);

@@ -25,22 +25,19 @@
 //!
 //! ## Example
 //!
+//! The closed `sense → tick → step` loop itself is owned by the
+//! `diverseav-runtime` crate — an [`Ads`] is a `LoopDriver` there:
+//!
 //! ```
-//! use diverseav::{Ads, AdsConfig, AgentMode, VehState};
+//! use diverseav::{Ads, AdsConfig, AgentMode};
+//! use diverseav_runtime::{SimLoop, Termination};
 //! use diverseav_simworld::{lead_slowdown, SensorConfig, World};
 //!
-//! # fn main() -> Result<(), diverseav_agent::AgentError> {
-//! let mut world = World::new(lead_slowdown(), SensorConfig::default(), 7);
-//! let mut ads = Ads::new(AdsConfig::for_mode(AgentMode::RoundRobin, 7));
-//! while !world.finished() && world.time() < 0.25 {
-//!     let frame = world.sense();
-//!     let hint = world.route_hint();
-//!     let state = VehState::from(world.ego_state());
-//!     let out = ads.tick(&frame, hint, state, world.time())?;
-//!     world.step(out.controls);
-//! }
-//! # Ok(())
-//! # }
+//! let mut scenario = lead_slowdown();
+//! scenario.duration = 0.25;
+//! let world = World::new(scenario, SensorConfig::default(), 7);
+//! let ads = Ads::new(AdsConfig::for_mode(AgentMode::RoundRobin, 7));
+//! assert_eq!(SimLoop::new(world, ads).run(), Termination::Completed);
 //! ```
 
 pub mod actuation;

@@ -52,4 +52,7 @@ pub use outcome::{
     mean_trajectory, missed_hazard_probability, DetectionEval, OutcomeClass,
 };
 pub use plan::{generate_plan, FaultModelKind, PlanConfig};
-pub use runner::{run_experiment, run_record, FaultSpec, RunConfig, RunResult, Termination};
+pub use runner::{
+    run_experiment, run_experiment_observed, run_record, FaultSpec, RunConfig, RunResult,
+    Termination,
+};

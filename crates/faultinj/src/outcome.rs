@@ -174,7 +174,7 @@ mod tests {
 
     fn result(traj_pts: Vec<TrajPoint>, collision: Option<f64>, alarm: Option<f64>) -> RunResult {
         RunResult {
-            scenario: "t".to_string(),
+            scenario: "t",
             mode: AgentMode::RoundRobin,
             fault: None,
             seed: 0,

@@ -98,7 +98,7 @@ mod tests {
 
     fn fake_profile() -> RunResult {
         RunResult {
-            scenario: "test".to_string(),
+            scenario: "test",
             mode: AgentMode::RoundRobin,
             fault: None,
             seed: 0,

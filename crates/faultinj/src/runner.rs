@@ -1,11 +1,14 @@
 //! The Driver (Fig 3): executes one experiment — scenario + agent mode +
 //! optional fault — and records everything the evaluation needs.
 
-use diverseav::{Ads, AdsConfig, AgentMode, DetectorConfig, DetectorModel, TrainSample, VehState};
-use diverseav_agent::{AgentConfig, AgentError};
-use diverseav_fabric::{FaultModel, Op, Profile, Trap};
-use diverseav_simworld::{Scenario, SensorConfig, TrajPoint, World, WorldStatus};
+use diverseav::{Ads, AdsConfig, AgentMode, DetectorConfig, DetectorModel, TrainSample};
+use diverseav_agent::AgentConfig;
+use diverseav_fabric::{FaultModel, Op, Profile};
+use diverseav_runtime::{LoopObserver, PerfObserver, SimLoop, TrainingCollector};
+use diverseav_simworld::{Scenario, SensorConfig, TrajPoint, World, TICK_HZ};
 use std::fmt;
+
+pub use diverseav_runtime::Termination;
 
 /// A fault to inject into one experiment.
 #[derive(Copy, Clone, Debug, PartialEq)]
@@ -21,40 +24,6 @@ pub struct FaultSpec {
 impl fmt::Display for FaultSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}[unit{}] {}", self.profile, self.unit, self.model)
-    }
-}
-
-/// How an experimental run ended.
-#[derive(Copy, Clone, Debug, PartialEq)]
-pub enum Termination {
-    /// Scenario duration elapsed.
-    Completed,
-    /// The ego vehicle collided.
-    Collision,
-    /// A fabric trapped (crash) or exhausted its watchdog (hang) — the
-    /// platform-detected failure path.
-    Trap(AgentError),
-}
-
-impl Termination {
-    /// Whether the platform detected this run as a hang or crash.
-    pub fn is_hang_or_crash(&self) -> bool {
-        matches!(self, Termination::Trap(_))
-    }
-
-    /// Whether the trap specifically was a watchdog hang.
-    pub fn is_hang(&self) -> bool {
-        matches!(self, Termination::Trap(AgentError { trap: Trap::Watchdog, .. }))
-    }
-
-    /// Stable journal label: `completed`, `collision`, `hang`, or `crash`.
-    pub fn label(&self) -> &'static str {
-        match self {
-            Termination::Completed => "completed",
-            Termination::Collision => "collision",
-            _ if self.is_hang() => "hang",
-            _ => "crash",
-        }
     }
 }
 
@@ -103,8 +72,9 @@ impl RunConfig {
 /// Everything recorded from one experimental run.
 #[derive(Clone, Debug, PartialEq)]
 pub struct RunResult {
-    /// Scenario name.
-    pub scenario: String,
+    /// Scenario name (interned; scenario names come from the runtime
+    /// registry or `'static` constructors, never per-run strings).
+    pub scenario: &'static str,
     /// Agent mode.
     pub mode: AgentMode,
     /// The injected fault, if any.
@@ -191,7 +161,7 @@ pub fn run_record(
         kind,
         index,
         seed: r.seed,
-        scenario: r.scenario.clone(),
+        scenario: r.scenario.to_string(),
         outcome: r.termination.label().to_string(),
         end_time: r.end_time,
         collision_time: r.collision_time,
@@ -209,8 +179,16 @@ pub fn run_record(
 /// run continues so that lead detection time (alarm → collision) can be
 /// measured; the fail-back system is assumed, not simulated.
 pub fn run_experiment(cfg: &RunConfig) -> RunResult {
+    run_experiment_observed(cfg, &mut [])
+}
+
+/// [`run_experiment`] with caller-supplied [`LoopObserver`]s attached to
+/// the [`SimLoop`] alongside the built-in training collector (allocation
+/// probes, extra telemetry, ...). Observers see every tick but cannot
+/// change the run, so results stay bit-identical to [`run_experiment`].
+pub fn run_experiment_observed(cfg: &RunConfig, extra: &mut [&mut dyn LoopObserver]) -> RunResult {
     diverseav_obs::metrics::counter_add("runner.experiments", 1);
-    let mut world = World::new(cfg.scenario.clone(), cfg.sensor, cfg.seed);
+    let world = World::new(cfg.scenario.clone(), cfg.sensor, cfg.seed);
     let mut ads = Ads::new(AdsConfig {
         mode: cfg.mode,
         agent: cfg.agent,
@@ -225,47 +203,26 @@ pub fn run_experiment(cfg: &RunConfig) -> RunResult {
         ads.inject_fault(fault.unit, fault.profile, fault.model);
     }
 
-    let mut training = Vec::new();
-    let mut actuation = Vec::new();
-    let mut termination = Termination::Completed;
-    while !world.finished() {
-        let frame = world.sense();
-        let hint = world.route_hint();
-        let state = VehState::from(world.ego_state());
-        let t_now = world.time();
-        match ads.tick(&frame, hint, state, t_now) {
-            Ok(out) => {
-                if cfg.collect_training {
-                    if let Some(div) = out.divergence {
-                        training.push(TrainSample { t: t_now, state, div });
-                    }
-                    let cvip = world.cvip().unwrap_or(f64::INFINITY);
-                    actuation.push((t_now, out.controls, cvip));
-                }
-                if world.step(out.controls) == WorldStatus::Collision {
-                    termination = Termination::Collision;
-                    break;
-                }
-            }
-            Err(e) => {
-                termination = Termination::Trap(e);
-                break;
-            }
+    let capacity = (cfg.scenario.duration * TICK_HZ) as usize + 2;
+    let mut collector = TrainingCollector::new(cfg.collect_training, capacity);
+    let mut perf = PerfObserver::new();
+    let mut sim = SimLoop::new(world, ads);
+    let termination = {
+        let mut observers: Vec<&mut dyn LoopObserver> = Vec::with_capacity(2 + extra.len());
+        observers.push(&mut collector);
+        observers.push(&mut perf);
+        for obs in extra.iter_mut() {
+            observers.push(&mut **obs);
         }
-    }
-
-    let stats = ads.exec_stats();
-    let find = |p: Profile| {
-        stats
-            .iter()
-            .find(|(profile, unit, _)| *profile == p && *unit == 0)
-            .map(|(_, _, s)| s.clone())
-            .expect("unit 0 exists in every mode")
+        sim.run_observed(&mut observers)
     };
-    let gpu_stats = find(Profile::Gpu);
-    let cpu_stats = find(Profile::Cpu);
+    let (world, ads) = sim.into_parts();
+
+    let stats = |p: Profile| ads.unit_stats(p, 0).expect("unit 0 exists in every mode");
+    let gpu_stats = stats(Profile::Gpu);
+    let cpu_stats = stats(Profile::Cpu);
     RunResult {
-        scenario: cfg.scenario.name.clone(),
+        scenario: cfg.scenario.name,
         mode: cfg.mode,
         fault: cfg.fault,
         seed: cfg.seed,
@@ -277,8 +234,8 @@ pub fn run_experiment(cfg: &RunConfig) -> RunResult {
         min_cvip: world.min_cvip(),
         red_light_violations: world.red_light_violations(),
         trajectory: world.trajectory().to_vec(),
-        training,
-        actuation,
+        training: collector.training,
+        actuation: collector.actuation,
         gpu_dyn_instr: gpu_stats.total(),
         cpu_dyn_instr: cpu_stats.total(),
         gpu_ops: gpu_stats.used_ops(),
@@ -289,6 +246,8 @@ pub fn run_experiment(cfg: &RunConfig) -> RunResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use diverseav_agent::AgentError;
+    use diverseav_fabric::Trap;
     use diverseav_simworld::lead_slowdown;
 
     fn short_scenario() -> Scenario {

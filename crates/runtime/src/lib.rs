@@ -1,0 +1,36 @@
+//! # diverseav-runtime — the canonical closed-loop runtime
+//!
+//! The paper's entire evaluation is built on one closed feedback loop:
+//! sensor frame → redundant agents → fused actuation → world kinematics
+//! → next frame (Fig 2). This crate owns that loop; every layer above
+//! the simulator drives a [`SimLoop`] instead of re-implementing
+//! `sense → tick → step` by hand.
+//!
+//! Three coordinated pieces:
+//!
+//! - **[`SimLoop`]** — the single loop body, generic over a
+//!   [`LoopDriver`] (the full [`Ads`](diverseav::Ads) stack, a bare
+//!   [`AgentDriver`], or a perfect-knowledge [`PolicyDriver`]), with
+//!   [`LoopObserver`] hooks (`on_tick` / `on_alarm` / `on_termination`)
+//!   for training collection, perf accounting, telemetry, and tracing.
+//! - **Zero-allocation steady state** — the loop owns a reusable
+//!   [`SensorFrame`](diverseav_simworld::SensorFrame) and captures via
+//!   [`World::sense_into`](diverseav_simworld::World::sense_into), so a
+//!   steady-state tick performs no heap allocation (the campaign hot
+//!   path the parallel engine fans out).
+//! - **[`registry`]** — the named scenario catalog carrying interned
+//!   `&'static str` scenario IDs end to end; a new workload is one
+//!   [`registry::register`] call.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod observers;
+pub mod registry;
+pub mod simloop;
+
+pub use observers::{PerfObserver, TrainingCollector};
+pub use registry::ScenarioEntry;
+pub use simloop::{
+    AgentDriver, LoopDriver, LoopObserver, PolicyDriver, SimLoop, Termination, TickContext,
+};

@@ -1,0 +1,103 @@
+//! The scenario registry: a named catalog mapping stable `&'static str`
+//! keys to scenario constructors.
+//!
+//! Campaign configs, `RunResult`s, and the trace journal carry these
+//! interned keys (which equal [`Scenario::name`]) instead of per-run
+//! `String` clones, and adding a new workload to the suite is one
+//! [`register`] call.
+
+use diverseav_simworld::{front_accident, ghost_cut_in, lead_slowdown, long_route, Scenario};
+use std::sync::Mutex;
+
+/// One registry entry: a stable key plus a parameterless constructor.
+#[derive(Copy, Clone)]
+pub struct ScenarioEntry {
+    /// Stable scenario ID; equals the built scenario's `name`.
+    pub key: &'static str,
+    /// Constructor with default (paper-like) timing.
+    pub build: fn() -> Scenario,
+}
+
+fn long_route_0() -> Scenario {
+    long_route(0, 200.0)
+}
+fn long_route_1() -> Scenario {
+    long_route(1, 200.0)
+}
+fn long_route_2() -> Scenario {
+    long_route(2, 200.0)
+}
+
+/// The built-in catalog: the three NHTSA-style safety-critical scenarios
+/// (§IV-C1) and the three long training routes (§IV-C2).
+pub const BUILTINS: &[ScenarioEntry] = &[
+    ScenarioEntry { key: "lead-slowdown", build: lead_slowdown },
+    ScenarioEntry { key: "ghost-cut-in", build: ghost_cut_in },
+    ScenarioEntry { key: "front-accident", build: front_accident },
+    ScenarioEntry { key: "long-route-0", build: long_route_0 },
+    ScenarioEntry { key: "long-route-1", build: long_route_1 },
+    ScenarioEntry { key: "long-route-2", build: long_route_2 },
+];
+
+static EXTRA: Mutex<Vec<ScenarioEntry>> = Mutex::new(Vec::new());
+
+/// Register a new workload under `key`. Returns `false` (and registers
+/// nothing) if the key is already taken.
+pub fn register(key: &'static str, build: fn() -> Scenario) -> bool {
+    let mut extra = EXTRA.lock().expect("scenario registry poisoned");
+    if BUILTINS.iter().any(|e| e.key == key) || extra.iter().any(|e| e.key == key) {
+        return false;
+    }
+    extra.push(ScenarioEntry { key, build });
+    true
+}
+
+/// All entries: built-ins first, then registrations in insertion order.
+pub fn entries() -> Vec<ScenarioEntry> {
+    let extra = EXTRA.lock().expect("scenario registry poisoned");
+    BUILTINS.iter().copied().chain(extra.iter().copied()).collect()
+}
+
+/// Build the scenario registered under `key`, if any.
+pub fn build(key: &str) -> Option<Scenario> {
+    let build = BUILTINS.iter().find(|e| e.key == key).map(|e| e.build).or_else(|| {
+        let extra = EXTRA.lock().expect("scenario registry poisoned");
+        extra.iter().find(|e| e.key == key).map(|e| e.build)
+    })?;
+    Some(build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_keys_match_scenario_names() {
+        for entry in BUILTINS {
+            let scenario = (entry.build)();
+            assert_eq!(entry.key, scenario.name, "registry key must equal the interned name");
+        }
+    }
+
+    #[test]
+    fn build_resolves_builtins() {
+        let s = build("ghost-cut-in").expect("builtin resolves");
+        assert_eq!(s.name, "ghost-cut-in");
+        assert!(build("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn register_rejects_duplicates_and_serves_new_keys() {
+        fn toy() -> Scenario {
+            let mut s = lead_slowdown();
+            s.duration = 1.0;
+            s
+        }
+        assert!(!register("lead-slowdown", toy), "builtin keys are reserved");
+        assert!(register("test-toy-scenario", toy), "fresh key registers");
+        assert!(!register("test-toy-scenario", toy), "duplicate rejected");
+        let s = build("test-toy-scenario").expect("registered key resolves");
+        assert_eq!(s.duration, 1.0);
+        assert!(entries().iter().any(|e| e.key == "test-toy-scenario"));
+    }
+}

@@ -1,0 +1,378 @@
+//! The canonical closed-loop driver.
+//!
+//! The paper's mechanism is a single feedback loop — sensor frame →
+//! redundant agents → fused actuation → world kinematics → next frame
+//! (Fig 2) — and this module is the **only** place in the workspace that
+//! implements it. Every consumer (experiment runner, campaign fan-out,
+//! bench reports, examples, agent tests) drives a [`SimLoop`] and hangs
+//! its bookkeeping off [`LoopObserver`] hooks instead of copy-pasting
+//! the loop body.
+//!
+//! The loop owns a reusable [`SensorFrame`] buffer and captures frames
+//! with [`World::sense_into`], so the steady-state tick performs no heap
+//! allocation (verified by the `zero_alloc` integration test).
+
+use diverseav::{Ads, TickOutput, VehState};
+use diverseav_agent::{AgentError, SensorimotorAgent};
+use diverseav_fabric::{Fabric, Profile, Trap};
+use diverseav_simworld::{Controls, RouteHint, SensorFrame, World, WorldStatus, TICK_HZ};
+
+/// How a closed-loop run ended.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum Termination {
+    /// Scenario duration elapsed.
+    Completed,
+    /// The ego vehicle collided.
+    Collision,
+    /// A fabric trapped (crash) or exhausted its watchdog (hang) — the
+    /// platform-detected failure path.
+    Trap(AgentError),
+}
+
+impl Termination {
+    /// Whether the platform detected this run as a hang or crash.
+    pub fn is_hang_or_crash(&self) -> bool {
+        matches!(self, Termination::Trap(_))
+    }
+
+    /// Whether the trap specifically was a watchdog hang.
+    pub fn is_hang(&self) -> bool {
+        matches!(self, Termination::Trap(AgentError { trap: Trap::Watchdog, .. }))
+    }
+
+    /// Stable journal label: `completed`, `collision`, `hang`, or `crash`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Termination::Completed => "completed",
+            Termination::Collision => "collision",
+            _ if self.is_hang() => "hang",
+            _ => "crash",
+        }
+    }
+}
+
+/// The control-side half of one tick: consume a sensor frame (plus route
+/// hint and vehicle state) and produce actuation.
+///
+/// `world` grants read access to ground truth for perfect-knowledge
+/// policies ([`PolicyDriver`]); sensor-driven systems ([`Ads`],
+/// [`AgentDriver`]) must ignore it.
+pub trait LoopDriver {
+    /// Process one sensor frame into a [`TickOutput`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AgentError`] when a fabric traps — the platform-level
+    /// hang/crash failure path, which terminates the run.
+    fn tick(
+        &mut self,
+        frame: &SensorFrame,
+        hint: RouteHint,
+        state: VehState,
+        t: f64,
+        world: &World,
+    ) -> Result<TickOutput, AgentError>;
+}
+
+impl<D: LoopDriver + ?Sized> LoopDriver for &mut D {
+    fn tick(
+        &mut self,
+        frame: &SensorFrame,
+        hint: RouteHint,
+        state: VehState,
+        t: f64,
+        world: &World,
+    ) -> Result<TickOutput, AgentError> {
+        (**self).tick(frame, hint, state, t, world)
+    }
+}
+
+impl LoopDriver for Ads {
+    fn tick(
+        &mut self,
+        frame: &SensorFrame,
+        hint: RouteHint,
+        state: VehState,
+        t: f64,
+        _world: &World,
+    ) -> Result<TickOutput, AgentError> {
+        Ads::tick(self, frame, hint, state, t)
+    }
+}
+
+/// A perfect-knowledge policy driver: actuation from ground-truth world
+/// state (violation baselines, ground-truth comparison studies).
+pub struct PolicyDriver<F: FnMut(&World) -> Controls>(pub F);
+
+impl<F: FnMut(&World) -> Controls> LoopDriver for PolicyDriver<F> {
+    fn tick(
+        &mut self,
+        _frame: &SensorFrame,
+        _hint: RouteHint,
+        _state: VehState,
+        _t: f64,
+        world: &World,
+    ) -> Result<TickOutput, AgentError> {
+        Ok(TickOutput {
+            controls: (self.0)(world),
+            pair: None,
+            divergence: None,
+            alarm_raised: false,
+        })
+    }
+}
+
+/// A single bare [`SensorimotorAgent`] on its own GPU/CPU fabric pair —
+/// the substrate-level driver used by agent closed-loop tests.
+pub struct AgentDriver {
+    /// The agent under test.
+    pub agent: SensorimotorAgent,
+    /// Its GPU fabric.
+    pub gpu: Fabric,
+    /// Its CPU fabric.
+    pub cpu: Fabric,
+    /// Control period handed to the agent (s).
+    pub dt: f64,
+}
+
+impl AgentDriver {
+    /// Wrap `agent` with fresh fault-free fabrics at the full tick rate.
+    pub fn new(agent: SensorimotorAgent) -> Self {
+        AgentDriver {
+            agent,
+            gpu: Fabric::new(Profile::Gpu),
+            cpu: Fabric::new(Profile::Cpu),
+            dt: 1.0 / TICK_HZ,
+        }
+    }
+}
+
+impl LoopDriver for AgentDriver {
+    fn tick(
+        &mut self,
+        frame: &SensorFrame,
+        hint: RouteHint,
+        _state: VehState,
+        _t: f64,
+        _world: &World,
+    ) -> Result<TickOutput, AgentError> {
+        let controls = self.agent.step(frame, hint, self.dt, &mut self.gpu, &mut self.cpu)?;
+        Ok(TickOutput { controls, pair: None, divergence: None, alarm_raised: false })
+    }
+}
+
+/// Everything an observer can see about one completed tick, before the
+/// world advances under the tick's controls.
+pub struct TickContext<'a> {
+    /// Simulation time at the start of the tick (s).
+    pub t: f64,
+    /// Vehicle state fed to the driver.
+    pub state: VehState,
+    /// The sensor frame the driver consumed.
+    pub frame: &'a SensorFrame,
+    /// The route hint fed to the driver.
+    pub hint: RouteHint,
+    /// The driver's output for this frame.
+    pub out: &'a TickOutput,
+    /// The world *before* stepping (ground truth for CVIP etc.).
+    pub world: &'a World,
+}
+
+/// Hook trait for per-run bookkeeping: training collection, perf
+/// accounting, telemetry printing, trace journaling. All methods default
+/// to no-ops so observers implement only what they need.
+pub trait LoopObserver {
+    /// Called after the driver produced `out`, before the world steps.
+    fn on_tick(&mut self, _ctx: &TickContext<'_>) {}
+
+    /// Called on every tick whose [`TickOutput::alarm_raised`] is set.
+    fn on_alarm(&mut self, _t: f64) {}
+
+    /// Called once when the loop ends, with the final world state.
+    fn on_termination(&mut self, _world: &World, _termination: &Termination) {}
+}
+
+/// The canonical `sense → tick → step` loop: one [`World`], one
+/// [`LoopDriver`], one reusable frame buffer.
+pub struct SimLoop<D: LoopDriver> {
+    world: World,
+    driver: D,
+    frame: SensorFrame,
+}
+
+impl<D: LoopDriver> SimLoop<D> {
+    /// Couple `driver` to `world`.
+    pub fn new(world: World, driver: D) -> Self {
+        SimLoop { world, driver, frame: SensorFrame::empty() }
+    }
+
+    /// Drive the loop to termination with no observers.
+    pub fn run(&mut self) -> Termination {
+        self.run_observed(&mut [])
+    }
+
+    /// Drive the loop to termination, reporting each tick (and the final
+    /// state) to `observers` in order.
+    pub fn run_observed(&mut self, observers: &mut [&mut dyn LoopObserver]) -> Termination {
+        self.run_for(usize::MAX, observers).expect("usize::MAX ticks outlasts any finite scenario")
+    }
+
+    /// Advance the loop by at most `max_ticks` ticks. Returns `Some`
+    /// termination if the run ended within the budget, `None` if it is
+    /// still live (partial-run probes in substrate tests). Observers get
+    /// `on_termination` only when the run actually ends.
+    pub fn run_for(
+        &mut self,
+        max_ticks: usize,
+        observers: &mut [&mut dyn LoopObserver],
+    ) -> Option<Termination> {
+        let mut termination = None;
+        for _ in 0..max_ticks {
+            if self.world.finished() {
+                termination = Some(Termination::Completed);
+                break;
+            }
+            self.world.sense_into(&mut self.frame);
+            let hint = self.world.route_hint();
+            let state = VehState::from(self.world.ego_state());
+            let t_now = self.world.time();
+            match self.driver.tick(&self.frame, hint, state, t_now, &self.world) {
+                Ok(out) => {
+                    for obs in observers.iter_mut() {
+                        obs.on_tick(&TickContext {
+                            t: t_now,
+                            state,
+                            frame: &self.frame,
+                            hint,
+                            out: &out,
+                            world: &self.world,
+                        });
+                        if out.alarm_raised {
+                            obs.on_alarm(t_now);
+                        }
+                    }
+                    if self.world.step(out.controls) == WorldStatus::Collision {
+                        termination = Some(Termination::Collision);
+                        break;
+                    }
+                }
+                Err(e) => {
+                    termination = Some(Termination::Trap(e));
+                    break;
+                }
+            }
+        }
+        if termination.is_none() && self.world.finished() {
+            termination = Some(Termination::Completed);
+        }
+        if let Some(t) = &termination {
+            for obs in observers.iter_mut() {
+                obs.on_termination(&self.world, t);
+            }
+        }
+        termination
+    }
+
+    /// The world being driven.
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// The driver.
+    pub fn driver(&self) -> &D {
+        &self.driver
+    }
+
+    /// The driver, mutably (e.g. to inject faults between runs).
+    pub fn driver_mut(&mut self) -> &mut D {
+        &mut self.driver
+    }
+
+    /// Decompose into the world and driver for end-of-run accounting.
+    pub fn into_parts(self) -> (World, D) {
+        (self.world, self.driver)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diverseav::{AdsConfig, AgentMode};
+    use diverseav_agent::AgentConfig;
+    use diverseav_simworld::{lead_slowdown, SensorConfig};
+
+    fn short_world(seed: u64) -> World {
+        let mut scenario = lead_slowdown();
+        scenario.duration = 1.0;
+        World::new(scenario, SensorConfig::default(), seed)
+    }
+
+    #[test]
+    fn ads_driver_completes_a_short_run() {
+        let ads = Ads::new(AdsConfig::for_mode(AgentMode::RoundRobin, 21));
+        let mut sim = SimLoop::new(short_world(21), ads);
+        assert_eq!(sim.run(), Termination::Completed);
+        assert!((sim.world().time() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn policy_driver_sees_ground_truth() {
+        let mut cvip_seen = f64::INFINITY;
+        let driver = PolicyDriver(|world: &World| {
+            cvip_seen = cvip_seen.min(world.cvip().unwrap_or(f64::INFINITY));
+            Controls::default()
+        });
+        let mut sim = SimLoop::new(short_world(22), driver);
+        assert_eq!(sim.run(), Termination::Completed);
+        drop(sim);
+        assert!(cvip_seen < 30.0, "policy read CVIP from the world: {cvip_seen}");
+    }
+
+    #[test]
+    fn agent_driver_runs_a_bare_agent() {
+        let driver = AgentDriver::new(SensorimotorAgent::new(AgentConfig::default(), 7));
+        let mut sim = SimLoop::new(short_world(23), driver);
+        assert_eq!(sim.run(), Termination::Completed);
+        assert_eq!(sim.driver().agent.steps(), 40);
+    }
+
+    #[test]
+    fn observers_see_every_tick_and_the_termination() {
+        struct Counting {
+            ticks: usize,
+            terminated: Option<Termination>,
+        }
+        impl LoopObserver for Counting {
+            fn on_tick(&mut self, ctx: &TickContext<'_>) {
+                assert!(ctx.out.controls.throttle.is_finite());
+                self.ticks += 1;
+            }
+            fn on_termination(&mut self, world: &World, termination: &Termination) {
+                assert!(world.finished());
+                self.terminated = Some(*termination);
+            }
+        }
+        let ads = Ads::new(AdsConfig::for_mode(AgentMode::RoundRobin, 24));
+        let mut sim = SimLoop::new(short_world(24), ads);
+        let mut counting = Counting { ticks: 0, terminated: None };
+        sim.run_observed(&mut [&mut counting]);
+        assert_eq!(counting.ticks, 40, "one on_tick per 40 Hz frame over 1 s");
+        assert_eq!(counting.terminated, Some(Termination::Completed));
+    }
+
+    #[test]
+    fn termination_labels_are_stable() {
+        assert_eq!(Termination::Completed.label(), "completed");
+        assert_eq!(Termination::Collision.label(), "collision");
+        let hang = Termination::Trap(AgentError { fabric: Profile::Cpu, trap: Trap::Watchdog });
+        assert_eq!(hang.label(), "hang");
+        assert!(hang.is_hang());
+        assert!(hang.is_hang_or_crash());
+        let crash = Termination::Trap(AgentError {
+            fabric: Profile::Cpu,
+            trap: Trap::OutOfBounds { addr: 7 },
+        });
+        assert_eq!(crash.label(), "crash");
+        assert!(!crash.is_hang());
+    }
+}

@@ -1,0 +1,56 @@
+//! Differential test for the zero-allocation sensing path: for every
+//! registered scenario, `World::sense_into` must produce frames
+//! bit-identical to the allocating `World::sense`, including when the
+//! destination buffer is reused across ticks, scenarios, and sensor
+//! configurations (the reuse pattern `SimLoop` relies on).
+
+use diverseav_runtime::registry;
+use diverseav_simworld::{Controls, SensorConfig, SensorFrame, World};
+
+#[test]
+fn sense_into_is_bit_identical_to_sense_for_all_registered_scenarios() {
+    // One buffer shared across every scenario/seed/lidar combination so
+    // stale state from a previous (differently shaped) frame would show.
+    let mut frame = SensorFrame::empty();
+    for entry in registry::entries() {
+        for seed in [1u64, 77, 0xC0FFEE] {
+            for enable_lidar in [false, true] {
+                let cfg = SensorConfig { enable_lidar, ..Default::default() };
+                let mut fresh = World::new((entry.build)(), cfg, seed);
+                let mut reused = World::new((entry.build)(), cfg, seed);
+                for tick in 0..8 {
+                    let expected = fresh.sense();
+                    reused.sense_into(&mut frame);
+                    assert_eq!(
+                        expected, frame,
+                        "frame mismatch: scenario={} seed={seed} lidar={enable_lidar} tick={tick}",
+                        entry.key
+                    );
+                    // Advance both worlds identically so later frames see
+                    // evolved NPC/ego state, not just the spawn scene.
+                    let controls = Controls::clamped(0.4, 0.0, 0.02);
+                    fresh.step(controls);
+                    reused.step(controls);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn sense_into_recovers_from_mismatched_buffer_shape() {
+    // A buffer previously filled at one camera resolution (with lidar)
+    // must be fully reshaped by a world with a different configuration.
+    let lidar_cfg =
+        SensorConfig { enable_lidar: true, width: 96, height: 64, ..Default::default() };
+    let mut donor = World::new(registry::build("ghost-cut-in").expect("builtin"), lidar_cfg, 3);
+    let mut frame = SensorFrame::empty();
+    donor.sense_into(&mut frame);
+    assert!(frame.lidar.is_some());
+
+    let cfg = SensorConfig::default();
+    let mut fresh = World::new(registry::build("lead-slowdown").expect("builtin"), cfg, 9);
+    let mut reused = World::new(registry::build("lead-slowdown").expect("builtin"), cfg, 9);
+    reused.sense_into(&mut frame);
+    assert_eq!(fresh.sense(), frame, "reshaped buffer must match a fresh frame exactly");
+}

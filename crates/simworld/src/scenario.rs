@@ -19,12 +19,19 @@ pub enum ScenarioKind {
 
 impl ScenarioKind {
     /// The paper's abbreviation for this scenario (LSD / GC / FA / Rxx).
-    pub fn abbrev(self) -> String {
+    ///
+    /// Interned: campaign labels and journal records embed this on the
+    /// per-run path, so it must not allocate. Only routes 0–2 exist (the
+    /// Route02/15/42 analogues; [`long_route`] folds higher ids onto
+    /// route 2's parameters).
+    pub fn abbrev(self) -> &'static str {
         match self {
-            ScenarioKind::LeadSlowdown => "LSD".to_string(),
-            ScenarioKind::GhostCutIn => "GC".to_string(),
-            ScenarioKind::FrontAccident => "FA".to_string(),
-            ScenarioKind::LongRoute(i) => format!("R{i:02}"),
+            ScenarioKind::LeadSlowdown => "LSD",
+            ScenarioKind::GhostCutIn => "GC",
+            ScenarioKind::FrontAccident => "FA",
+            ScenarioKind::LongRoute(0) => "R00",
+            ScenarioKind::LongRoute(1) => "R01",
+            ScenarioKind::LongRoute(_) => "R02",
         }
     }
 
@@ -37,8 +44,9 @@ impl ScenarioKind {
 /// A complete scenario description: track, actors, lights, and timing.
 #[derive(Clone, Debug)]
 pub struct Scenario {
-    /// Human-readable name.
-    pub name: String,
+    /// Human-readable name — an interned `&'static str` so per-run
+    /// results and journal records carry a copy-free scenario ID.
+    pub name: &'static str,
     /// Scenario family.
     pub kind: ScenarioKind,
     /// Scenario duration (s).
@@ -82,7 +90,7 @@ pub fn lead_slowdown() -> Scenario {
     )
     .with_shade(0)];
     Scenario {
-        name: "lead-slowdown".to_string(),
+        name: "lead-slowdown",
         kind: ScenarioKind::LeadSlowdown,
         duration: 30.0,
         ego_start_s,
@@ -110,7 +118,7 @@ pub fn ghost_cut_in() -> Scenario {
     )
     .with_shade(2)];
     Scenario {
-        name: "ghost-cut-in".to_string(),
+        name: "ghost-cut-in",
         kind: ScenarioKind::GhostCutIn,
         duration: 30.0,
         ego_start_s,
@@ -143,7 +151,7 @@ pub fn front_accident() -> Scenario {
         .with_shade(1),
     ];
     Scenario {
-        name: "front-accident".to_string(),
+        name: "front-accident",
         kind: ScenarioKind::FrontAccident,
         duration: 30.0,
         ego_start_s,
@@ -242,8 +250,15 @@ pub fn long_route(route_id: u8, duration: f64) -> Scenario {
             );
         }
     }
+    // Interned names: only routes 0–2 exist (higher ids already fold onto
+    // route 2's seed and traffic parameters above).
+    let name = match route_id {
+        0 => "long-route-0",
+        1 => "long-route-1",
+        _ => "long-route-2",
+    };
     Scenario {
-        name: format!("long-route-{route_id}"),
+        name,
         kind: ScenarioKind::LongRoute(route_id),
         duration,
         ego_start_s: 5.0,

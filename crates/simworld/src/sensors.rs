@@ -34,6 +34,18 @@ impl Image {
         Image { w, h, data: vec![0; w * h * 3] }
     }
 
+    /// Resize to `w × h` and blacken, reusing the existing allocation.
+    ///
+    /// After the first frame at a given resolution this performs no heap
+    /// allocation — the buffer-pool primitive behind
+    /// [`render_camera_into`].
+    pub fn reset(&mut self, w: usize, h: usize) {
+        self.w = w;
+        self.h = h;
+        self.data.clear();
+        self.data.resize(w * h * 3, 0);
+    }
+
     /// Width in pixels.
     pub fn width(&self) -> usize {
         self.w
@@ -108,6 +120,23 @@ pub struct SensorFrame {
     pub speed: f32,
     /// Optional LiDAR ranges (m), one per azimuth bin.
     pub lidar: Option<Vec<f32>>,
+}
+
+impl SensorFrame {
+    /// An empty frame suitable as a reusable buffer for
+    /// [`World::sense_into`](crate::World::sense_into); its vectors are
+    /// (re)filled in place on every capture.
+    pub fn empty() -> Self {
+        SensorFrame {
+            t: 0.0,
+            step: 0,
+            cameras: Vec::new(),
+            gps: [0.0; 2],
+            imu: ImuReading::default(),
+            speed: 0.0,
+            lidar: None,
+        }
+    }
 }
 
 /// Sensor-suite configuration.
@@ -203,9 +232,26 @@ fn quantize(v: f64) -> u8 {
 /// image is the bit-level-diverse, semantically consistent input stream the
 /// DiverseAV distributor splits between agents.
 pub fn render_camera(cfg: &SensorConfig, scene: &RenderScene<'_>, cam: usize) -> Image {
+    let mut img = Image::new(0, 0);
+    render_camera_into(cfg, scene, cam, &mut img);
+    img
+}
+
+/// [`render_camera`] into a caller-owned image, reusing its allocation.
+///
+/// Produces bit-identical pixels to [`render_camera`]; in steady state
+/// (same resolution every frame) it performs no heap allocation, which
+/// is what makes the campaign hot path allocation-free under the
+/// `SimLoop` frame-buffer pool.
+pub fn render_camera_into(
+    cfg: &SensorConfig,
+    scene: &RenderScene<'_>,
+    cam: usize,
+    img: &mut Image,
+) {
     let w = cfg.width;
     let h = cfg.height;
-    let mut img = Image::new(w, h);
+    img.reset(w, h);
     let fx = (w as f64 / 2.0) / (cfg.hfov_deg.to_radians() / 2.0).tan();
     let fy = fx;
     let cx = w as f64 / 2.0;
@@ -277,20 +323,23 @@ pub fn render_camera(cfg: &SensorConfig, scene: &RenderScene<'_>, cam: usize) ->
     }
 
     // --- vehicles, far to near ---
-    let mut order: Vec<usize> = (0..scene.npcs.len()).collect();
+    // Allocation-free draw-order selection: repeatedly pick the deepest
+    // undrawn NPC (ties broken by original index), which reproduces the
+    // order of a stable descending sort without a scratch vector. Scenes
+    // beyond the bitmask width fall back to a sorted index list.
+    let n_npcs = scene.npcs.len();
     let depth = |i: usize| {
         let rel = scene.npcs[i].pose(scene.track).pos - cam_pos;
         fwd.dot(rel)
     };
-    order.sort_by(|&a, &b| depth(b).partial_cmp(&depth(a)).expect("finite depths"));
-    for i in order {
+    let draw_npc = |i: usize, img: &mut Image| {
         let npc = &scene.npcs[i];
         let pose = npc.pose(scene.track);
         let rel = pose.pos - cam_pos;
         let f = fwd.dot(rel);
         let l = left.dot(rel);
         if !(1.5..=95.0).contains(&f) {
-            continue;
+            return;
         }
         let px_center = cx - fx * l / f;
         let py_bottom = cy + fy * cfg.cam_height / f;
@@ -301,7 +350,7 @@ pub fn render_camera(cfg: &SensorConfig, scene: &RenderScene<'_>, cam: usize) ->
         let y1 = py_bottom.min(h as f64).max(0.0) as usize;
         let y0 = (py_bottom - height_px).floor().max(0.0) as usize;
         if x0 >= x1 || y0 >= y1 {
-            continue;
+            return;
         }
         // Vehicle paint: strongly blue signature, shaded by distance and
         // paint variety (the perception kernel keys on blueness).
@@ -326,8 +375,31 @@ pub fn render_camera(cfg: &SensorConfig, scene: &RenderScene<'_>, cam: usize) ->
                 img.set_pixel(px, py, rgb);
             }
         }
+    };
+    if n_npcs <= 128 {
+        let mut drawn: u128 = 0;
+        for _ in 0..n_npcs {
+            let mut best: Option<(usize, f64)> = None;
+            for i in 0..n_npcs {
+                if drawn & (1u128 << i) != 0 {
+                    continue;
+                }
+                let d = depth(i);
+                if best.is_none_or(|(_, bd)| d > bd) {
+                    best = Some((i, d));
+                }
+            }
+            let (i, _) = best.expect("an undrawn NPC remains");
+            drawn |= 1u128 << i;
+            draw_npc(i, img);
+        }
+    } else {
+        let mut order: Vec<usize> = (0..n_npcs).collect();
+        order.sort_by(|&a, &b| depth(b).partial_cmp(&depth(a)).expect("finite depths"));
+        for i in order {
+            draw_npc(i, img);
+        }
     }
-    img
 }
 
 /// Whether track coordinates `(lat, along)` fall on a lane marking.
@@ -379,16 +451,22 @@ fn ray_segment(o: Vec2, d: Vec2, a: Vec2, b: Vec2) -> Option<f64> {
 
 /// Produce a LiDAR scan: one range per azimuth bin, with small noise.
 pub fn lidar_scan(cfg: &SensorConfig, scene: &RenderScene<'_>) -> Vec<f32> {
+    let mut out = Vec::new();
+    lidar_scan_into(cfg, scene, &mut out);
+    out
+}
+
+/// [`lidar_scan`] into a caller-owned buffer, reusing its allocation.
+pub fn lidar_scan_into(cfg: &SensorConfig, scene: &RenderScene<'_>, out: &mut Vec<f32>) {
     let n = cfg.lidar_rays;
-    (0..n)
-        .map(|i| {
-            let az = scene.ego.heading + i as f64 / n as f64 * std::f64::consts::TAU;
-            let dir = Vec2::from_heading(az);
-            let r = cast_ray(scene.ego.pos, dir, scene, cfg.lidar_range);
-            let noise = hash_amp(scene.frame_seed ^ 0x11DA, i as u64) * 0.03;
-            (r + noise) as f32
-        })
-        .collect()
+    out.clear();
+    out.extend((0..n).map(|i| {
+        let az = scene.ego.heading + i as f64 / n as f64 * std::f64::consts::TAU;
+        let dir = Vec2::from_heading(az);
+        let r = cast_ray(scene.ego.pos, dir, scene, cfg.lidar_range);
+        let noise = hash_amp(scene.frame_seed ^ 0x11DA, i as u64) * 0.03;
+        (r + noise) as f32
+    }));
 }
 
 #[cfg(test)]

@@ -6,7 +6,7 @@ use crate::geometry::Vec2;
 use crate::npc::{next_stopping_light, GapAhead, Npc, NpcBehavior};
 use crate::scenario::Scenario;
 use crate::sensors::{
-    lidar_scan, render_camera, ImuReading, RenderScene, SensorConfig, SensorFrame,
+    lidar_scan_into, render_camera_into, Image, ImuReading, RenderScene, SensorConfig, SensorFrame,
 };
 use crate::vehicle::{Controls, Vehicle, VehicleState};
 use rand::rngs::StdRng;
@@ -68,6 +68,9 @@ pub struct World {
     collision_t: Option<f64>,
     min_cvip: f64,
     red_light_violations: u32,
+    /// Scratch for per-NPC gap lookahead in [`World::step`], reused every
+    /// tick so the stepper allocates nothing in steady state.
+    gaps_scratch: Vec<Option<GapAhead>>,
 }
 
 impl World {
@@ -81,6 +84,11 @@ impl World {
         let ego = Vehicle::new(pose, scenario.ego_start_speed);
         let ego_s = scenario.ego_start_s;
         let npcs = scenario.npcs.clone();
+        // One sample per tick plus the spawn point: reserving up front keeps
+        // the per-tick trajectory push allocation-free.
+        let mut trajectory = Vec::with_capacity((scenario.duration * TICK_HZ) as usize + 2);
+        trajectory.push(TrajPoint { t: 0.0, pos: pose.pos });
+        let gaps_scratch = Vec::with_capacity(npcs.len());
         World {
             scenario,
             ego,
@@ -90,10 +98,11 @@ impl World {
             step_idx: 0,
             rng: StdRng::seed_from_u64(seed ^ 0xD1BE_5EAF),
             sensor_cfg,
-            trajectory: vec![TrajPoint { t: 0.0, pos: pose.pos }],
+            trajectory,
             collision_t: None,
             min_cvip: f64::INFINITY,
             red_light_violations: 0,
+            gaps_scratch,
         }
     }
 
@@ -200,6 +209,18 @@ impl World {
     /// Draws fresh per-frame noise from the run RNG, so consecutive frames
     /// are bit-diverse even for a stationary scene.
     pub fn sense(&mut self) -> SensorFrame {
+        let mut frame = SensorFrame::empty();
+        self.sense_into(&mut frame);
+        frame
+    }
+
+    /// [`World::sense`] into a caller-owned frame, reusing its buffers.
+    ///
+    /// Draws the same RNG sequence and produces a bit-identical frame;
+    /// after the first capture the steady state performs no heap
+    /// allocation, which is what the `SimLoop` frame-buffer pool relies
+    /// on for the campaign hot path.
+    pub fn sense_into(&mut self, frame: &mut SensorFrame) {
         let frame_seed: u64 = self.rng.gen();
         let scene = RenderScene {
             track: &self.scenario.track,
@@ -208,19 +229,27 @@ impl World {
             npcs: &self.npcs,
             frame_seed,
         };
-        let cameras = (0..3).map(|c| render_camera(&self.sensor_cfg, &scene, c)).collect();
-        let lidar = self.sensor_cfg.enable_lidar.then(|| lidar_scan(&self.sensor_cfg, &scene));
-        let gps = [
+        frame.cameras.resize_with(3, || Image::new(0, 0));
+        for (c, img) in frame.cameras.iter_mut().enumerate() {
+            render_camera_into(&self.sensor_cfg, &scene, c, img);
+        }
+        if self.sensor_cfg.enable_lidar {
+            lidar_scan_into(&self.sensor_cfg, &scene, frame.lidar.get_or_insert_with(Vec::new));
+        } else {
+            frame.lidar = None;
+        }
+        frame.gps = [
             (self.ego.state.pose.pos.x + self.gauss(self.sensor_cfg.gps_noise)) as f32,
             (self.ego.state.pose.pos.y + self.gauss(self.sensor_cfg.gps_noise)) as f32,
         ];
-        let imu = ImuReading {
+        frame.imu = ImuReading {
             accel: (self.ego.state.accel + self.gauss(self.sensor_cfg.imu_noise)) as f32,
             yaw_rate: (self.ego.state.yaw_rate + self.gauss(self.sensor_cfg.imu_noise)) as f32,
         };
-        let speed =
+        frame.speed =
             (self.ego.state.speed + self.gauss(self.sensor_cfg.speed_noise)).max(0.0) as f32;
-        SensorFrame { t: self.t, step: self.step_idx, cameras, gps, imu, speed, lidar }
+        frame.t = self.t;
+        frame.step = self.step_idx;
     }
 
     fn gauss(&mut self, sigma: f64) -> f64 {
@@ -241,15 +270,19 @@ impl World {
         }
         let dt = self.dt();
 
-        // NPCs first (scripted actors are independent of the ego).
-        let gaps: Vec<Option<GapAhead>> = (0..self.npcs.len())
-            .map(|i| {
-                matches!(self.npcs[i].behavior, NpcBehavior::Idm(_)).then(|| self.gap_ahead_of(i))
-            })
-            .collect();
-        for (npc, gap) in self.npcs.iter_mut().zip(gaps) {
+        // NPCs first (scripted actors are independent of the ego). Gap
+        // lookahead uses pre-step state for every NPC, so it is computed
+        // for all of them before any moves; the scratch vector is a World
+        // member reused across ticks (zero steady-state allocation).
+        let mut gaps = std::mem::take(&mut self.gaps_scratch);
+        gaps.clear();
+        gaps.extend((0..self.npcs.len()).map(|i| {
+            matches!(self.npcs[i].behavior, NpcBehavior::Idm(_)).then(|| self.gap_ahead_of(i))
+        }));
+        for (npc, gap) in self.npcs.iter_mut().zip(gaps.iter().copied()) {
             npc.step(self.t, dt, gap);
         }
+        self.gaps_scratch = gaps;
 
         // Ego physics.
         let prev_s = self.ego_s;

@@ -8,20 +8,35 @@
 
 use diverseav_analysis::{generate_sequence, SynthConfig};
 use diverseav_analysis::{matched_shifts, percentile, pixel_bit_diffs, DiversityStats};
-use diverseav_simworld::{lead_slowdown, Controls, SensorConfig, World};
+use diverseav_runtime::{LoopObserver, PolicyDriver, SimLoop, TickContext};
+use diverseav_simworld::{lead_slowdown, Controls, Image, SensorConfig, World};
+
+/// Accumulates per-pixel bit differences between consecutive center-camera
+/// frames as they stream through the loop.
+#[derive(Default)]
+struct FrameDiffs {
+    prev: Option<Image>,
+    diffs: Vec<u32>,
+}
+
+impl LoopObserver for FrameDiffs {
+    fn on_tick(&mut self, ctx: &TickContext<'_>) {
+        let cam = &ctx.frame.cameras[1];
+        if let Some(prev) = &self.prev {
+            self.diffs.extend(pixel_bit_diffs(prev, cam));
+        }
+        self.prev = Some(cam.clone());
+    }
+}
 
 fn main() {
     // --- simulator stream at 40 Hz (Fig 5b) ---
-    let mut world = World::new(lead_slowdown(), SensorConfig::default(), 3);
-    let mut prev = world.sense();
-    let mut diffs = Vec::new();
-    for _ in 0..80 {
-        world.step(Controls::clamped(0.2, 0.0, 0.0));
-        let next = world.sense();
-        diffs.extend(pixel_bit_diffs(&prev.cameras[1], &next.cameras[1]));
-        prev = next;
-    }
-    let sim = DiversityStats::of(&diffs);
+    let world = World::new(lead_slowdown(), SensorConfig::default(), 3);
+    let driver = PolicyDriver(|_: &World| Controls::clamped(0.2, 0.0, 0.0));
+    let mut sim_loop = SimLoop::new(world, driver);
+    let mut frame_diffs = FrameDiffs::default();
+    sim_loop.run_for(81, &mut [&mut frame_diffs]);
+    let sim = DiversityStats::of(&frame_diffs.diffs);
     println!(
         "simulator camera, consecutive 40 Hz frames: median {:.1} bits and p90 {:.1} bits \
          of each 24-bit pixel differ (paper Fig 5b: 5 / 9)",

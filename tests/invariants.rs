@@ -2,10 +2,11 @@
 //! system must degrade along the defined failure modes — actuation stays
 //! bounded, runs terminate, reproducibility holds.
 
-use diverseav::{Ads, AdsConfig, AgentMode, VehState};
+use diverseav::{Ads, AdsConfig, AgentMode};
 use diverseav_fabric::{FaultModel, Op, Profile, ALL_OPS};
 use diverseav_faultinj::{run_experiment, FaultSpec, RunConfig};
-use diverseav_simworld::{lead_slowdown, Scenario, SensorConfig, World};
+use diverseav_runtime::{LoopObserver, SimLoop, TickContext};
+use diverseav_simworld::{lead_slowdown, Controls, Scenario, SensorConfig, World};
 use proptest::prelude::*;
 
 fn short_scenario() -> Scenario {
@@ -26,24 +27,28 @@ proptest! {
         bit in 0u32..32,
         gpu_target in any::<bool>(),
     ) {
-        let mut world = World::new(short_scenario(), SensorConfig::default(), 99);
+        /// Records the first out-of-range actuation the ADS emits.
+        struct Bounds(Option<Controls>);
+        impl LoopObserver for Bounds {
+            fn on_tick(&mut self, ctx: &TickContext<'_>) {
+                let c = ctx.out.controls;
+                let ok = (0.0..=1.0).contains(&c.throttle)
+                    && (0.0..=1.0).contains(&c.brake)
+                    && (-1.0..=1.0).contains(&c.steer);
+                if !ok && self.0.is_none() {
+                    self.0 = Some(c);
+                }
+            }
+        }
+        let world = World::new(short_scenario(), SensorConfig::default(), 99);
         let mut ads = Ads::new(AdsConfig::for_mode(AgentMode::RoundRobin, 99));
         let profile = if gpu_target { Profile::Gpu } else { Profile::Cpu };
         ads.inject_fault(0, profile, FaultModel::Permanent { op: ALL_OPS[op_idx], mask: 1 << bit });
-        while !world.finished() {
-            let frame = world.sense();
-            let hint = world.route_hint();
-            let state = VehState::from(world.ego_state());
-            match ads.tick(&frame, hint, state, world.time()) {
-                Ok(out) => {
-                    prop_assert!((0.0..=1.0).contains(&out.controls.throttle));
-                    prop_assert!((0.0..=1.0).contains(&out.controls.brake));
-                    prop_assert!((-1.0..=1.0).contains(&out.controls.steer));
-                    world.step(out.controls);
-                }
-                Err(_) => break, // trap: the platform-detected path
-            }
-        }
+        let mut bounds = Bounds(None);
+        // A trap (the platform-detected path) terminates the loop; any
+        // other termination means every emitted actuation was observed.
+        SimLoop::new(world, ads).run_observed(&mut [&mut bounds]);
+        prop_assert!(bounds.0.is_none(), "actuation out of range: {:?}", bounds.0);
     }
 
     /// Transient faults at arbitrary sites never corrupt the *recorded*

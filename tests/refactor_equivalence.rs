@@ -1,0 +1,136 @@
+//! Refactor-equivalence guard: one full Table-I cell — {GPU, CPU} ×
+//! {transient, permanent} on (LeadSlowdown, RoundRobin) — must reproduce
+//! the pinned golden fixture bit-for-bit: identical `RunResult`s (hashed
+//! over their full `Debug` rendering, which prints every f64 with
+//! shortest-roundtrip precision), identical Table-I rows, identical
+//! violation baselines, and byte-identical run-journal lines, for any
+//! `DIVERSEAV_THREADS`.
+//!
+//! The fixture was generated *before* the `SimLoop` runtime migration
+//! (`crates/runtime`), so this test proves the refactor changed no
+//! observable output. Regenerate deliberately with:
+//!
+//! ```text
+//! cargo test --test refactor_equivalence -- --ignored
+//! ```
+
+use diverseav::AgentMode;
+use diverseav_fabric::Profile;
+use diverseav_faultinj::{
+    run_campaign_cached, summarize, Campaign, CampaignScale, FaultModelKind, GoldenCache,
+};
+use diverseav_obs::journal;
+use diverseav_simworld::{ScenarioKind, SensorConfig};
+use std::fmt::Write as _;
+
+const FIXTURE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/table1_cell_lsd.txt");
+
+fn scale() -> CampaignScale {
+    CampaignScale {
+        n_transient: 2,
+        permanent_repeats: 1,
+        golden_runs: 2,
+        long_route_duration: 20.0,
+        training_runs: 1,
+    }
+}
+
+/// The four campaigns of one (scenario, mode) Table-I cell.
+fn cell() -> [Campaign; 4] {
+    let base = Campaign {
+        scenario: ScenarioKind::LeadSlowdown,
+        target: Profile::Gpu,
+        kind: FaultModelKind::Transient,
+        mode: AgentMode::RoundRobin,
+    };
+    [
+        base,
+        Campaign { target: Profile::Cpu, ..base },
+        Campaign { kind: FaultModelKind::Permanent, ..base },
+        Campaign { target: Profile::Cpu, kind: FaultModelKind::Permanent, ..base },
+    ]
+}
+
+/// FNV-1a over the bytes of a run's `Debug` rendering: compact, stable,
+/// and sensitive to any bit change in any recorded field (floats print
+/// with shortest-roundtrip precision).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Run the cell (tracing on) and render every observable output as a
+/// deterministic text document.
+fn render_cell() -> String {
+    let before = journal::len();
+    let cache = GoldenCache::new();
+    let mut out = String::new();
+    for campaign in cell() {
+        let r = run_campaign_cached(
+            campaign,
+            &scale(),
+            None,
+            SensorConfig::default(),
+            true,
+            Some(&cache),
+        );
+        let label = r.campaign.to_string();
+        writeln!(out, "summary {label} {:?}", summarize(&r, 2.0)).unwrap();
+        for (i, g) in r.golden.iter().enumerate() {
+            writeln!(out, "golden {label} {i} {:016x}", fnv1a(format!("{g:?}").as_bytes()))
+                .unwrap();
+        }
+        for (i, g) in r.injected.iter().enumerate() {
+            writeln!(out, "injected {label} {i} {:016x}", fnv1a(format!("{g:?}").as_bytes()))
+                .unwrap();
+        }
+        writeln!(out, "baseline {label} {:016x}", fnv1a(format!("{:?}", r.baseline).as_bytes()))
+            .unwrap();
+    }
+    for line in journal::snapshot()
+        .into_iter()
+        .skip(before)
+        .filter(|l| l.starts_with("{\"type\": \"run\"") && l.contains(" LSD ["))
+    {
+        writeln!(out, "journal {line}").unwrap();
+    }
+    out
+}
+
+#[test]
+fn table1_cell_matches_pinned_fixture() {
+    let expected = std::fs::read_to_string(FIXTURE).expect(
+        "missing golden fixture; regenerate with \
+         `cargo test --test refactor_equivalence -- --ignored`",
+    );
+    std::env::set_var("DIVERSEAV_TRACE", "1");
+    for threads in ["1", "3"] {
+        std::env::set_var("DIVERSEAV_THREADS", threads);
+        let got = render_cell();
+        for (i, (g, e)) in got.lines().zip(expected.lines()).enumerate() {
+            assert_eq!(g, e, "fixture line {i} diverged with DIVERSEAV_THREADS={threads}");
+        }
+        assert_eq!(
+            got.lines().count(),
+            expected.lines().count(),
+            "line count diverged with DIVERSEAV_THREADS={threads}"
+        );
+    }
+    std::env::remove_var("DIVERSEAV_THREADS");
+    std::env::remove_var("DIVERSEAV_TRACE");
+}
+
+#[test]
+#[ignore = "regenerates the pinned golden fixture"]
+fn generate_fixture() {
+    std::env::set_var("DIVERSEAV_TRACE", "1");
+    let doc = render_cell();
+    std::env::remove_var("DIVERSEAV_TRACE");
+    let dir = std::path::Path::new(FIXTURE).parent().expect("fixture has a parent dir");
+    std::fs::create_dir_all(dir).expect("create fixtures dir");
+    std::fs::write(FIXTURE, doc).expect("write fixture");
+}

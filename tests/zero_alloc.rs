@@ -1,0 +1,93 @@
+//! Steady-state allocation test: after warm-up, the canonical
+//! `sense → ads.tick → world.step` loop must not touch the heap. The
+//! per-run `SensorFrame` buffer in `SimLoop`, the scratch buffers inside
+//! `World`, and the preallocated trajectory make every tick allocation-free,
+//! which is what keeps large campaigns cache-friendly and free of
+//! allocator contention across worker threads.
+//!
+//! The whole binary runs under a counting wrapper around the system
+//! allocator; an observer samples the counter each tick and the test
+//! asserts the per-tick delta hits zero once buffers have grown to their
+//! steady-state sizes.
+
+use diverseav::AgentMode;
+use diverseav_faultinj::{run_experiment_observed, RunConfig};
+use diverseav_runtime::{LoopObserver, TickContext};
+use diverseav_simworld::lead_slowdown;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// System allocator wrapper that counts every allocation.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Records the allocation-counter delta of every tick. The sample vector
+/// is preallocated so the observer itself never allocates on the hot path.
+struct AllocSampler {
+    last: u64,
+    per_tick: Vec<u64>,
+}
+
+impl AllocSampler {
+    fn new(capacity: usize) -> Self {
+        AllocSampler {
+            last: ALLOCS.load(Ordering::Relaxed),
+            per_tick: Vec::with_capacity(capacity),
+        }
+    }
+}
+
+impl LoopObserver for AllocSampler {
+    fn on_tick(&mut self, _ctx: &TickContext<'_>) {
+        let now = ALLOCS.load(Ordering::Relaxed);
+        if self.per_tick.len() < self.per_tick.capacity() {
+            self.per_tick.push(now - self.last);
+        }
+        self.last = now;
+    }
+}
+
+#[test]
+fn steady_state_ticks_are_allocation_free() {
+    let mut scenario = lead_slowdown();
+    scenario.duration = 2.0;
+    // Default config: no detector, no training collection — the paper's
+    // fault-injection hot path.
+    let cfg = RunConfig::new(scenario, AgentMode::RoundRobin, 11);
+    let mut sampler = AllocSampler::new(128);
+    let result = run_experiment_observed(&cfg, &mut [&mut sampler]);
+    assert!(!result.termination.is_hang_or_crash(), "clean run expected: {:?}", result.termination);
+
+    // Warm-up: the trajectory vector, fabric contexts, and lidar/camera
+    // buffers reach steady-state size within the first ticks.
+    const WARMUP: usize = 16;
+    assert!(sampler.per_tick.len() > WARMUP + 16, "run long enough to observe steady state");
+    let warmup_total: u64 = sampler.per_tick[..WARMUP].iter().sum();
+    assert!(warmup_total > 0, "counter sanity: warm-up ticks must allocate (buffer growth)");
+    let steady = &sampler.per_tick[WARMUP..];
+    let total: u64 = steady.iter().sum();
+    assert_eq!(
+        total, 0,
+        "heap allocations after warm-up (per-tick deltas from tick {WARMUP}): {steady:?}"
+    );
+}
