@@ -1,0 +1,118 @@
+//! Trace-analysis CLI over the `DIVERSEAV_TRACE` journal, the metrics
+//! snapshot, and the bench timings.
+//!
+//! ```text
+//! # analyze a traced run (summary + distributions, optional exports)
+//! diverseav-tracecheck --trace trace.jsonl [--metrics METRICS_campaigns.json]
+//!                      [--chrome trace_chrome.json]
+//!
+//! # bench-regression check: flag >20 % ticks_per_sec drops
+//! diverseav-tracecheck --bench-diff BENCH_baseline.json BENCH_campaigns.json
+//!                      [--threshold 0.20]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 on unreadable/malformed/empty inputs, 2 when
+//! the bench diff found regressions (so CI can treat it as a warning
+//! gate distinct from hard failure).
+
+use diverseav_bench::tracecheck;
+use diverseav_obs::json;
+use std::process::ExitCode;
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut trace_path = None;
+    let mut metrics_path = None;
+    let mut chrome_path = None;
+    let mut bench_diff = None;
+    let mut threshold = 0.20;
+    let mut i = 0;
+    let next = |i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i).cloned().ok_or_else(|| format!("{flag} needs an argument"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--trace" => trace_path = Some(next(&mut i, "--trace")?),
+            "--metrics" => metrics_path = Some(next(&mut i, "--metrics")?),
+            "--chrome" => chrome_path = Some(next(&mut i, "--chrome")?),
+            "--bench-diff" => {
+                let old = next(&mut i, "--bench-diff")?;
+                let new = next(&mut i, "--bench-diff")?;
+                bench_diff = Some((old, new));
+            }
+            "--threshold" => {
+                threshold = next(&mut i, "--threshold")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("--threshold: {e}"))?;
+            }
+            other => return Err(format!("unknown argument: {other} (see the crate docs)")),
+        }
+        i += 1;
+    }
+
+    if let Some((old_path, new_path)) = bench_diff {
+        let parse = |path: &str| -> Result<json::Value, String> {
+            json::parse(&read(path)?).map_err(|e| format!("{path}: {e}"))
+        };
+        let warnings = tracecheck::bench_diff(&parse(&old_path)?, &parse(&new_path)?, threshold);
+        if warnings.is_empty() {
+            println!(
+                "bench diff: no entry dropped more than {:.0} % ticks_per_sec",
+                threshold * 100.0
+            );
+            return Ok(ExitCode::SUCCESS);
+        }
+        println!("bench diff: {} regression(s) beyond {:.0} %:", warnings.len(), threshold * 100.0);
+        for w in &warnings {
+            println!("  {w}");
+        }
+        return Ok(ExitCode::from(2));
+    }
+
+    let Some(trace_path) = trace_path else {
+        return Err("nothing to do: pass --trace PATH or --bench-diff OLD NEW".into());
+    };
+    let trace = tracecheck::parse_trace(&read(&trace_path)?).map_err(|errs| {
+        format!("{} parse error(s) in {trace_path}:\n  {}", errs.len(), errs.join("\n  "))
+    })?;
+    if trace.runs.is_empty() {
+        return Err(format!("{trace_path}: no run lines — empty report"));
+    }
+
+    println!("== per-cell summary ({} runs) ==\n", trace.runs.len());
+    print!("{}", tracecheck::cell_summary(&trace.runs));
+    println!("\n== distributions ==\n");
+    print!("{}", tracecheck::latency_report(&trace.runs));
+
+    if let Some(metrics_path) = metrics_path {
+        let metrics =
+            json::parse(&read(&metrics_path)?).map_err(|e| format!("{metrics_path}: {e}"))?;
+        println!("\n== profiling ({metrics_path}) ==\n");
+        print!("{}", tracecheck::metrics_summary(&metrics));
+    }
+
+    if let Some(chrome_path) = chrome_path {
+        std::fs::write(&chrome_path, tracecheck::chrome_trace(&trace))
+            .map_err(|e| format!("cannot write {chrome_path}: {e}"))?;
+        println!(
+            "\nwrote {chrome_path} ({} span groups) — open in chrome://tracing or Perfetto",
+            trace.spans.len()
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("diverseav-tracecheck: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -71,13 +71,15 @@ fn main() {
     let time_with = |label: &str, threads: usize| -> f64 {
         std::env::set_var("DIVERSEAV_THREADS", threads.to_string());
         let ticks_before = metrics::counter_get("runtime.ticks");
+        let misses_before = metrics::counter_get("deadline.misses");
         let start = Instant::now();
         let result =
             run_campaign_with_traces(campaign, &scale, None, SensorConfig::default(), true);
         let secs = start.elapsed().as_secs_f64();
         let ticks = metrics::counter_get("runtime.ticks") - ticks_before;
+        let misses = metrics::counter_get("deadline.misses") - misses_before;
         let runs = result.golden.len() + result.injected.len();
-        perf::record(format!("smoke {campaign} [{label}]"), "smoke", secs, runs, ticks);
+        perf::record(format!("smoke {campaign} [{label}]"), "smoke", secs, runs, ticks, misses);
         println!(
             "  {label:<28} {secs:>8.3} s  ({runs} runs, {:.1} runs/s, {:.0} ticks/s)",
             runs as f64 / secs,
@@ -85,8 +87,9 @@ fn main() {
         );
         secs
     };
-    let seq = time_with("sequential (1 thread)", 1);
-    let par = time_with(&format!("parallel ({cores} threads)"), cores);
+    let plural = |n: usize| if n == 1 { "thread" } else { "threads" };
+    let seq = time_with(&format!("sequential (1 {})", plural(1)), 1);
+    let par = time_with(&format!("parallel ({cores} {})", plural(cores)), cores);
     std::env::remove_var("DIVERSEAV_THREADS");
     println!("  speedup: {:.2}x on {cores} core(s)", seq / par);
 
@@ -95,6 +98,19 @@ fn main() {
     let a = par_map_indices(32, |i| i * 7 + 1);
     let b: Vec<usize> = (0..32).map(|i| i * 7 + 1).collect();
     assert_eq!(a, b, "engine must be order-identical to sequential");
+
+    let deadline_ticks = metrics::counter_get("deadline.ticks");
+    if deadline_ticks > 0 {
+        let total = metrics::hist_get("tick.total");
+        println!(
+            "\n40 Hz deadline: {} / {deadline_ticks} ticks over 25 ms \
+             (tick total p50 {:.2} ms, p99 {:.2} ms, worst {:.2} ms)",
+            metrics::counter_get("deadline.misses"),
+            total.p50() as f64 / 1e6,
+            total.p99() as f64 / 1e6,
+            metrics::gauge_get("deadline.worst_ns").unwrap_or(0.0) / 1e6,
+        );
+    }
 
     perf::flush_json("BENCH_campaigns.json").expect("write BENCH_campaigns.json");
     println!("\nwrote BENCH_campaigns.json ({} entries)", perf::snapshot().len());

@@ -11,6 +11,7 @@
 pub mod experiments;
 pub mod perf;
 pub mod sweep;
+pub mod tracecheck;
 
 pub use perf::{flush_json, flush_metrics_json, CampaignTiming};
 pub use sweep::{evaluate_cell, replay_campaign, sweep, CellEval, ReplayedCampaign, SweepResult};

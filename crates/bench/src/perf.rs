@@ -32,6 +32,10 @@ pub struct CampaignTiming {
     /// Simulation ticks executed during this entry (from the
     /// `runtime.ticks` counter that `PerfObserver` feeds).
     pub ticks: u64,
+    /// Ticks that exceeded the 25 ms control budget during this entry
+    /// (from the `deadline.misses` counter that `ProfilingObserver`
+    /// feeds; 0 when profiling is off).
+    pub deadline_misses: u64,
     /// Worker threads the engine was configured with at record time.
     pub threads: usize,
 }
@@ -66,6 +70,7 @@ pub fn record(
     wall_secs: f64,
     runs: usize,
     ticks: u64,
+    deadline_misses: u64,
 ) {
     let entry = CampaignTiming {
         label: label.into(),
@@ -73,6 +78,7 @@ pub fn record(
         wall_secs,
         runs,
         ticks,
+        deadline_misses,
         threads: thread_count(),
     };
     metrics::phase_add(&entry.phase, wall_secs);
@@ -80,8 +86,9 @@ pub fn record(
 }
 
 /// Time `f`, record the entry (with `runs` derived from the result and
-/// `ticks` sampled from the `runtime.ticks` counter around the timed
-/// section), and return the result.
+/// `ticks` / `deadline_misses` sampled from the `runtime.ticks` and
+/// `deadline.misses` counters around the timed section), and return the
+/// result.
 pub fn timed<R>(
     label: impl Into<String>,
     phase: impl Into<String>,
@@ -89,11 +96,13 @@ pub fn timed<R>(
     f: impl FnOnce() -> R,
 ) -> R {
     let ticks_before = metrics::counter_get("runtime.ticks");
+    let misses_before = metrics::counter_get("deadline.misses");
     let start = Instant::now();
     let result = f();
     let wall_secs = start.elapsed().as_secs_f64();
     let ticks = metrics::counter_get("runtime.ticks") - ticks_before;
-    record(label, phase, wall_secs, runs_of(&result), ticks);
+    let misses = metrics::counter_get("deadline.misses") - misses_before;
+    record(label, phase, wall_secs, runs_of(&result), ticks, misses);
     result
 }
 
@@ -132,7 +141,7 @@ pub fn render_json(entries: &[CampaignTiming]) -> String {
         out.push_str(&format!(
             "    {{\"label\": \"{}\", \"phase\": \"{}\", \"wall_secs\": {:.6}, \
              \"runs\": {}, \"runs_per_sec\": {:.3}, \"ticks\": {}, \
-             \"ticks_per_sec\": {:.1}, \"threads\": {}}}{sep}\n",
+             \"ticks_per_sec\": {:.1}, \"deadline_misses\": {}, \"threads\": {}}}{sep}\n",
             escape_json(&e.label),
             escape_json(&e.phase),
             e.wall_secs,
@@ -140,6 +149,7 @@ pub fn render_json(entries: &[CampaignTiming]) -> String {
             e.runs_per_sec(),
             e.ticks,
             e.ticks_per_sec(),
+            e.deadline_misses,
             e.threads,
         ));
     }
@@ -159,6 +169,7 @@ mod tests {
             wall_secs: 0.0,
             runs: 5,
             ticks: 200,
+            deadline_misses: 0,
             threads: 1,
         };
         assert_eq!(t.runs_per_sec(), 0.0);
@@ -173,6 +184,7 @@ mod tests {
             wall_secs: 2.0,
             runs: 10,
             ticks: 4000,
+            deadline_misses: 3,
             threads: 4,
         }];
         let json = render_json(&entries);
@@ -180,13 +192,14 @@ mod tests {
         assert!(json.contains("\"runs_per_sec\": 5.000"));
         assert!(json.contains("\"ticks\": 4000"));
         assert!(json.contains("\"ticks_per_sec\": 2000.0"));
+        assert!(json.contains("\"deadline_misses\": 3"));
         assert!(json.contains("\"detected_cores\""));
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
     }
 
     #[test]
     fn record_feeds_phase_metrics() {
-        record("m", "test.perf.phase_unique", 0.5, 1, 20);
+        record("m", "test.perf.phase_unique", 0.5, 1, 20, 0);
         let stat = metrics::phase_get("test.perf.phase_unique");
         assert_eq!(stat.count, 1);
         assert!((stat.wall_secs - 0.5).abs() < 1e-12);

@@ -1,0 +1,557 @@
+//! Offline analysis of the `DIVERSEAV_TRACE` journal and the metrics
+//! snapshot — the library behind the `diverseav-tracecheck` binary.
+//!
+//! Three consumers of one artifact set:
+//!
+//! * [`cell_summary`] — a Table-I-style per-campaign-cell outcome /
+//!   alarm breakdown from the journal's `"type": "run"` lines.
+//! * [`latency_report`] — detection-latency (alarm → collision) and
+//!   peak-divergence distributions (Fig 9 flavor) with exact quantiles
+//!   and ASCII histograms.
+//! * [`chrome_trace`] — the journal's `"type": "span_events"` lines
+//!   re-emitted as a Chrome trace-event JSON document (`chrome://tracing`
+//!   / Perfetto `"traceEvents"` format, complete `"X"` events, one track
+//!   per engine worker).
+//!
+//! Plus [`bench_diff`], the bench-regression check: diff a fresh
+//! `BENCH_campaigns.json` against a committed baseline and flag entries
+//! whose `ticks_per_sec` dropped by more than a threshold.
+//!
+//! Everything parses through [`diverseav_obs::json`] (no serde in the
+//! dependency closure) and is pure string → string, so the binary is a
+//! thin argument-parsing shell over testable functions.
+
+use diverseav_obs::json::{self, Value};
+use std::collections::BTreeMap;
+
+/// One `"type": "run"` journal line, narrowed to the fields the reports
+/// consume.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunLine {
+    /// Campaign display label (the cell key).
+    pub campaign: String,
+    /// `"golden"` or `"injected"`.
+    pub kind: String,
+    /// Scenario name.
+    pub scenario: String,
+    /// Outcome label (`completed` / `collision` / `hang` / `crash`).
+    pub outcome: String,
+    /// Detector alarm time, if raised.
+    pub alarm_time: Option<f64>,
+    /// Collision time, if the ego collided.
+    pub collision_time: Option<f64>,
+    /// Whether the armed fault corrupted at least one register.
+    pub fault_activated: bool,
+    /// Peak rolling divergence per channel.
+    pub div_peak: [f64; 3],
+}
+
+/// One event inside a `"type": "span_events"` journal line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanEvent {
+    /// `span_begin` / `span_end` / `counter` / `gauge`.
+    pub event: String,
+    /// Event name (span name or counter/gauge key).
+    pub name: String,
+    /// `t_ns` for spans, `value` for counters/gauges.
+    pub value: f64,
+}
+
+/// One fan-out slot's worth of span events.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanGroup {
+    /// Fan-out label (e.g. the campaign phase).
+    pub label: String,
+    /// Slot index within the fan-out.
+    pub index: u64,
+    /// The slot's events, in recording order.
+    pub events: Vec<SpanEvent>,
+}
+
+/// A parsed trace journal.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Trace {
+    /// All run lines, in journal order.
+    pub runs: Vec<RunLine>,
+    /// All span-event groups, in journal order.
+    pub spans: Vec<SpanGroup>,
+}
+
+fn f64_field(v: &Value, key: &str) -> Option<f64> {
+    v.get(key).and_then(Value::as_f64)
+}
+
+fn str_field(v: &Value, key: &str) -> Option<String> {
+    v.get(key).and_then(Value::as_str).map(str::to_string)
+}
+
+/// Parse a JSONL trace journal. Returns the trace, or per-line parse
+/// errors (`line N: <reason>`) if any line is malformed.
+pub fn parse_trace(text: &str) -> Result<Trace, Vec<String>> {
+    let mut trace = Trace::default();
+    let mut errors = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = match json::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                errors.push(format!("line {}: {e}", i + 1));
+                continue;
+            }
+        };
+        match v.get("type").and_then(Value::as_str) {
+            Some("run") => {
+                let div_peak = v
+                    .get("div_peak")
+                    .and_then(Value::as_arr)
+                    .map(|a| {
+                        let mut out = [0.0; 3];
+                        for (slot, item) in out.iter_mut().zip(a) {
+                            *slot = item.as_f64().unwrap_or(0.0);
+                        }
+                        out
+                    })
+                    .unwrap_or([0.0; 3]);
+                trace.runs.push(RunLine {
+                    campaign: str_field(&v, "campaign").unwrap_or_default(),
+                    kind: str_field(&v, "kind").unwrap_or_default(),
+                    scenario: str_field(&v, "scenario").unwrap_or_default(),
+                    outcome: str_field(&v, "outcome").unwrap_or_default(),
+                    alarm_time: f64_field(&v, "alarm_time"),
+                    collision_time: f64_field(&v, "collision_time"),
+                    fault_activated: v
+                        .get("fault_activated")
+                        .and_then(Value::as_bool)
+                        .unwrap_or(false),
+                    div_peak,
+                });
+            }
+            Some("span_events") => {
+                let events = v
+                    .get("events")
+                    .and_then(Value::as_arr)
+                    .map(|a| {
+                        a.iter()
+                            .map(|e| SpanEvent {
+                                event: str_field(e, "event").unwrap_or_default(),
+                                name: str_field(e, "name").unwrap_or_default(),
+                                value: f64_field(e, "t_ns")
+                                    .or_else(|| f64_field(e, "value"))
+                                    .unwrap_or(0.0),
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                trace.spans.push(SpanGroup {
+                    label: str_field(&v, "label").unwrap_or_default(),
+                    index: f64_field(&v, "index").unwrap_or(0.0) as u64,
+                    events,
+                });
+            }
+            Some(_) | None => {
+                errors.push(format!("line {}: missing or unknown \"type\"", i + 1));
+            }
+        }
+    }
+    if errors.is_empty() {
+        Ok(trace)
+    } else {
+        Err(errors)
+    }
+}
+
+#[derive(Clone, Debug, Default)]
+struct CellStats {
+    total: u64,
+    completed: u64,
+    collision: u64,
+    hang_crash: u64,
+    activated: u64,
+    alarms: u64,
+    detected_accidents: u64,
+    accidents: u64,
+}
+
+/// Render the Table-I-style per-campaign-cell summary: outcome counts,
+/// fault activation, and alarm coverage of accidents. Cells are sorted
+/// by label; golden runs are reported as their own `[golden]` row per
+/// campaign.
+pub fn cell_summary(runs: &[RunLine]) -> String {
+    let mut cells: BTreeMap<String, CellStats> = BTreeMap::new();
+    for r in runs {
+        let key = if r.kind == "golden" {
+            format!("{} [golden]", r.campaign)
+        } else {
+            r.campaign.clone()
+        };
+        let c = cells.entry(key).or_default();
+        c.total += 1;
+        match r.outcome.as_str() {
+            "completed" => c.completed += 1,
+            "collision" => c.collision += 1,
+            _ => c.hang_crash += 1,
+        }
+        if r.fault_activated {
+            c.activated += 1;
+        }
+        if r.alarm_time.is_some() {
+            c.alarms += 1;
+        }
+        if r.collision_time.is_some() {
+            c.accidents += 1;
+            if r.alarm_time.is_some() {
+                c.detected_accidents += 1;
+            }
+        }
+    }
+    let mut out = String::from(
+        "campaign cell                                      runs  compl  coll  h/c  activ  alarm  det/acc\n",
+    );
+    for (label, c) in &cells {
+        out.push_str(&format!(
+            "{label:<48} {:>5} {:>6} {:>5} {:>4} {:>6} {:>6} {:>5}/{}\n",
+            c.total,
+            c.completed,
+            c.collision,
+            c.hang_crash,
+            c.activated,
+            c.alarms,
+            c.detected_accidents,
+            c.accidents,
+        ));
+    }
+    out
+}
+
+/// Exact quantile of an ascending-sorted sample (nearest-rank).
+fn sorted_quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// A fixed-width ASCII histogram of a sample over `bins` equal bins.
+fn ascii_histogram(values: &[f64], bins: usize, unit: &str) -> String {
+    if values.is_empty() {
+        return String::from("  (no samples)\n");
+    }
+    let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let width = ((hi - lo) / bins as f64).max(f64::EPSILON);
+    let mut counts = vec![0usize; bins];
+    for &v in values {
+        let b = (((v - lo) / width) as usize).min(bins - 1);
+        counts[b] += 1;
+    }
+    let peak = counts.iter().copied().max().unwrap_or(1).max(1);
+    let mut out = String::new();
+    for (b, &n) in counts.iter().enumerate() {
+        let bar = "#".repeat(n * 40 / peak);
+        out.push_str(&format!(
+            "  [{:>9.3}, {:>9.3}) {unit} |{bar:<40}| {n}\n",
+            lo + b as f64 * width,
+            lo + (b + 1) as f64 * width,
+        ));
+    }
+    out
+}
+
+fn distribution_block(title: &str, unit: &str, mut values: Vec<f64>) -> String {
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let mut out = format!("{title} ({} samples)\n", values.len());
+    if values.is_empty() {
+        out.push_str("  (no samples)\n");
+        return out;
+    }
+    out.push_str(&format!(
+        "  p50 {:.3} {unit}, p90 {:.3} {unit}, p99 {:.3} {unit}, max {:.3} {unit}\n",
+        sorted_quantile(&values, 0.50),
+        sorted_quantile(&values, 0.90),
+        sorted_quantile(&values, 0.99),
+        values[values.len() - 1],
+    ));
+    out.push_str(&ascii_histogram(&values, 8, unit));
+    out
+}
+
+/// Render the Fig-9-style distributions: detection latency (alarm →
+/// collision lead time over runs that had both) and per-run peak
+/// divergence (max across channels, injected runs only).
+pub fn latency_report(runs: &[RunLine]) -> String {
+    let lead: Vec<f64> = runs
+        .iter()
+        .filter_map(|r| match (r.alarm_time, r.collision_time) {
+            (Some(a), Some(c)) if c >= a => Some(c - a),
+            _ => None,
+        })
+        .collect();
+    let peaks: Vec<f64> = runs
+        .iter()
+        .filter(|r| r.kind == "injected")
+        .map(|r| r.div_peak.iter().copied().fold(0.0, f64::max))
+        .filter(|p| p.is_finite())
+        .collect();
+    let mut out = distribution_block("detection latency: alarm -> collision lead time", "s", lead);
+    out.push('\n');
+    out.push_str(&distribution_block("peak divergence per injected run", "", peaks));
+    out
+}
+
+/// Re-emit the journal's span events as a Chrome trace-event JSON
+/// document (viewable in `chrome://tracing` or Perfetto).
+///
+/// Each slot's `span_begin`/`span_end` pairs become complete (`"X"`)
+/// events; the slot's `worker` counter (recorded by the engine when
+/// tracing is on) selects the `tid`, so the timeline shows one track per
+/// engine worker. Slot label and index ride along as event args.
+pub fn chrome_trace(trace: &Trace) -> String {
+    let mut events = Vec::new();
+    let mut workers = std::collections::BTreeSet::new();
+    for group in &trace.spans {
+        let tid = group
+            .events
+            .iter()
+            .find(|e| e.event == "counter" && e.name == "worker")
+            .map(|e| e.value as u64)
+            .unwrap_or(0);
+        workers.insert(tid);
+        let mut open: Vec<(&str, f64)> = Vec::new();
+        for e in &group.events {
+            match e.event.as_str() {
+                "span_begin" => open.push((e.name.as_str(), e.value)),
+                "span_end" => {
+                    if let Some(pos) = open.iter().rposition(|(n, _)| *n == e.name) {
+                        let (name, begin_ns) = open.remove(pos);
+                        let ts_us = begin_ns / 1_000.0;
+                        let dur_us = (e.value - begin_ns).max(0.0) / 1_000.0;
+                        events.push(format!(
+                            "{{\"name\": \"{}\", \"ph\": \"X\", \"pid\": 1, \"tid\": {tid}, \
+                             \"ts\": {ts_us:.3}, \"dur\": {dur_us:.3}, \
+                             \"args\": {{\"label\": \"{}\", \"slot\": {}}}}}",
+                            json::escape(name),
+                            json::escape(&group.label),
+                            group.index,
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    for tid in workers {
+        events.push(format!(
+            "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": {tid}, \
+             \"args\": {{\"name\": \"worker {tid}\"}}}}",
+        ));
+    }
+    format!("{{\"traceEvents\": [{}], \"displayTimeUnit\": \"ms\"}}\n", events.join(", "))
+}
+
+/// Render the profiling section of a parsed `METRICS_campaigns.json`
+/// document: per-phase tick-latency quantiles and the deadline tallies.
+pub fn metrics_summary(metrics: &Value) -> String {
+    let mut out = String::new();
+    if let Some(hists) = metrics.get("histograms").and_then(Value::as_obj) {
+        out.push_str("tick-phase latency histograms:\n");
+        let mut any = false;
+        for (name, h) in hists {
+            if !name.starts_with("tick.") {
+                continue;
+            }
+            any = true;
+            let ms = |key: &str| f64_field(h, key).unwrap_or(0.0) / 1e6;
+            out.push_str(&format!(
+                "  {name:<14} count {:>8}  p50 {:>8.3} ms  p90 {:>8.3} ms  p99 {:>8.3} ms  \
+                 max {:>8.3} ms\n",
+                f64_field(h, "count").unwrap_or(0.0),
+                ms("p50"),
+                ms("p90"),
+                ms("p99"),
+                ms("max"),
+            ));
+        }
+        if !any {
+            out.push_str("  (no tick.* histograms — profiling was off)\n");
+        }
+    }
+    if let Some(counters) = metrics.get("counters").and_then(Value::as_obj) {
+        let get = |k: &str| {
+            counters.iter().find(|(name, _)| name == k).and_then(|(_, v)| v.as_f64()).unwrap_or(0.0)
+        };
+        let ticks = get("deadline.ticks");
+        if ticks > 0.0 {
+            out.push_str(&format!(
+                "\n40 Hz deadline (25 ms budget): {} / {} ticks over budget\n",
+                get("deadline.misses"),
+                ticks,
+            ));
+            for (name, v) in counters {
+                if let Some(scenario) =
+                    name.strip_prefix("deadline.").and_then(|s| s.strip_suffix(".misses"))
+                {
+                    let per = format!("deadline.{scenario}.ticks");
+                    out.push_str(&format!(
+                        "  {scenario:<24} {} / {} ticks missed\n",
+                        v.as_f64().unwrap_or(0.0),
+                        get(&per),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Compare two parsed `BENCH_campaigns.json` documents entry-by-entry
+/// (matched on `label`) and return one warning per entry whose
+/// `ticks_per_sec` dropped by more than `threshold` (0.20 = 20 %).
+/// Entries present on only one side are ignored — labels carry thread
+/// counts and scale settings, so disjoint runs are expected.
+pub fn bench_diff(baseline: &Value, fresh: &Value, threshold: f64) -> Vec<String> {
+    let entries = |doc: &Value| -> BTreeMap<String, f64> {
+        doc.get("entries")
+            .and_then(Value::as_arr)
+            .map(|a| {
+                a.iter()
+                    .filter_map(|e| Some((str_field(e, "label")?, f64_field(e, "ticks_per_sec")?)))
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    let old = entries(baseline);
+    let new = entries(fresh);
+    let mut warnings = Vec::new();
+    for (label, &was) in &old {
+        let Some(&now) = new.get(label) else { continue };
+        if was > 0.0 && now < was * (1.0 - threshold) {
+            warnings.push(format!(
+                "{label}: ticks_per_sec dropped {:.1} -> {:.1} ({:+.1} %)",
+                was,
+                now,
+                (now / was - 1.0) * 100.0,
+            ));
+        }
+    }
+    warnings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = concat!(
+        "{\"type\": \"run\", \"campaign\": \"GPU-transient LSD\", \"kind\": \"golden\", ",
+        "\"index\": 0, \"seed\": 1, \"scenario\": \"lead_slowdown\", \"outcome\": \"completed\", ",
+        "\"end_time\": 36.0, \"collision_time\": null, \"alarm_time\": null, ",
+        "\"fault_activated\": false, \"min_cvip\": 8.0, \"div_peak\": [0.01, 0.0, 0.0], ",
+        "\"fault\": null}\n",
+        "{\"type\": \"run\", \"campaign\": \"GPU-transient LSD\", \"kind\": \"injected\", ",
+        "\"index\": 1, \"seed\": 2, \"scenario\": \"lead_slowdown\", \"outcome\": \"collision\", ",
+        "\"end_time\": 12.0, \"collision_time\": 12.0, \"alarm_time\": 9.5, ",
+        "\"fault_activated\": true, \"min_cvip\": 0.0, \"div_peak\": [0.5, 0.2, 0.1], ",
+        "\"fault\": {\"profile\": \"GPU\", \"unit\": 0, \"model\": \"transient\", ",
+        "\"mask\": 4, \"cycle\": 100, \"op\": null}}\n",
+        "{\"type\": \"span_events\", \"label\": \"campaign\", \"index\": 0, \"events\": [",
+        "{\"event\": \"span_begin\", \"name\": \"item\", \"t_ns\": 1000}, ",
+        "{\"event\": \"counter\", \"name\": \"worker\", \"value\": 2}, ",
+        "{\"event\": \"span_end\", \"name\": \"item\", \"t_ns\": 51000}]}\n",
+    );
+
+    #[test]
+    fn parses_runs_and_spans() {
+        let trace = parse_trace(SAMPLE).expect("sample parses");
+        assert_eq!(trace.runs.len(), 2);
+        assert_eq!(trace.spans.len(), 1);
+        assert_eq!(trace.runs[1].alarm_time, Some(9.5));
+        assert_eq!(trace.runs[1].outcome, "collision");
+        assert_eq!(trace.spans[0].events.len(), 3);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let errs = parse_trace("{\"type\": \"run\"}\nnot json\n").unwrap_err();
+        assert_eq!(errs.len(), 1, "first line is a (sparse) run: {errs:?}");
+        assert!(errs[0].starts_with("line 2:"), "{errs:?}");
+    }
+
+    #[test]
+    fn cell_summary_counts_outcomes_and_alarms() {
+        let trace = parse_trace(SAMPLE).unwrap();
+        let summary = cell_summary(&trace.runs);
+        assert!(summary.contains("GPU-transient LSD [golden]"));
+        let injected_row = summary
+            .lines()
+            .find(|l| l.starts_with("GPU-transient LSD ") && !l.contains("[golden]"))
+            .expect("injected row");
+        assert!(injected_row.contains("1/1"), "accident detected: {injected_row}");
+    }
+
+    #[test]
+    fn latency_report_measures_lead_time() {
+        let trace = parse_trace(SAMPLE).unwrap();
+        let report = latency_report(&trace.runs);
+        assert!(report.contains("detection latency"));
+        assert!(report.contains("p50 2.500 s"), "12.0 - 9.5 lead time: {report}");
+        assert!(report.contains("peak divergence"));
+        assert!(report.contains("(1 samples)"), "only injected runs counted");
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_and_complete() {
+        let trace = parse_trace(SAMPLE).unwrap();
+        let doc = chrome_trace(&trace);
+        let parsed = json::parse(&doc).expect("chrome trace is valid JSON");
+        let events = parsed.get("traceEvents").and_then(Value::as_arr).expect("traceEvents");
+        let span = events
+            .iter()
+            .find(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+            .expect("one complete event");
+        assert_eq!(span.get("tid").and_then(Value::as_f64), Some(2.0));
+        assert_eq!(span.get("ts").and_then(Value::as_f64), Some(1.0));
+        assert_eq!(span.get("dur").and_then(Value::as_f64), Some(50.0));
+        assert!(
+            events.iter().any(|e| e.get("ph").and_then(Value::as_str) == Some("M")),
+            "thread_name metadata"
+        );
+    }
+
+    #[test]
+    fn metrics_summary_reads_histograms_and_deadlines() {
+        let doc = json::parse(concat!(
+            "{\"counters\": {\"deadline.ticks\": 80, \"deadline.misses\": 3, ",
+            "\"deadline.lead_slowdown.ticks\": 80, \"deadline.lead_slowdown.misses\": 3}, ",
+            "\"histograms\": {\"tick.total\": {\"count\": 80, \"sum\": 10, ",
+            "\"p50\": 16000000, \"p90\": 17000000, \"p99\": 26000000, \"max\": 26500000, ",
+            "\"buckets\": []}}}",
+        ))
+        .unwrap();
+        let summary = metrics_summary(&doc);
+        assert!(summary.contains("tick.total"));
+        assert!(summary.contains("p50   16.000 ms"));
+        assert!(summary.contains("3 / 80 ticks over budget"));
+        assert!(summary.contains("lead_slowdown"));
+    }
+
+    #[test]
+    fn bench_diff_flags_large_drops_only() {
+        let old = json::parse(
+            "{\"entries\": [{\"label\": \"a\", \"ticks_per_sec\": 100.0}, \
+             {\"label\": \"b\", \"ticks_per_sec\": 100.0}, \
+             {\"label\": \"gone\", \"ticks_per_sec\": 50.0}]}",
+        )
+        .unwrap();
+        let new = json::parse(
+            "{\"entries\": [{\"label\": \"a\", \"ticks_per_sec\": 75.0}, \
+             {\"label\": \"b\", \"ticks_per_sec\": 85.0}]}",
+        )
+        .unwrap();
+        let warnings = bench_diff(&old, &new, 0.20);
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        assert!(warnings[0].starts_with("a:"), "{warnings:?}");
+        assert!(warnings[0].contains("-25.0 %"), "{warnings:?}");
+    }
+}

@@ -54,6 +54,26 @@ impl AdsConfig {
     }
 }
 
+/// Per-tick work accounting for the profiling layer: how much the ADS
+/// *did* on its last tick, in units that are pure functions of the run
+/// seed (dynamic fabric instructions, detector activity). The modeled
+/// profiling time source turns these into deterministic latencies;
+/// `detect_ns` is only nonzero under `DIVERSEAV_PROFILE=wall`, where the
+/// detector check is timed in place (it runs inside [`Ads::tick`], so
+/// the loop cannot bracket it from outside).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct TickWork {
+    /// Dynamic GPU-fabric instructions executed this tick (all units).
+    pub gpu_instr: u64,
+    /// Dynamic CPU-fabric instructions executed this tick (all units).
+    pub cpu_instr: u64,
+    /// Whether the error detector observed a divergence sample.
+    pub detector_observed: bool,
+    /// Wall-clock nanoseconds spent in the detector check (wall time
+    /// source only; 0 otherwise).
+    pub detect_ns: u64,
+}
+
 /// Output of one ADS tick.
 #[derive(Copy, Clone, Debug, PartialEq)]
 pub struct TickOutput {
@@ -100,6 +120,9 @@ pub struct Ads {
     step: u64,
     last_output: [Option<Controls>; 2],
     prev_selected: Option<Controls>,
+    prev_instr: (u64, u64),
+    last_work: TickWork,
+    time_detect: bool,
 }
 
 impl Ads {
@@ -117,6 +140,9 @@ impl Ads {
             step: 0,
             last_output: [None, None],
             prev_selected: None,
+            prev_instr: (0, 0),
+            last_work: TickWork::default(),
+            time_detect: diverseav_obs::profile::source() == diverseav_obs::TimeSource::Wall,
         }
     }
 
@@ -276,12 +302,32 @@ impl Ads {
         self.prev_selected = Some(controls);
         self.step += 1;
 
+        let gpu_total = self.dyn_instr(Profile::Gpu);
+        let cpu_total = self.dyn_instr(Profile::Cpu);
+        let (gpu_instr, cpu_instr) = (gpu_total - self.prev_instr.0, cpu_total - self.prev_instr.1);
+        self.prev_instr = (gpu_total, cpu_total);
+
         let divergence = pair.map(|(a, b)| Divergence::between(&a, &b));
-        let alarm_raised = match (&mut self.detector, divergence) {
-            (Some(det), Some(div)) => det.observe(&state, div, t),
-            _ => false,
+        let (alarm_raised, detector_observed, detect_ns) = match (&mut self.detector, divergence) {
+            (Some(det), Some(div)) => {
+                if self.time_detect {
+                    let t0 = std::time::Instant::now();
+                    let alarm = det.observe(&state, div, t);
+                    (alarm, true, t0.elapsed().as_nanos() as u64)
+                } else {
+                    (det.observe(&state, div, t), true, 0)
+                }
+            }
+            _ => (false, false, 0),
         };
+        self.last_work = TickWork { gpu_instr, cpu_instr, detector_observed, detect_ns };
         Ok(TickOutput { controls, pair, divergence, alarm_raised })
+    }
+
+    /// Work accounting for the most recent [`Ads::tick`] (zeroed before
+    /// the first tick).
+    pub fn last_tick_work(&self) -> TickWork {
+        self.last_work
     }
 }
 

@@ -47,7 +47,7 @@ pub mod distributor;
 pub mod fusion;
 
 pub use actuation::{Divergence, VehState, CHANNELS};
-pub use ads::{Ads, AdsConfig, ProcessorUnit, TickOutput};
+pub use ads::{Ads, AdsConfig, ProcessorUnit, TickOutput, TickWork};
 pub use detector::{DetectorConfig, DetectorModel, OnlineDetector, TrainSample};
 pub use distributor::AgentMode;
 pub use fusion::FusionPolicy;

@@ -4,7 +4,9 @@
 use diverseav::{Ads, AdsConfig, AgentMode, DetectorConfig, DetectorModel, TrainSample};
 use diverseav_agent::AgentConfig;
 use diverseav_fabric::{FaultModel, Op, Profile};
-use diverseav_runtime::{LoopObserver, PerfObserver, SimLoop, TrainingCollector};
+use diverseav_runtime::{
+    LoopObserver, PerfObserver, ProfilingObserver, SimLoop, TrainingCollector,
+};
 use diverseav_simworld::{Scenario, SensorConfig, TrajPoint, World, TICK_HZ};
 use std::fmt;
 
@@ -206,11 +208,15 @@ pub fn run_experiment_observed(cfg: &RunConfig, extra: &mut [&mut dyn LoopObserv
     let capacity = (cfg.scenario.duration * TICK_HZ) as usize + 2;
     let mut collector = TrainingCollector::new(cfg.collect_training, capacity);
     let mut perf = PerfObserver::new();
+    let mut profiling = ProfilingObserver::new(cfg.scenario.name);
     let mut sim = SimLoop::new(world, ads);
     let termination = {
-        let mut observers: Vec<&mut dyn LoopObserver> = Vec::with_capacity(2 + extra.len());
+        let mut observers: Vec<&mut dyn LoopObserver> = Vec::with_capacity(3 + extra.len());
         observers.push(&mut collector);
         observers.push(&mut perf);
+        if profiling.enabled() {
+            observers.push(&mut profiling);
+        }
         for obs in extra.iter_mut() {
             observers.push(&mut **obs);
         }

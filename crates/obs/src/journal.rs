@@ -12,6 +12,7 @@
 
 use crate::json;
 use crate::trace::Event;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// The injection site of a faulted run, flattened for the journal.
@@ -105,9 +106,51 @@ impl RunRecord {
 
 static SINK: Mutex<Vec<String>> = Mutex::new(Vec::new());
 
+/// Default in-memory line cap (≈ a million lines; week-long campaigns
+/// must not grow the journal without bound).
+pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
+/// Current capacity; 0 means "not yet initialized from the environment".
+static CAPACITY: AtomicUsize = AtomicUsize::new(0);
+
+/// The in-memory line cap: `DIVERSEAV_TRACE_CAP` if set to a positive
+/// integer, else [`DEFAULT_CAPACITY`]. Resolved once, then cached.
+pub fn capacity() -> usize {
+    match CAPACITY.load(Ordering::Relaxed) {
+        0 => {
+            let cap = std::env::var("DIVERSEAV_TRACE_CAP")
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or(DEFAULT_CAPACITY);
+            CAPACITY.store(cap, Ordering::Relaxed);
+            cap
+        }
+        cap => cap,
+    }
+}
+
+/// Override the line cap (tests; clamped to at least 1).
+pub fn set_capacity(cap: usize) {
+    CAPACITY.store(cap.max(1), Ordering::Relaxed);
+}
+
 /// Append one pre-rendered JSONL line to the sink.
+///
+/// Once the sink holds [`capacity`] lines, further lines are dropped and
+/// tallied under the `journal.dropped` metrics counter instead — an
+/// unattended week-long campaign degrades to a truncated journal, never
+/// to unbounded memory growth.
 pub fn append_line(line: String) {
-    SINK.lock().expect("journal sink poisoned").push(line);
+    let cap = capacity();
+    {
+        let mut sink = SINK.lock().expect("journal sink poisoned");
+        if sink.len() < cap {
+            sink.push(line);
+            return;
+        }
+    }
+    crate::metrics::counter_add("journal.dropped", 1);
 }
 
 /// Append a run record to the sink.
@@ -170,6 +213,10 @@ pub fn flush_if_enabled() -> std::io::Result<Option<String>> {
 mod tests {
     use super::*;
 
+    /// Serializes the tests that append to (or bound) the shared sink,
+    /// so capacity experiments cannot drop a sibling test's lines.
+    static SINK_TEST_LOCK: Mutex<()> = Mutex::new(());
+
     fn record() -> RunRecord {
         RunRecord {
             campaign: "GPU-transient LSD [diverseav]".into(),
@@ -218,7 +265,28 @@ mod tests {
     }
 
     #[test]
+    fn capacity_bounds_the_sink_and_counts_drops() {
+        let _guard = SINK_TEST_LOCK.lock().expect("sink test lock");
+        let base = len();
+        set_capacity(base + 2);
+        let dropped_before = crate::metrics::counter_get("journal.dropped");
+        for i in 0..5 {
+            append_line(format!("{{\"type\": \"cap_test\", \"i\": {i}}}"));
+        }
+        assert_eq!(len(), base + 2, "sink stops growing at the cap");
+        assert_eq!(
+            crate::metrics::counter_get("journal.dropped") - dropped_before,
+            3,
+            "every dropped line is tallied"
+        );
+        // Restore a roomy cap for the other tests in this process.
+        set_capacity(DEFAULT_CAPACITY);
+        assert_eq!(capacity(), DEFAULT_CAPACITY);
+    }
+
+    #[test]
     fn slot_events_render_one_line() {
+        let _guard = SINK_TEST_LOCK.lock().expect("sink test lock");
         let before = len();
         append_slot_events(
             "test.journal.slot",

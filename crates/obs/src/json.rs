@@ -1,6 +1,8 @@
-//! Minimal hand-rolled JSON rendering helpers (no serde in the
-//! dependency closure). Shared by the metrics and journal writers and by
-//! `bench::perf`.
+//! Minimal hand-rolled JSON helpers (no serde in the dependency
+//! closure). The rendering half is shared by the metrics and journal
+//! writers and by `bench::perf`; the parsing half ([`parse`] / [`Value`])
+//! is what the `diverseav-tracecheck` CLI uses to read the JSONL run
+//! journal, `METRICS_campaigns.json`, and `BENCH_campaigns.json` back.
 
 /// Escape a string for inclusion inside a JSON string literal.
 pub fn escape(s: &str) -> String {
@@ -39,6 +41,275 @@ pub fn opt_str(v: Option<&str>) -> String {
     v.map(|s| format!("\"{}\"", escape(s))).unwrap_or_else(|| "null".to_string())
 }
 
+/// A parsed JSON document.
+///
+/// Objects keep their members as an ordered `Vec` (first occurrence wins
+/// on [`Value::get`]), so round-tripping preserves the writer's
+/// deterministic key order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in source member order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member of an object by key (first occurrence), if this is an
+    /// object and the key is present.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The members, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(members) => Some(members),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a JSON document. Strict on structure (one value, nothing but
+/// whitespace after it), tolerant of any member order.
+///
+/// # Errors
+///
+/// Returns a message with the byte offset of the first error.
+pub fn parse(text: &str) -> Result<Value, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+/// Nesting depth limit (stack-overflow guard for hostile inputs).
+const MAX_DEPTH: usize = 128;
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Value, String> {
+    if depth > MAX_DEPTH {
+        return Err(format!("nesting deeper than {MAX_DEPTH} at byte {pos}"));
+    }
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Obj(members));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                let value = parse_value(bytes, pos, depth + 1)?;
+                members.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Obj(members));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos, depth + 1)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => Ok(Value::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Value::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Value::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    literal: &str,
+    value: Value,
+) -> Result<Value, String> {
+    if bytes[*pos..].starts_with(literal.as_bytes()) {
+        *pos += literal.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos}"))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii number span");
+    text.parse::<f64>().map(Value::Num).map_err(|_| format!("invalid number at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    let mut pending_surrogate: Option<u32> = None;
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                if pending_surrogate.is_some() {
+                    out.push('\u{FFFD}');
+                }
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                let escape = *bytes.get(*pos).ok_or("unterminated escape")?;
+                *pos += 1;
+                let simple = match escape {
+                    b'"' => Some('"'),
+                    b'\\' => Some('\\'),
+                    b'/' => Some('/'),
+                    b'b' => Some('\u{8}'),
+                    b'f' => Some('\u{c}'),
+                    b'n' => Some('\n'),
+                    b'r' => Some('\r'),
+                    b't' => Some('\t'),
+                    b'u' => None,
+                    _ => return Err(format!("invalid escape at byte {}", *pos - 1)),
+                };
+                if let Some(c) = simple {
+                    if let Some(_lost) = pending_surrogate.take() {
+                        out.push('\u{FFFD}');
+                    }
+                    out.push(c);
+                    continue;
+                }
+                let hex = bytes
+                    .get(*pos..*pos + 4)
+                    .and_then(|h| std::str::from_utf8(h).ok())
+                    .and_then(|h| u32::from_str_radix(h, 16).ok())
+                    .ok_or_else(|| format!("invalid \\u escape at byte {pos}"))?;
+                *pos += 4;
+                match (pending_surrogate.take(), hex) {
+                    (None, 0xD800..=0xDBFF) => pending_surrogate = Some(hex),
+                    (None, 0xDC00..=0xDFFF) => out.push('\u{FFFD}'),
+                    (None, c) => out.push(char::from_u32(c).unwrap_or('\u{FFFD}')),
+                    (Some(high), 0xDC00..=0xDFFF) => {
+                        let c = 0x10000 + ((high - 0xD800) << 10) + (hex - 0xDC00);
+                        out.push(char::from_u32(c).unwrap_or('\u{FFFD}'));
+                    }
+                    (Some(_), c) => {
+                        out.push('\u{FFFD}');
+                        match c {
+                            0xD800..=0xDBFF => pending_surrogate = Some(c),
+                            _ => out.push(char::from_u32(c).unwrap_or('\u{FFFD}')),
+                        }
+                    }
+                }
+            }
+            Some(_) => {
+                // Copy a full UTF-8 scalar so multi-byte text survives.
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| format!("invalid utf-8 at byte {pos}"))?;
+                let c = rest.chars().next().expect("non-empty rest");
+                if pending_surrogate.take().is_some() {
+                    out.push('\u{FFFD}');
+                }
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -47,15 +318,76 @@ mod tests {
     fn escapes_controls_and_quotes() {
         assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("tab\tret\r"), "tab\\tret\\r");
+        assert_eq!(escape("héllo ✓"), "héllo ✓", "non-ASCII passes through");
+        assert_eq!(escape(""), "");
     }
 
     #[test]
     fn non_finite_numbers_become_null() {
         assert_eq!(num(f64::INFINITY), "null");
+        assert_eq!(num(f64::NEG_INFINITY), "null");
         assert_eq!(num(f64::NAN), "null");
         assert_eq!(num(2.5), "2.500000");
+        assert_eq!(num(-0.0), "-0.000000");
         assert_eq!(opt_num(None), "null");
+        assert_eq!(opt_num(Some(f64::NAN)), "null");
+        assert_eq!(opt_num(Some(1.0)), "1.000000");
         assert_eq!(opt_str(Some("x")), "\"x\"");
         assert_eq!(opt_str(None), "null");
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(parse("false").unwrap(), Value::Bool(false));
+        assert_eq!(parse("-12.5e2").unwrap(), Value::Num(-1250.0));
+        assert_eq!(parse("\"hi\"").unwrap(), Value::Str("hi".into()));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = parse(r#"{"a": [1, {"b": null}, "x"], "c": 2}"#).unwrap();
+        assert_eq!(v.get("c").and_then(Value::as_f64), Some(2.0));
+        let arr = v.get("a").and_then(Value::as_arr).unwrap();
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[1].get("b"), Some(&Value::Null));
+        assert_eq!(arr[2].as_str(), Some("x"));
+    }
+
+    #[test]
+    fn object_member_order_is_preserved() {
+        let v = parse(r#"{"z": 1, "a": 2}"#).unwrap();
+        let members = v.as_obj().unwrap();
+        assert_eq!(members[0].0, "z");
+        assert_eq!(members[1].0, "a");
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let original = "quote\" slash\\ nl\n tab\t ctl\u{1} héllo";
+        let rendered = format!("\"{}\"", escape(original));
+        assert_eq!(parse(&rendered).unwrap(), Value::Str(original.to_string()));
+        // \u surrogate pair decodes to one scalar.
+        assert_eq!(parse(r#""😀""#).unwrap(), Value::Str("😀".into()));
+        // Lone surrogate degrades to the replacement character.
+        assert_eq!(parse(r#""\ud83dx""#).unwrap(), Value::Str("\u{FFFD}x".into()));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["", "{", "[1,", "{\"a\" 1}", "tru", "1 2", "{\"a\":}", "\"unterminated"] {
+            assert!(parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn round_trips_a_rendered_metrics_style_document() {
+        let doc = "{\n  \"counters\": {\n    \"a.b\": 3\n  },\n  \"gauges\": {},\n  \
+                   \"list\": [1.5, null, true]\n}\n";
+        let v = parse(doc).unwrap();
+        assert_eq!(v.get("counters").unwrap().get("a.b").unwrap().as_f64(), Some(3.0));
+        assert_eq!(v.get("list").unwrap().as_arr().unwrap().len(), 3);
     }
 }

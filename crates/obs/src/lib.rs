@@ -16,7 +16,16 @@
 //!   `METRICS_campaigns.json` artifact next to `BENCH_campaigns.json`.
 //! * [`journal`] — a buffered per-run JSONL journal (injection site,
 //!   bit mask, cycle, outcome, alarm time, divergence peaks) behind the
-//!   `DIVERSEAV_TRACE` environment switch.
+//!   `DIVERSEAV_TRACE` environment switch, bounded by a line cap
+//!   (`DIVERSEAV_TRACE_CAP`) with dropped lines tallied in metrics.
+//! * [`hist`] — lock-free log-bucketed latency histograms
+//!   (p50/p90/p99/max), registered by name in [`metrics`] and rendered
+//!   into `METRICS_campaigns.json`; the substrate of the tick-level
+//!   profiling layer in `diverseav-runtime`.
+//! * [`profile`] — the `DIVERSEAV_PROFILE` switch selecting the
+//!   profiling time source: a deterministic work-based cost model
+//!   (default, bit-identical across thread counts), host wall clock, or
+//!   off.
 //!
 //! Determinism contract: observability is *read-only* with respect to
 //! campaign outcomes. Run results are pure functions of their explicit
@@ -25,11 +34,15 @@
 //! differential test in `tests/parallel.rs` asserts campaign outputs
 //! are bit-identical with tracing on and off at any thread count.
 
+pub mod hist;
 pub mod journal;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod trace;
 
+pub use hist::{HistSnapshot, Histogram};
 pub use journal::{FaultSite, RunRecord};
 pub use metrics::MetricsSnapshot;
+pub use profile::TimeSource;
 pub use trace::{Event, SlotJournal, SlotWriter};

@@ -8,9 +8,10 @@
 //! `BENCH_campaigns.json`; tests isolate themselves by asserting on
 //! uniquely named keys rather than clearing the shared registry.
 
+use crate::hist::{HistSnapshot, Histogram};
 use crate::json;
 use std::collections::BTreeMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Accumulated wall-clock for one phase label.
 #[derive(Copy, Clone, Debug, Default, PartialEq)]
@@ -24,6 +25,7 @@ pub struct PhaseStat {
 static COUNTERS: Mutex<BTreeMap<String, u64>> = Mutex::new(BTreeMap::new());
 static GAUGES: Mutex<BTreeMap<String, f64>> = Mutex::new(BTreeMap::new());
 static PHASES: Mutex<BTreeMap<String, PhaseStat>> = Mutex::new(BTreeMap::new());
+static HISTS: Mutex<BTreeMap<String, Arc<Histogram>>> = Mutex::new(BTreeMap::new());
 
 /// Add `n` to the named counter (creating it at zero).
 pub fn counter_add(name: &str, n: u64) {
@@ -39,6 +41,17 @@ pub fn counter_get(name: &str) -> u64 {
 /// Set the named gauge to `value` (last write wins).
 pub fn gauge_set(name: &str, value: f64) {
     GAUGES.lock().expect("metrics gauges poisoned").insert(name.to_string(), value);
+}
+
+/// Raise the named gauge to `value` if it exceeds the current value
+/// (max-aggregation — order-independent, so worst-case accounting stays
+/// deterministic across worker scheduling).
+pub fn gauge_max(name: &str, value: f64) {
+    let mut gauges = GAUGES.lock().expect("metrics gauges poisoned");
+    let entry = gauges.entry(name.to_string()).or_insert(value);
+    if value > *entry {
+        *entry = value;
+    }
 }
 
 /// Current value of a gauge, if ever set.
@@ -59,6 +72,28 @@ pub fn phase_get(name: &str) -> PhaseStat {
     PHASES.lock().expect("metrics phases poisoned").get(name).copied().unwrap_or_default()
 }
 
+/// The named shared histogram (created empty on first request).
+///
+/// Callers on hot paths resolve the `Arc` once (one map lock) and then
+/// record lock-free through it; the registry keeps the histogram alive
+/// for snapshotting.
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    let mut hists = HISTS.lock().expect("metrics histograms poisoned");
+    Arc::clone(hists.entry(name.to_string()).or_default())
+}
+
+/// Record one value into the named histogram (convenience for cold
+/// paths; takes the registry lock on every call).
+pub fn hist_record(name: &str, value: u64) {
+    histogram(name).record(value);
+}
+
+/// Snapshot of the named histogram (empty snapshot if never touched).
+pub fn hist_get(name: &str) -> HistSnapshot {
+    let hists = HISTS.lock().expect("metrics histograms poisoned");
+    hists.get(name).map(|h| h.snapshot()).unwrap_or_else(|| Histogram::new().snapshot())
+}
+
 /// A point-in-time copy of the whole registry.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct MetricsSnapshot {
@@ -68,6 +103,8 @@ pub struct MetricsSnapshot {
     pub gauges: BTreeMap<String, f64>,
     /// All phase accumulators, sorted by name.
     pub phases: BTreeMap<String, PhaseStat>,
+    /// All histograms, sorted by name.
+    pub hists: BTreeMap<String, HistSnapshot>,
 }
 
 /// Snapshot the registry.
@@ -76,6 +113,12 @@ pub fn snapshot() -> MetricsSnapshot {
         counters: COUNTERS.lock().expect("metrics counters poisoned").clone(),
         gauges: GAUGES.lock().expect("metrics gauges poisoned").clone(),
         phases: PHASES.lock().expect("metrics phases poisoned").clone(),
+        hists: HISTS
+            .lock()
+            .expect("metrics histograms poisoned")
+            .iter()
+            .map(|(k, h)| (k.clone(), h.snapshot()))
+            .collect(),
     }
 }
 
@@ -85,6 +128,7 @@ pub fn clear() {
     COUNTERS.lock().expect("metrics counters poisoned").clear();
     GAUGES.lock().expect("metrics gauges poisoned").clear();
     PHASES.lock().expect("metrics phases poisoned").clear();
+    HISTS.lock().expect("metrics histograms poisoned").clear();
 }
 
 /// Render a snapshot as the `METRICS_campaigns.json` document.
@@ -121,6 +165,15 @@ pub fn render_json(snap: &MetricsSnapshot) -> String {
             json::num(v.wall_secs),
             v.count
         ));
+    }
+    out.push_str(if first { "},\n" } else { "\n  },\n" });
+
+    out.push_str("  \"histograms\": {");
+    first = true;
+    for (k, v) in &snap.hists {
+        out.push_str(if first { "\n" } else { ",\n" });
+        first = false;
+        out.push_str(&format!("    \"{}\": {}", json::escape(k), v.render_json()));
     }
     out.push_str(if first { "}\n" } else { "\n  }\n" });
     out.push_str("}\n");
@@ -181,5 +234,43 @@ mod tests {
         let doc = render_json(&MetricsSnapshot::default());
         assert!(doc.contains("\"counters\": {}"));
         assert!(doc.contains("\"phases\": {}"));
+        assert!(doc.contains("\"histograms\": {}"));
+        assert!(json::parse(&doc).is_ok(), "document parses: {doc}");
+    }
+
+    #[test]
+    fn gauge_max_keeps_the_maximum() {
+        gauge_max("test.metrics.max_gauge", 2.0);
+        gauge_max("test.metrics.max_gauge", 5.0);
+        gauge_max("test.metrics.max_gauge", 3.0);
+        assert_eq!(gauge_get("test.metrics.max_gauge"), Some(5.0));
+    }
+
+    #[test]
+    fn histograms_register_and_render() {
+        let h = histogram("test.metrics.hist_a");
+        h.record(12);
+        hist_record("test.metrics.hist_a", 12);
+        let snap = hist_get("test.metrics.hist_a");
+        assert_eq!(snap.count(), 2);
+        assert_eq!(snap.max, 12);
+        let doc = render_json(&snapshot());
+        assert!(doc.contains("\"test.metrics.hist_a\": {\"count\": 2"));
+        assert!(json::parse(&doc).is_ok(), "document parses: {doc}");
+        assert_eq!(hist_get("test.metrics.hist_never").count(), 0);
+    }
+
+    #[test]
+    fn key_order_is_deterministic() {
+        // BTreeMap-backed sections render sorted by name, so re-rendering
+        // the same snapshot (or one built in a different insertion order)
+        // diffs cleanly.
+        counter_add("test.metrics.order_b", 1);
+        counter_add("test.metrics.order_a", 1);
+        let doc = render_json(&snapshot());
+        let ia = doc.find("test.metrics.order_a").expect("a rendered");
+        let ib = doc.find("test.metrics.order_b").expect("b rendered");
+        assert!(ia < ib, "keys sorted regardless of insertion order");
+        assert_eq!(doc, render_json(&snapshot()), "rendering is a pure function");
     }
 }

@@ -21,16 +21,23 @@
 //! - **[`registry`]** — the named scenario catalog carrying interned
 //!   `&'static str` scenario IDs end to end; a new workload is one
 //!   [`registry::register`] call.
+//! - **[`profiling`]** — per-phase tick latency histograms and 40 Hz
+//!   (25 ms) deadline accounting via [`ProfilingObserver`], deterministic
+//!   by default (modeled time source) and wall-clock on request
+//!   (`DIVERSEAV_PROFILE=wall`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod observers;
+pub mod profiling;
 pub mod registry;
 pub mod simloop;
 
 pub use observers::{PerfObserver, TrainingCollector};
+pub use profiling::{DeadlineStats, ProfilingObserver, DEADLINE_NS};
 pub use registry::ScenarioEntry;
 pub use simloop::{
-    AgentDriver, LoopDriver, LoopObserver, PolicyDriver, SimLoop, Termination, TickContext,
+    AgentDriver, LoopDriver, LoopObserver, LoopPhase, PolicyDriver, SimLoop, Termination,
+    TickContext,
 };

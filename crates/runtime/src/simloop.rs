@@ -12,10 +12,39 @@
 //! with [`World::sense_into`], so the steady-state tick performs no heap
 //! allocation (verified by the `zero_alloc` integration test).
 
-use diverseav::{Ads, TickOutput, VehState};
+use diverseav::{Ads, TickOutput, TickWork, VehState};
 use diverseav_agent::{AgentError, SensorimotorAgent};
 use diverseav_fabric::{Fabric, Profile, Trap};
 use diverseav_simworld::{Controls, RouteHint, SensorFrame, World, WorldStatus, TICK_HZ};
+use std::time::Instant;
+
+/// The phases of one loop iteration, in execution order. Phase labels
+/// name the tick-latency histograms (`tick.<label>`) in
+/// `METRICS_campaigns.json`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum LoopPhase {
+    /// Sensor capture: camera render + lidar sweep into the frame buffer.
+    Sense,
+    /// The driver's control computation, excluding the detector check.
+    Driver,
+    /// The error detector's divergence check (zero-length for drivers
+    /// without a detector).
+    Detect,
+    /// World kinematics under the tick's controls.
+    Step,
+}
+
+impl LoopPhase {
+    /// Stable lowercase label (histogram key suffix).
+    pub fn label(&self) -> &'static str {
+        match self {
+            LoopPhase::Sense => "sense",
+            LoopPhase::Driver => "driver",
+            LoopPhase::Detect => "detect",
+            LoopPhase::Step => "step",
+        }
+    }
+}
 
 /// How a closed-loop run ended.
 #[derive(Copy, Clone, Debug, PartialEq)]
@@ -72,6 +101,13 @@ pub trait LoopDriver {
         t: f64,
         world: &World,
     ) -> Result<TickOutput, AgentError>;
+
+    /// Work accounting for the most recent tick (fabric instructions,
+    /// detector activity), feeding the modeled profiling time source.
+    /// Defaults to zero work for drivers that don't meter themselves.
+    fn last_tick_work(&self) -> TickWork {
+        TickWork::default()
+    }
 }
 
 impl<D: LoopDriver + ?Sized> LoopDriver for &mut D {
@@ -85,6 +121,10 @@ impl<D: LoopDriver + ?Sized> LoopDriver for &mut D {
     ) -> Result<TickOutput, AgentError> {
         (**self).tick(frame, hint, state, t, world)
     }
+
+    fn last_tick_work(&self) -> TickWork {
+        (**self).last_tick_work()
+    }
 }
 
 impl LoopDriver for Ads {
@@ -97,6 +137,10 @@ impl LoopDriver for Ads {
         _world: &World,
     ) -> Result<TickOutput, AgentError> {
         Ads::tick(self, frame, hint, state, t)
+    }
+
+    fn last_tick_work(&self) -> TickWork {
+        Ads::last_tick_work(self)
     }
 }
 
@@ -133,6 +177,8 @@ pub struct AgentDriver {
     pub cpu: Fabric,
     /// Control period handed to the agent (s).
     pub dt: f64,
+    prev_instr: (u64, u64),
+    last_work: TickWork,
 }
 
 impl AgentDriver {
@@ -143,6 +189,8 @@ impl AgentDriver {
             gpu: Fabric::new(Profile::Gpu),
             cpu: Fabric::new(Profile::Cpu),
             dt: 1.0 / TICK_HZ,
+            prev_instr: (0, 0),
+            last_work: TickWork::default(),
         }
     }
 }
@@ -157,7 +205,19 @@ impl LoopDriver for AgentDriver {
         _world: &World,
     ) -> Result<TickOutput, AgentError> {
         let controls = self.agent.step(frame, hint, self.dt, &mut self.gpu, &mut self.cpu)?;
+        let totals = (self.gpu.dyn_instr_count(), self.cpu.dyn_instr_count());
+        self.last_work = TickWork {
+            gpu_instr: totals.0 - self.prev_instr.0,
+            cpu_instr: totals.1 - self.prev_instr.1,
+            detector_observed: false,
+            detect_ns: 0,
+        };
+        self.prev_instr = totals;
         Ok(TickOutput { controls, pair: None, divergence: None, alarm_raised: false })
+    }
+
+    fn last_tick_work(&self) -> TickWork {
+        self.last_work
     }
 }
 
@@ -174,6 +234,9 @@ pub struct TickContext<'a> {
     pub hint: RouteHint,
     /// The driver's output for this frame.
     pub out: &'a TickOutput,
+    /// The driver's work accounting for this frame (zero for unmetered
+    /// drivers).
+    pub work: TickWork,
     /// The world *before* stepping (ground truth for CVIP etc.).
     pub world: &'a World,
 }
@@ -190,6 +253,18 @@ pub trait LoopObserver {
 
     /// Called once when the loop ends, with the final world state.
     fn on_termination(&mut self, _world: &World, _termination: &Termination) {}
+
+    /// Whether this observer needs wall-clock [`LoopPhase`] timings. The
+    /// loop only reads the host clock when at least one observer asks
+    /// (four `Instant` reads per tick otherwise avoided).
+    fn wants_phase_timing(&self) -> bool {
+        false
+    }
+
+    /// Called once per [`LoopPhase`] per tick with its wall-clock
+    /// duration — only when [`LoopObserver::wants_phase_timing`] returned
+    /// true for *some* observer in the run.
+    fn on_phase(&mut self, _phase: LoopPhase, _dur_ns: u64) {}
 }
 
 /// The canonical `sense → tick → step` loop: one [`World`], one
@@ -227,17 +302,37 @@ impl<D: LoopDriver> SimLoop<D> {
         observers: &mut [&mut dyn LoopObserver],
     ) -> Option<Termination> {
         let mut termination = None;
+        let timing = observers.iter().any(|o| o.wants_phase_timing());
         for _ in 0..max_ticks {
             if self.world.finished() {
                 termination = Some(Termination::Completed);
                 break;
             }
+            let t0 = timing.then(Instant::now);
             self.world.sense_into(&mut self.frame);
             let hint = self.world.route_hint();
             let state = VehState::from(self.world.ego_state());
             let t_now = self.world.time();
+            if let Some(t0) = t0 {
+                let ns = t0.elapsed().as_nanos() as u64;
+                for obs in observers.iter_mut() {
+                    obs.on_phase(LoopPhase::Sense, ns);
+                }
+            }
+            let t0 = timing.then(Instant::now);
             match self.driver.tick(&self.frame, hint, state, t_now, &self.world) {
                 Ok(out) => {
+                    let work = self.driver.last_tick_work();
+                    if let Some(t0) = t0 {
+                        // The detector check runs inside the driver tick;
+                        // the driver reports its share so the two phases
+                        // partition the measured interval.
+                        let ns = t0.elapsed().as_nanos() as u64;
+                        for obs in observers.iter_mut() {
+                            obs.on_phase(LoopPhase::Driver, ns.saturating_sub(work.detect_ns));
+                            obs.on_phase(LoopPhase::Detect, work.detect_ns);
+                        }
+                    }
                     for obs in observers.iter_mut() {
                         obs.on_tick(&TickContext {
                             t: t_now,
@@ -245,13 +340,22 @@ impl<D: LoopDriver> SimLoop<D> {
                             frame: &self.frame,
                             hint,
                             out: &out,
+                            work,
                             world: &self.world,
                         });
                         if out.alarm_raised {
                             obs.on_alarm(t_now);
                         }
                     }
-                    if self.world.step(out.controls) == WorldStatus::Collision {
+                    let t0 = timing.then(Instant::now);
+                    let status = self.world.step(out.controls);
+                    if let Some(t0) = t0 {
+                        let ns = t0.elapsed().as_nanos() as u64;
+                        for obs in observers.iter_mut() {
+                            obs.on_phase(LoopPhase::Step, ns);
+                        }
+                    }
+                    if status == WorldStatus::Collision {
                         termination = Some(Termination::Collision);
                         break;
                     }
