@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Workspace lint gates that rustc/clippy don't cover. See ci/README.md.
+#
+# Gate 1: no `.unwrap()` in non-test code under crates/faultinj/src.
+#         Campaign tooling must surface failures as typed errors
+#         (ShardError & friends), not panics — a panicking shard loses
+#         its checkpoint guarantee.
+# Gate 2: no `Instant::now` outside the files in ci/instant_allowlist.txt.
+#         Wall-clock reads belong to obs::profile's Wall mode and the
+#         harness timing layer; anywhere else they threaten the
+#         bit-identical merge invariant.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# --- Gate 1: unwrap() in faultinj non-test code -------------------------
+# awk stops scanning each file at its first #[cfg(test)] marker, so test
+# modules (which unwrap freely) don't trip the gate.
+unwrap_hits=$(awk '
+    FNR == 1 { in_tests = 0 }
+    /#\[cfg\(test\)\]/ { in_tests = 1 }
+    !in_tests && /\.unwrap\(\)/ { print FILENAME ":" FNR ": " $0 }
+' crates/faultinj/src/*.rs)
+if [[ -n "$unwrap_hits" ]]; then
+    echo "lint: .unwrap() in non-test faultinj code (use typed errors):" >&2
+    echo "$unwrap_hits" >&2
+    fail=1
+fi
+
+# --- Gate 2: Instant::now outside the allowlist -------------------------
+allowed=()
+while IFS= read -r line; do
+    line="${line%%#*}"
+    line="$(echo "$line" | tr -d '[:space:]')"
+    [[ -n "$line" ]] && allowed+=("$line")
+done < ci/instant_allowlist.txt
+
+instant_hits=""
+while IFS= read -r hit; do
+    file="${hit%%:*}"
+    ok=0
+    for prefix in "${allowed[@]}"; do
+        if [[ "$file" == "$prefix" || "$file" == "$prefix"* && "$prefix" == */ ]]; then
+            ok=1
+            break
+        fi
+    done
+    if [[ $ok -eq 0 ]]; then
+        instant_hits+="$hit"$'\n'
+    fi
+done < <(grep -rn 'Instant::now' crates --include='*.rs' || true)
+if [[ -n "$instant_hits" ]]; then
+    echo "lint: Instant::now outside ci/instant_allowlist.txt (wall-clock" >&2
+    echo "reads belong to obs::profile Wall mode / harness timing only):" >&2
+    printf '%s' "$instant_hits" >&2
+    fail=1
+fi
+
+if [[ $fail -ne 0 ]]; then
+    exit 1
+fi
+echo "lint: ok (no stray unwrap(), no unlisted Instant::now)"

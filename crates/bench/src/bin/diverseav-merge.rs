@@ -1,0 +1,149 @@
+//! Merge shard artifacts into the monolithic campaign reports — or
+//! stamp a CI wall-clock entry into a bench document.
+//!
+//! ```text
+//! # validate + merge shards into the Table-I / bench / metrics outputs
+//! diverseav-merge [--td 2.0] [--table PATH] [--bench PATH] \
+//!                 [--deterministic PATH] [--metrics PATH] \
+//!                 [--journal PATH] SHARD.jsonl...
+//!
+//! # append a wall-clock-only entry to a rendered bench document
+//! diverseav-merge --stamp-wall BENCH_campaigns.json \
+//!                 --label "ci checks threads=4" --secs 123 [--phase ci]
+//! ```
+//!
+//! The merge refuses to produce output from an inconsistent shard set:
+//! duplicate or missing shard indices, incomplete shards, coverage gaps,
+//! or artifacts whose campaign fingerprints disagree all fail hard.
+//! With no output flags, the Table-I text goes to stdout.
+//!
+//! Exit codes: 0 merged clean, 1 unreadable/unparsable inputs or I/O
+//! failure, 2 shard-set validation failure (overlap / gap / fingerprint
+//! mismatch / incomplete shard).
+
+use diverseav_bench::merge;
+use diverseav_faultinj::{merge_artifacts, parse_artifact, ShardArtifact, ShardError};
+use std::process::ExitCode;
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn write(path: &str, text: &str) -> Result<(), String> {
+    std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut td = 2.0f64;
+    let mut table_path = None;
+    let mut bench_path = None;
+    let mut det_path = None;
+    let mut metrics_path = None;
+    let mut journal_path = None;
+    let mut stamp = None;
+    let mut label = None;
+    let mut phase = "ci".to_string();
+    let mut secs = None;
+    let mut shards: Vec<String> = Vec::new();
+    let mut i = 0;
+    let next = |i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i).cloned().ok_or_else(|| format!("{flag} needs an argument"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--td" => {
+                td = next(&mut i, "--td")?.parse::<f64>().map_err(|e| format!("--td: {e}"))?;
+            }
+            "--table" => table_path = Some(next(&mut i, "--table")?),
+            "--bench" => bench_path = Some(next(&mut i, "--bench")?),
+            "--deterministic" => det_path = Some(next(&mut i, "--deterministic")?),
+            "--metrics" => metrics_path = Some(next(&mut i, "--metrics")?),
+            "--journal" => journal_path = Some(next(&mut i, "--journal")?),
+            "--stamp-wall" => stamp = Some(next(&mut i, "--stamp-wall")?),
+            "--label" => label = Some(next(&mut i, "--label")?),
+            "--phase" => phase = next(&mut i, "--phase")?,
+            "--secs" => {
+                secs = Some(
+                    next(&mut i, "--secs")?.parse::<f64>().map_err(|e| format!("--secs: {e}"))?,
+                );
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown argument: {other} (see the crate docs)"));
+            }
+            path => shards.push(path.to_string()),
+        }
+        i += 1;
+    }
+
+    if let Some(bench_doc) = stamp {
+        if !shards.is_empty() {
+            return Err("--stamp-wall takes no shard arguments".into());
+        }
+        let label = label.ok_or("--stamp-wall needs --label")?;
+        let secs = secs.ok_or("--stamp-wall needs --secs")?;
+        let stamped = merge::stamp_wall(&read(&bench_doc)?, &label, &phase, secs)?;
+        write(&bench_doc, &stamped)?;
+        eprintln!("stamped {label:?} ({secs} s, phase {phase:?}) into {bench_doc}");
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    if shards.is_empty() {
+        return Err("no shard artifacts given (pass one or more SHARD.jsonl paths)".into());
+    }
+    let mut artifacts: Vec<ShardArtifact> = Vec::with_capacity(shards.len());
+    for path in &shards {
+        let text = read(path)?;
+        artifacts.push(parse_artifact(&text).map_err(|e| format!("{path}: {e}"))?);
+    }
+    let merged = match merge_artifacts(&artifacts) {
+        Ok(m) => m,
+        Err(e @ ShardError::Mismatch(_)) => {
+            eprintln!("diverseav-merge: {e}");
+            return Ok(ExitCode::from(2));
+        }
+        Err(e) => return Err(e.to_string()),
+    };
+
+    for m in &merged {
+        eprintln!(
+            "merged {}: {} shard(s), {} golden + {} injected run(s)",
+            m.manifest.campaign,
+            m.shards.len(),
+            m.golden.len(),
+            m.injected.len(),
+        );
+    }
+
+    let table = merge::table_text(&merged, td);
+    match &table_path {
+        Some(path) => write(path, &table)?,
+        None => print!("{table}"),
+    }
+    if let Some(path) = &bench_path {
+        let threads = diverseav_faultinj::thread_count();
+        let cores = diverseav_faultinj::detected_parallelism();
+        write(path, &merge::bench_doc(&merged, cores, threads))?;
+    }
+    if let Some(path) = &det_path {
+        write(path, &merge::deterministic_doc(&merged, td))?;
+    }
+    if let Some(path) = &metrics_path {
+        write(path, &merge::metrics_doc(&merged))?;
+    }
+    if let Some(path) = &journal_path {
+        write(path, &merge::journal_doc(&merged))?;
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("diverseav-merge: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Execute one shard of a fault-injection campaign, writing (or
+//! resuming) a checkpointable shard artifact.
+//!
+//! ```text
+//! diverseav-shard --scenario LSD --target GPU --kind transient \
+//!                 --mode diverseav --shard 2/4 --out shard2.jsonl \
+//!                 [--batch 8] [--scale quick|paper] [--max-batches N]
+//! ```
+//!
+//! `DIVERSEAV_THREADS` controls intra-shard parallelism exactly like the
+//! monolithic path; the artifact's run payload is bit-identical for any
+//! setting. `--max-batches` caps how many *new* batches this invocation
+//! commits — CI uses it to simulate a kill at a checkpoint boundary,
+//! then re-invokes without the cap to resume.
+//!
+//! Exit codes: 0 shard complete, 3 shard checkpointed but incomplete
+//! (`--max-batches` hit), 1 usage or execution error.
+
+use diverseav::AgentMode;
+use diverseav_fabric::Profile;
+use diverseav_faultinj::{Campaign, CampaignScale, FaultModelKind, ShardConfig, ShardSpec};
+use diverseav_simworld::{ScenarioKind, SensorConfig};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn parse_shard(s: &str) -> Result<ShardSpec, String> {
+    let (idx, count) = s.split_once('/').ok_or_else(|| format!("--shard wants K/N, got {s:?}"))?;
+    let index = idx.trim().parse::<usize>().map_err(|e| format!("--shard index: {e}"))?;
+    let count = count.trim().parse::<usize>().map_err(|e| format!("--shard count: {e}"))?;
+    Ok(ShardSpec { index, count })
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scenario = None;
+    let mut target = None;
+    let mut kind = None;
+    let mut mode = AgentMode::RoundRobin;
+    let mut spec = None;
+    let mut out = None;
+    let mut batch_size = 8usize;
+    let mut scale = CampaignScale::from_env();
+    let mut max_batches = None;
+    let mut i = 0;
+    let next = |i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i).cloned().ok_or_else(|| format!("{flag} needs an argument"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scenario" => {
+                scenario = Some(match next(&mut i, "--scenario")?.as_str() {
+                    "LSD" | "lsd" => ScenarioKind::LeadSlowdown,
+                    "GC" | "gc" => ScenarioKind::GhostCutIn,
+                    "FA" | "fa" => ScenarioKind::FrontAccident,
+                    other => return Err(format!("--scenario: want LSD|GC|FA, got {other:?}")),
+                });
+            }
+            "--target" => {
+                target = Some(match next(&mut i, "--target")?.as_str() {
+                    "GPU" | "gpu" => Profile::Gpu,
+                    "CPU" | "cpu" => Profile::Cpu,
+                    other => return Err(format!("--target: want GPU|CPU, got {other:?}")),
+                });
+            }
+            "--kind" => {
+                kind = Some(match next(&mut i, "--kind")?.as_str() {
+                    "transient" => FaultModelKind::Transient,
+                    "permanent" => FaultModelKind::Permanent,
+                    other => {
+                        return Err(format!("--kind: want transient|permanent, got {other:?}"))
+                    }
+                });
+            }
+            "--mode" => {
+                mode = match next(&mut i, "--mode")?.as_str() {
+                    "single" => AgentMode::Single,
+                    "diverseav" => AgentMode::RoundRobin,
+                    "fd" => AgentMode::Duplicate,
+                    other => {
+                        return Err(format!("--mode: want single|diverseav|fd, got {other:?}"))
+                    }
+                };
+            }
+            "--shard" => spec = Some(parse_shard(&next(&mut i, "--shard")?)?),
+            "--out" => out = Some(next(&mut i, "--out")?),
+            "--batch" => {
+                batch_size = next(&mut i, "--batch")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--batch: {e}"))?;
+            }
+            "--scale" => {
+                scale = match next(&mut i, "--scale")?.as_str() {
+                    "quick" => CampaignScale::quick(),
+                    "paper" => CampaignScale::paper(),
+                    other => return Err(format!("--scale: want quick|paper, got {other:?}")),
+                };
+            }
+            "--max-batches" => {
+                max_batches = Some(
+                    next(&mut i, "--max-batches")?
+                        .parse::<usize>()
+                        .map_err(|e| format!("--max-batches: {e}"))?,
+                );
+            }
+            other => return Err(format!("unknown argument: {other} (see the crate docs)")),
+        }
+        i += 1;
+    }
+
+    let scenario = scenario.ok_or("--scenario is required (LSD|GC|FA)")?;
+    let target = target.ok_or("--target is required (GPU|CPU)")?;
+    let kind = kind.ok_or("--kind is required (transient|permanent)")?;
+    let spec = spec.ok_or("--shard K/N is required")?;
+    let out = out.ok_or("--out PATH is required")?;
+
+    let cfg = ShardConfig {
+        campaign: Campaign { scenario, target, kind, mode },
+        scale,
+        sensor: SensorConfig::default(),
+        spec,
+        batch_size,
+    };
+    let status = diverseav_faultinj::execute_shard_limited(&cfg, Path::new(&out), max_batches)
+        .map_err(|e| e.to_string())?;
+    eprintln!(
+        "shard {}/{}: {} assigned run(s), {} batch(es) ({} resumed, {} executed){}",
+        spec.index,
+        spec.count,
+        status.assigned_runs,
+        status.total_batches,
+        status.resumed_batches,
+        status.executed_batches,
+        if status.complete { ", complete" } else { ", INCOMPLETE (checkpointed)" },
+    );
+    Ok(if status.complete { ExitCode::SUCCESS } else { ExitCode::from(3) })
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("diverseav-shard: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

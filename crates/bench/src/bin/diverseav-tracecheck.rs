@@ -7,13 +7,17 @@
 //!                      [--chrome trace_chrome.json]
 //!
 //! # bench-regression check: flag >20 % ticks_per_sec drops
+//! diverseav-tracecheck --baseline BENCH_baseline.json \
+//!                      --bench-diff BENCH_campaigns.json [--threshold 0.20]
+//!
+//! # legacy two-positional form (baseline first)
 //! diverseav-tracecheck --bench-diff BENCH_baseline.json BENCH_campaigns.json
-//!                      [--threshold 0.20]
 //! ```
 //!
-//! Exit codes: 0 clean, 1 on unreadable/malformed/empty inputs, 2 when
-//! the bench diff found regressions (so CI can treat it as a warning
-//! gate distinct from hard failure).
+//! Exit codes: 0 clean, 1 on unreadable/malformed/empty inputs —
+//! including a missing or unparsable baseline, which is a hard failure,
+//! never a silent pass — 2 when the bench diff found regressions (so CI
+//! can treat it as a warning gate distinct from hard failure).
 
 use diverseav_bench::tracecheck;
 use diverseav_obs::json;
@@ -28,6 +32,7 @@ fn run() -> Result<ExitCode, String> {
     let mut trace_path = None;
     let mut metrics_path = None;
     let mut chrome_path = None;
+    let mut baseline_path: Option<String> = None;
     let mut bench_diff = None;
     let mut threshold = 0.20;
     let mut i = 0;
@@ -40,10 +45,17 @@ fn run() -> Result<ExitCode, String> {
             "--trace" => trace_path = Some(next(&mut i, "--trace")?),
             "--metrics" => metrics_path = Some(next(&mut i, "--metrics")?),
             "--chrome" => chrome_path = Some(next(&mut i, "--chrome")?),
+            "--baseline" => baseline_path = Some(next(&mut i, "--baseline")?),
             "--bench-diff" => {
-                let old = next(&mut i, "--bench-diff")?;
-                let new = next(&mut i, "--bench-diff")?;
-                bench_diff = Some((old, new));
+                let first = next(&mut i, "--bench-diff")?;
+                // Legacy form passes baseline and fresh as two
+                // positionals; the explicit form passes the fresh doc
+                // only and names the baseline via --baseline.
+                let second = args.get(i + 1).filter(|a| !a.starts_with("--")).cloned();
+                if second.is_some() {
+                    i += 1;
+                }
+                bench_diff = Some((first, second));
             }
             "--threshold" => {
                 threshold = next(&mut i, "--threshold")?
@@ -55,11 +67,29 @@ fn run() -> Result<ExitCode, String> {
         i += 1;
     }
 
-    if let Some((old_path, new_path)) = bench_diff {
+    if let Some((first, second)) = bench_diff {
+        let (old_path, new_path) = match (baseline_path, second) {
+            (Some(_), Some(_)) => {
+                return Err("pass the baseline once: either --baseline PATH --bench-diff FRESH \
+                     or --bench-diff BASELINE FRESH"
+                    .into());
+            }
+            (Some(baseline), None) => (baseline, first),
+            (None, Some(fresh)) => (first, fresh),
+            (None, None) => {
+                return Err("--bench-diff needs a baseline: --baseline PATH --bench-diff FRESH \
+                     (or the legacy --bench-diff BASELINE FRESH form)"
+                    .into());
+            }
+        };
         let parse = |path: &str| -> Result<json::Value, String> {
             json::parse(&read(path)?).map_err(|e| format!("{path}: {e}"))
         };
-        let warnings = tracecheck::bench_diff(&parse(&old_path)?, &parse(&new_path)?, threshold);
+        let warnings = tracecheck::bench_diff_checked(
+            &parse(&old_path).map_err(|e| format!("baseline: {e}"))?,
+            &parse(&new_path)?,
+            threshold,
+        )?;
         if warnings.is_empty() {
             println!(
                 "bench diff: no entry dropped more than {:.0} % ticks_per_sec",
@@ -72,6 +102,9 @@ fn run() -> Result<ExitCode, String> {
             println!("  {w}");
         }
         return Ok(ExitCode::from(2));
+    }
+    if baseline_path.is_some() {
+        return Err("--baseline only makes sense together with --bench-diff".into());
     }
 
     let Some(trace_path) = trace_path else {

@@ -9,9 +9,11 @@
 //! completes in minutes rather than the paper's 40 days.
 
 pub mod experiments;
+pub mod merge;
 pub mod perf;
 pub mod sweep;
 pub mod tracecheck;
 
+pub use merge::{deterministic_doc, journal_doc, metrics_doc, stamp_wall, table_text};
 pub use perf::{flush_json, flush_metrics_json, CampaignTiming};
 pub use sweep::{evaluate_cell, replay_campaign, sweep, CellEval, ReplayedCampaign, SweepResult};

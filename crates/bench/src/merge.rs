@@ -1,0 +1,381 @@
+//! Report generation for merged shard artifacts — the library half of
+//! the `diverseav-merge` binary.
+//!
+//! A merged campaign must produce the *same* Table-I text, metrics
+//! document, and journal lines the monolithic path produces, regardless
+//! of how many shards it was cut into or on how many machines they ran.
+//! Everything here therefore consumes only campaign-invariant manifest
+//! fields plus the merged run set — never shard counts, batch sizes, or
+//! wall-clocks — except for the explicitly non-deterministic
+//! `BENCH_campaigns.json` timing view.
+
+use crate::perf::{render_json_with, CampaignTiming};
+use diverseav_analysis::Table;
+use diverseav_faultinj::shard::MergedCampaign;
+use diverseav_faultinj::summarize_merged;
+use diverseav_obs::json::{self, Value};
+use diverseav_obs::{metrics, MetricsSnapshot, RunRecord};
+use std::collections::BTreeMap;
+
+/// Render merged campaigns as the Table-I summary text.
+///
+/// Byte-identical to the monolithic `table1_report` table for the same
+/// campaigns (same headers, same row format, same column alignment);
+/// deliberately free of any shard-count or timing information so a
+/// 4-shard merge and a 1-shard merge diff clean.
+pub fn table_text(merged: &[MergedCampaign], td: f64) -> String {
+    let mut out = String::from("== Table I (merged): fault-injection campaign summary ==\n\n");
+    let mut t = Table::new(vec![
+        "FI target",
+        "DS",
+        "#Active",
+        "Hang/Crash",
+        "Total FI",
+        "#Acc",
+        "#TrajViol",
+    ]);
+    for m in merged {
+        let row = summarize_merged(m, td);
+        t.row(vec![
+            format!("{}-{}", m.manifest.target, m.manifest.kind),
+            m.manifest.scenario.clone(),
+            row.active.to_string(),
+            row.hang_crash.to_string(),
+            row.total.to_string(),
+            row.accidents.to_string(),
+            row.traj_violations.to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// Render the deterministic summary document — the artifact CI diffs
+/// bit-for-bit between a sharded and a monolithic execution. Every field
+/// is a pure function of the campaign's seeds: Table-I tallies, per-run
+/// tick totals, and the modeled deadline accounting. No wall-clocks, no
+/// thread counts, no shard shapes.
+pub fn deterministic_doc(merged: &[MergedCampaign], td: f64) -> String {
+    let mut out = String::from("{\n  \"campaigns\": [\n");
+    for (i, m) in merged.iter().enumerate() {
+        let row = summarize_merged(m, td);
+        let runs = m.golden.iter().chain(m.injected.iter());
+        let ticks: u64 = runs.clone().map(|r| r.ticks).sum();
+        let misses: u64 = runs.map(|r| r.deadline_misses).sum();
+        let sep = if i + 1 == merged.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"campaign\": \"{}\", \"fingerprint\": \"{:016x}\", \
+             \"scenario\": \"{}\", \"target\": \"{}\", \"kind\": \"{}\", \"mode\": \"{}\", \
+             \"golden_runs\": {}, \"injected_runs\": {}, \
+             \"ticks\": {}, \"deadline_misses\": {}, \"deadline_worst_ns\": {}, \
+             \"active\": {}, \"hang_crash\": {}, \"total\": {}, \"accidents\": {}, \
+             \"traj_violations\": {}}}{sep}\n",
+            json::escape(&m.manifest.campaign),
+            m.manifest.fingerprint,
+            json::escape(&m.manifest.scenario),
+            json::escape(&m.manifest.target),
+            json::escape(&m.manifest.kind),
+            json::escape(&m.manifest.mode),
+            m.golden.len(),
+            m.injected.len(),
+            json::u64_str(ticks),
+            json::u64_str(misses),
+            json::u64_str(m.deadline.worst_ns),
+            row.active,
+            row.hang_crash,
+            row.total,
+            row.accidents,
+            row.traj_violations,
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Render the merged `METRICS_campaigns.json`: the per-campaign metric
+/// slices folded into one registry snapshot (phases are wall-clock and
+/// therefore per-machine — a merge has none).
+pub fn metrics_doc(merged: &[MergedCampaign]) -> String {
+    let mut counters = BTreeMap::new();
+    let mut gauges = BTreeMap::new();
+    let mut hists = BTreeMap::new();
+    for m in merged {
+        for (k, v) in &m.metrics.counters {
+            *counters.entry(k.clone()).or_insert(0u64) += v;
+        }
+        for (k, v) in &m.metrics.gauges {
+            let slot = gauges.entry(k.clone()).or_insert(*v);
+            if *v > *slot {
+                *slot = *v;
+            }
+        }
+        for (k, h) in &m.metrics.hists {
+            match hists.get_mut(k) {
+                None => {
+                    hists.insert(k.clone(), h.clone());
+                }
+                Some(mine) => {
+                    use diverseav_obs::HistSnapshot;
+                    let mine: &mut HistSnapshot = mine;
+                    mine.absorb(h);
+                }
+            }
+        }
+    }
+    let snap = MetricsSnapshot { counters, gauges, phases: BTreeMap::new(), hists };
+    metrics::render_json(&snap)
+}
+
+/// Render the merged run journal (`DIVERSEAV_TRACE`-format JSONL):
+/// golden then injected runs per campaign, index-ordered — the same
+/// canonical order the traced monolithic path writes.
+pub fn journal_doc(merged: &[MergedCampaign]) -> String {
+    let mut out = String::new();
+    for m in merged {
+        for (kind, runs) in [("golden", &m.golden), ("injected", &m.injected)] {
+            for r in runs.iter() {
+                let rec = RunRecord {
+                    campaign: m.manifest.campaign.clone(),
+                    kind,
+                    index: r.index,
+                    seed: r.seed,
+                    scenario: m.manifest.scenario_name.clone(),
+                    outcome: r.outcome.clone(),
+                    end_time: r.end_time,
+                    collision_time: r.collision_time,
+                    alarm_time: r.alarm_time,
+                    fault_activated: r.fault_activated,
+                    min_cvip: r.min_cvip,
+                    div_peak: [0.0; 3],
+                    fault: r.fault.clone(),
+                };
+                out.push_str(&rec.render());
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+/// Render the merged `BENCH_campaigns.json`: one entry per shard (phase
+/// `"shard"`) plus one summed entry per campaign (phase `"campaign"`).
+/// Wall-clocks and thread counts come from wherever the shards ran, so
+/// this document is *not* part of the bit-identical merge gate.
+pub fn bench_doc(merged: &[MergedCampaign], detected_cores: usize, threads: usize) -> String {
+    let mut entries = Vec::new();
+    for m in merged {
+        let mut wall = 0.0;
+        let mut runs = 0usize;
+        let mut ticks = 0u64;
+        let mut misses = 0u64;
+        for s in &m.shards {
+            entries.push(CampaignTiming {
+                label: format!(
+                    "{} shard {}/{}",
+                    m.manifest.campaign,
+                    s.shard_index,
+                    m.shards.len()
+                ),
+                phase: "shard".to_string(),
+                wall_secs: s.wall_secs,
+                runs: s.runs,
+                ticks: s.ticks,
+                deadline_misses: s.deadline_misses,
+                threads: s.threads,
+            });
+            wall += s.wall_secs;
+            runs += s.runs;
+            ticks += s.ticks;
+            misses += s.deadline_misses;
+        }
+        entries.push(CampaignTiming {
+            label: m.manifest.campaign.clone(),
+            phase: "campaign".to_string(),
+            wall_secs: wall,
+            runs,
+            ticks,
+            deadline_misses: misses,
+            threads,
+        });
+    }
+    render_json_with(detected_cores, threads, &entries)
+}
+
+/// Parse a `BENCH_campaigns.json` document back into its header values
+/// and timing entries (the inverse of [`crate::perf::render_json`], up
+/// to the renderer's 6-decimal rounding of `wall_secs`).
+pub fn parse_bench(doc: &Value) -> Result<(usize, usize, Vec<CampaignTiming>), String> {
+    let int = |v: &Value, key: &str| -> Result<usize, String> {
+        v.get(key)
+            .and_then(Value::as_f64)
+            .map(|n| n as usize)
+            .ok_or_else(|| format!("bench document missing numeric {key:?}"))
+    };
+    let cores = int(doc, "detected_cores")?;
+    let threads = int(doc, "threads")?;
+    let arr = doc
+        .get("entries")
+        .and_then(Value::as_arr)
+        .ok_or("bench document has no \"entries\" array")?;
+    let mut entries = Vec::with_capacity(arr.len());
+    for e in arr {
+        let s = |key: &str| -> Result<String, String> {
+            e.get(key)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("bench entry missing string {key:?}"))
+        };
+        let f = |key: &str| e.get(key).and_then(Value::as_f64).unwrap_or(0.0);
+        entries.push(CampaignTiming {
+            label: s("label")?,
+            phase: s("phase")?,
+            wall_secs: f("wall_secs"),
+            runs: f("runs") as usize,
+            ticks: f("ticks") as u64,
+            deadline_misses: f("deadline_misses") as u64,
+            threads: f("threads") as usize,
+        });
+    }
+    Ok((cores, threads, entries))
+}
+
+/// Append a pure wall-clock entry (runs/ticks 0) to a rendered
+/// `BENCH_campaigns.json` document — how CI stamps its job wall-clock
+/// into the uploaded artifact so `--bench-diff` can flag CI-time
+/// regressions alongside engine-throughput ones.
+pub fn stamp_wall(doc_text: &str, label: &str, phase: &str, secs: f64) -> Result<String, String> {
+    let doc = json::parse(doc_text).map_err(|e| format!("bench document: {e}"))?;
+    let (cores, threads, mut entries) = parse_bench(&doc)?;
+    entries.push(CampaignTiming {
+        label: label.to_string(),
+        phase: phase.to_string(),
+        wall_secs: secs,
+        runs: 0,
+        ticks: 0,
+        deadline_misses: 0,
+        threads,
+    });
+    Ok(render_json_with(cores, threads, &entries))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diverseav_faultinj::shard::{MetricsSlice, ShardManifest, ShardPerf, ShardRun};
+    use diverseav_faultinj::{GOLDEN_SEED_BASE, INJECTED_SEED_BASE, SHARD_SCHEMA_VERSION};
+    use diverseav_runtime::DeadlineStats;
+    use diverseav_simworld::{TrajPoint, Vec2};
+
+    fn merged_fixture() -> MergedCampaign {
+        let manifest = ShardManifest {
+            schema_version: SHARD_SCHEMA_VERSION,
+            fingerprint: 0xBEEF,
+            plan_seed: 7,
+            campaign: "GPU-transient LSD [diverseav]".to_string(),
+            scenario: "LSD".to_string(),
+            scenario_name: "lead_slowdown".to_string(),
+            target: "GPU".to_string(),
+            kind: "transient".to_string(),
+            mode: "diverseav".to_string(),
+            profile_source: "modeled".to_string(),
+            shard_index: 0,
+            shard_count: 2,
+            batch_size: 4,
+            golden_runs: 1,
+            injected_runs: 1,
+            assigned_runs: 1,
+        };
+        let run = |kind: &str, index: usize, base: u64, collision: Option<f64>| ShardRun {
+            kind: kind.to_string(),
+            index,
+            seed: base + index as u64,
+            outcome: if collision.is_some() { "collision" } else { "completed" }.to_string(),
+            end_time: 2.0,
+            collision_time: collision,
+            alarm_time: None,
+            fault_activated: collision.is_some(),
+            min_cvip: 4.0,
+            red_light_violations: 0,
+            ticks: 80,
+            deadline_misses: 1,
+            fault: None,
+            trajectory: vec![TrajPoint { t: 0.0, pos: Vec2 { x: 0.0, y: 0.0 } }],
+        };
+        let golden = vec![run("golden", 0, GOLDEN_SEED_BASE, None)];
+        let baseline = golden[0].trajectory.clone();
+        MergedCampaign {
+            manifest,
+            injected: vec![run("injected", 0, INJECTED_SEED_BASE, Some(1.5))],
+            golden,
+            baseline,
+            metrics: MetricsSlice::default(),
+            deadline: DeadlineStats { ticks: 160, misses: 2, worst_ns: 26_000_000 },
+            shards: vec![
+                ShardPerf {
+                    shard_index: 0,
+                    wall_secs: 1.0,
+                    threads: 2,
+                    runs: 1,
+                    ticks: 80,
+                    deadline_misses: 1,
+                },
+                ShardPerf {
+                    shard_index: 1,
+                    wall_secs: 2.0,
+                    threads: 4,
+                    runs: 1,
+                    ticks: 80,
+                    deadline_misses: 1,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn table_text_matches_monolithic_row_format() {
+        let text = table_text(&[merged_fixture()], 2.0);
+        assert!(text.contains("FI target"), "{text}");
+        assert!(text.contains("GPU-transient"), "{text}");
+        assert!(text.contains("LSD"), "{text}");
+        assert!(!text.contains("shard"), "table must carry no shard info: {text}");
+    }
+
+    #[test]
+    fn deterministic_doc_is_free_of_timing_and_lossless() {
+        let doc = deterministic_doc(&[merged_fixture()], 2.0);
+        assert!(doc.contains("\"ticks\": \"160\""), "{doc}");
+        assert!(doc.contains("\"deadline_worst_ns\": \"26000000\""), "{doc}");
+        assert!(doc.contains("\"accidents\": 1"), "{doc}");
+        assert!(!doc.contains("wall"), "no wall-clocks in the gate doc: {doc}");
+        json::parse(&doc).expect("valid JSON");
+    }
+
+    #[test]
+    fn journal_doc_writes_canonical_run_lines() {
+        let doc = journal_doc(&[merged_fixture()]);
+        let lines: Vec<&str> = doc.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"kind\": \"golden\""), "{}", lines[0]);
+        assert!(lines[1].contains("\"kind\": \"injected\""), "{}", lines[1]);
+        assert!(lines[1].contains("\"outcome\": \"collision\""), "{}", lines[1]);
+    }
+
+    #[test]
+    fn bench_doc_round_trips_and_stamps() {
+        let doc = bench_doc(&[merged_fixture()], 8, 4);
+        let v = json::parse(&doc).expect("bench doc parses");
+        let (cores, threads, entries) = parse_bench(&v).expect("bench doc reconstructs");
+        assert_eq!((cores, threads), (8, 4));
+        assert_eq!(entries.len(), 3, "2 shard entries + 1 campaign entry");
+        assert_eq!(entries[2].runs, 2);
+        assert_eq!(entries[2].ticks, 160);
+
+        let stamped = stamp_wall(&doc, "ci linux threads=4", "ci", 123.5).expect("stamps");
+        let v = json::parse(&stamped).expect("stamped doc parses");
+        let (_, _, entries) = parse_bench(&v).expect("stamped doc reconstructs");
+        assert_eq!(entries.len(), 4);
+        assert_eq!(entries[3].label, "ci linux threads=4");
+        assert!((entries[3].wall_secs - 123.5).abs() < 1e-6);
+        assert_eq!(entries[3].ticks, 0);
+    }
+}

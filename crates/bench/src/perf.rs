@@ -132,9 +132,21 @@ pub fn flush_metrics_json(path: &str) -> std::io::Result<()> {
 
 /// Render timing entries as the `BENCH_campaigns.json` document.
 pub fn render_json(entries: &[CampaignTiming]) -> String {
+    render_json_with(detected_parallelism(), thread_count(), entries)
+}
+
+/// [`render_json`] with explicit header values — used by
+/// `diverseav-merge` to re-render a bench document whose `detected_cores`
+/// / `threads` belong to the machine that *produced* the entries, not the
+/// machine doing the merging.
+pub fn render_json_with(
+    detected_cores: usize,
+    threads: usize,
+    entries: &[CampaignTiming],
+) -> String {
     let mut out = String::from("{\n");
-    out.push_str(&format!("  \"detected_cores\": {},\n", detected_parallelism()));
-    out.push_str(&format!("  \"threads\": {},\n", thread_count()));
+    out.push_str(&format!("  \"detected_cores\": {detected_cores},\n"));
+    out.push_str(&format!("  \"threads\": {threads},\n"));
     out.push_str("  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
         let sep = if i + 1 == entries.len() { "" } else { "," };

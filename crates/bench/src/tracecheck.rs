@@ -406,27 +406,51 @@ pub fn metrics_summary(metrics: &Value) -> String {
     out
 }
 
+/// The timing entries of a parsed `BENCH_campaigns.json` document,
+/// keyed on label: `(ticks_per_sec, wall_secs)` per entry.
+///
+/// A document without a non-empty `entries` array is an error, not an
+/// empty map — a truncated or wrong-file baseline must fail the diff
+/// loudly instead of silently comparing nothing.
+pub fn bench_entries(doc: &Value) -> Result<BTreeMap<String, (f64, f64)>, String> {
+    let arr = doc
+        .get("entries")
+        .and_then(Value::as_arr)
+        .ok_or("bench document has no \"entries\" array — wrong or truncated file?")?;
+    if arr.is_empty() {
+        return Err("bench document has an empty \"entries\" array".to_string());
+    }
+    let mut out = BTreeMap::new();
+    for e in arr {
+        let label = str_field(e, "label").ok_or("bench entry without a \"label\"")?;
+        let tps = f64_field(e, "ticks_per_sec").unwrap_or(0.0);
+        let wall = f64_field(e, "wall_secs").unwrap_or(0.0);
+        out.insert(label, (tps, wall));
+    }
+    Ok(out)
+}
+
 /// Compare two parsed `BENCH_campaigns.json` documents entry-by-entry
-/// (matched on `label`) and return one warning per entry whose
-/// `ticks_per_sec` dropped by more than `threshold` (0.20 = 20 %).
-/// Entries present on only one side are ignored — labels carry thread
-/// counts and scale settings, so disjoint runs are expected.
-pub fn bench_diff(baseline: &Value, fresh: &Value, threshold: f64) -> Vec<String> {
-    let entries = |doc: &Value| -> BTreeMap<String, f64> {
-        doc.get("entries")
-            .and_then(Value::as_arr)
-            .map(|a| {
-                a.iter()
-                    .filter_map(|e| Some((str_field(e, "label")?, f64_field(e, "ticks_per_sec")?)))
-                    .collect()
-            })
-            .unwrap_or_default()
-    };
-    let old = entries(baseline);
-    let new = entries(fresh);
+/// (matched on `label`): one warning per entry whose `ticks_per_sec`
+/// dropped by more than `threshold` (0.20 = 20 %), and — for pure
+/// wall-clock entries (both sides `ticks_per_sec` 0, e.g. the CI
+/// job-time stamp `diverseav-merge --stamp-wall` appends) — per entry
+/// whose `wall_secs` *grew* by more than `threshold`. Entries present on
+/// only one side are ignored — labels carry thread counts and scale
+/// settings, so disjoint runs are expected; but zero overlapping labels
+/// is an error (the documents are not comparable at all).
+pub fn bench_diff_checked(
+    baseline: &Value,
+    fresh: &Value,
+    threshold: f64,
+) -> Result<Vec<String>, String> {
+    let old = bench_entries(baseline).map_err(|e| format!("baseline: {e}"))?;
+    let new = bench_entries(fresh).map_err(|e| format!("fresh: {e}"))?;
     let mut warnings = Vec::new();
-    for (label, &was) in &old {
-        let Some(&now) = new.get(label) else { continue };
+    let mut overlap = 0usize;
+    for (label, &(was, was_wall)) in &old {
+        let Some(&(now, now_wall)) = new.get(label) else { continue };
+        overlap += 1;
         if was > 0.0 && now < was * (1.0 - threshold) {
             warnings.push(format!(
                 "{label}: ticks_per_sec dropped {:.1} -> {:.1} ({:+.1} %)",
@@ -435,8 +459,28 @@ pub fn bench_diff(baseline: &Value, fresh: &Value, threshold: f64) -> Vec<String
                 (now / was - 1.0) * 100.0,
             ));
         }
+        if was == 0.0 && now == 0.0 && was_wall > 0.0 && now_wall > was_wall * (1.0 + threshold) {
+            warnings.push(format!(
+                "{label}: wall_secs grew {:.1} -> {:.1} ({:+.1} %)",
+                was_wall,
+                now_wall,
+                (now_wall / was_wall - 1.0) * 100.0,
+            ));
+        }
     }
-    warnings
+    if overlap == 0 {
+        return Err(
+            "no overlapping entry labels between baseline and fresh bench documents".to_string()
+        );
+    }
+    Ok(warnings)
+}
+
+/// [`bench_diff_checked`] flattened for callers that treat unreadable
+/// documents as "nothing to report". New callers should prefer the
+/// checked variant so baseline problems fail loudly.
+pub fn bench_diff(baseline: &Value, fresh: &Value, threshold: f64) -> Vec<String> {
+    bench_diff_checked(baseline, fresh, threshold).unwrap_or_default()
 }
 
 #[cfg(test)]
@@ -553,5 +597,41 @@ mod tests {
         assert_eq!(warnings.len(), 1, "{warnings:?}");
         assert!(warnings[0].starts_with("a:"), "{warnings:?}");
         assert!(warnings[0].contains("-25.0 %"), "{warnings:?}");
+    }
+
+    #[test]
+    fn bench_diff_checked_rejects_unusable_documents() {
+        let good =
+            json::parse("{\"entries\": [{\"label\": \"a\", \"ticks_per_sec\": 100.0}]}").unwrap();
+        let no_entries = json::parse("{\"threads\": 4}").unwrap();
+        let empty = json::parse("{\"entries\": []}").unwrap();
+        let disjoint =
+            json::parse("{\"entries\": [{\"label\": \"z\", \"ticks_per_sec\": 1.0}]}").unwrap();
+        let err = bench_diff_checked(&no_entries, &good, 0.2).unwrap_err();
+        assert!(err.starts_with("baseline:"), "{err}");
+        let err = bench_diff_checked(&good, &empty, 0.2).unwrap_err();
+        assert!(err.starts_with("fresh:"), "{err}");
+        let err = bench_diff_checked(&good, &disjoint, 0.2).unwrap_err();
+        assert!(err.contains("no overlapping"), "{err}");
+        assert!(bench_diff_checked(&good, &good, 0.2).unwrap().is_empty());
+    }
+
+    #[test]
+    fn bench_diff_checked_flags_wall_clock_growth() {
+        let old = json::parse(
+            "{\"entries\": [{\"label\": \"ci\", \"wall_secs\": 100.0, \
+             \"ticks_per_sec\": 0.0}]}",
+        )
+        .unwrap();
+        let slower = json::parse(
+            "{\"entries\": [{\"label\": \"ci\", \"wall_secs\": 130.0, \
+             \"ticks_per_sec\": 0.0}]}",
+        )
+        .unwrap();
+        let warnings = bench_diff_checked(&old, &slower, 0.20).unwrap();
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        assert!(warnings[0].contains("wall_secs grew"), "{warnings:?}");
+        // Within threshold: no warning.
+        assert!(bench_diff_checked(&old, &old, 0.20).unwrap().is_empty());
     }
 }

@@ -62,8 +62,11 @@ impl GoldenKey {
     }
 }
 
-/// Exact bit-level fingerprint of every [`SensorConfig`] field.
-fn sensor_fingerprint(s: &SensorConfig) -> [u64; 14] {
+/// Exact bit-level fingerprint of every [`SensorConfig`] field. Also
+/// folded into the shard-artifact campaign fingerprint
+/// ([`crate::shard::campaign_fingerprint`]), so shards produced under
+/// different sensor configurations can never merge.
+pub fn sensor_fingerprint(s: &SensorConfig) -> [u64; 14] {
     [
         s.width as u64,
         s.height as u64,

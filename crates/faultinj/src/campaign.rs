@@ -13,6 +13,13 @@ use diverseav_simworld::{long_route, Scenario, ScenarioKind, SensorConfig, TrajP
 use std::fmt;
 use std::time::Instant;
 
+/// Seed of golden run `i`: `GOLDEN_SEED_BASE + i`. Shared with the shard
+/// executor so sharded and monolithic runs are the same pure functions.
+pub const GOLDEN_SEED_BASE: u64 = 1_000;
+
+/// Seed of injected run `i`: `INJECTED_SEED_BASE + i`.
+pub const INJECTED_SEED_BASE: u64 = 2_000;
+
 /// Experiment scale: quick (CI-friendly) vs paper-scale counts.
 ///
 /// The paper's campaigns ran for 21 (GPU) + 18.6 (CPU) days; the quick
@@ -171,7 +178,8 @@ pub fn run_campaign_cached(
     // Golden runs (also the NVBitFI-style profiling pass).
     let run_golden_set = || {
         let golden = par_map_indices(scale.golden_runs.max(1), |i| {
-            let mut cfg = RunConfig::new(scenario.clone(), campaign.mode, 1_000 + i as u64);
+            let mut cfg =
+                RunConfig::new(scenario.clone(), campaign.mode, GOLDEN_SEED_BASE + i as u64);
             cfg.sensor = sensor;
             cfg.detector = detector.clone();
             cfg.collect_training = collect_traces;
@@ -218,7 +226,8 @@ pub fn run_campaign_cached(
 
     let phase_start = Instant::now();
     let injected: Vec<RunResult> = par_map_indices(plan.len(), |i| {
-        let mut cfg = RunConfig::new(scenario.clone(), campaign.mode, 2_000 + i as u64);
+        let mut cfg =
+            RunConfig::new(scenario.clone(), campaign.mode, INJECTED_SEED_BASE + i as u64);
         cfg.sensor = sensor;
         cfg.fault = Some(plan[i]);
         cfg.detector = detector.clone();
@@ -284,8 +293,9 @@ pub fn plan_seed(campaign: &Campaign) -> u64 {
     seed
 }
 
-/// SplitMix64 finalizer: one bijective, well-mixing step.
-fn splitmix64(mut z: u64) -> u64 {
+/// SplitMix64 finalizer: one bijective, well-mixing step. Shared with
+/// the shard partitioner, whose per-unit hashing reuses this mix.
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

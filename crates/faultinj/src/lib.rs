@@ -37,22 +37,30 @@ pub mod export;
 pub mod outcome;
 pub mod plan;
 pub mod runner;
+pub mod shard;
 
-pub use cache::{GoldenCache, GoldenKey, GoldenSet};
+pub use cache::{sensor_fingerprint, GoldenCache, GoldenKey, GoldenSet};
 pub use campaign::{
     collect_training_runs, plan_seed, run_campaign, run_campaign_cached, run_campaign_with_traces,
-    scenario_for, summarize, Campaign, CampaignResult, CampaignScale, TableRow,
+    scenario_for, summarize, Campaign, CampaignResult, CampaignScale, TableRow, GOLDEN_SEED_BASE,
+    INJECTED_SEED_BASE,
 };
 pub use exec::{detected_parallelism, par_map, par_map_indices, par_map_with, thread_count};
 pub use export::{
     write_actuation_csv, write_divergence_csv, write_summary_csv, write_trajectory_csv,
 };
 pub use outcome::{
-    classify, evaluate_detector, first_violation_time, lead_detection_time, max_traj_divergence,
-    mean_trajectory, missed_hazard_probability, DetectionEval, OutcomeClass,
+    classify, classify_parts, evaluate_detector, first_violation_time, lead_detection_time,
+    max_traj_divergence, mean_trajectory, missed_hazard_probability, DetectionEval, OutcomeClass,
 };
 pub use plan::{generate_plan, FaultModelKind, PlanConfig};
 pub use runner::{
     run_experiment, run_experiment_observed, run_record, FaultSpec, RunConfig, RunResult,
     Termination,
+};
+pub use shard::{
+    campaign_fingerprint, campaign_units, execute_shard, execute_shard_limited, merge_artifacts,
+    parse_artifact, summarize_merged, training_units, unit_shard, BatchMark, MergedCampaign,
+    MetricsSlice, RunUnit, ShardArtifact, ShardConfig, ShardError, ShardManifest, ShardPerf,
+    ShardRun, ShardSpec, ShardStatus, SHARD_SCHEMA_VERSION,
 };

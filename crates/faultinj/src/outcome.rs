@@ -50,11 +50,33 @@ pub fn first_violation_time(traj: &[TrajPoint], baseline: &[TrajPoint], td: f64)
 
 /// Classify one run against a baseline trajectory with threshold `td`.
 pub fn classify(result: &RunResult, baseline: &[TrajPoint], td: f64) -> OutcomeClass {
-    if result.termination.is_hang_or_crash() {
+    classify_parts(
+        result.termination.label(),
+        result.has_accident(),
+        &result.trajectory,
+        baseline,
+        td,
+    )
+}
+
+/// [`classify`] from a run's serialized parts — outcome label
+/// (`"completed"` / `"collision"` / `"hang"` / `"crash"`), collision
+/// flag, and trajectory — for callers reading runs back from a shard
+/// artifact instead of holding a live [`RunResult`]. The label set is
+/// exactly `Termination::label()`, so this classifies identically to
+/// [`classify`] on the original run.
+pub fn classify_parts(
+    outcome: &str,
+    collision: bool,
+    traj: &[TrajPoint],
+    baseline: &[TrajPoint],
+    td: f64,
+) -> OutcomeClass {
+    if matches!(outcome, "hang" | "crash") {
         OutcomeClass::HangCrash
-    } else if result.has_accident() {
+    } else if collision {
         OutcomeClass::Accident
-    } else if max_traj_divergence(&result.trajectory, baseline) >= td {
+    } else if max_traj_divergence(traj, baseline) >= td {
         OutcomeClass::TrajViolation
     } else {
         OutcomeClass::Benign
@@ -189,6 +211,8 @@ mod tests {
             fault_activated: true,
             min_cvip: 5.0,
             red_light_violations: 0,
+            ticks: 0,
+            deadline_misses: 0,
             trajectory: traj_pts,
             training: Vec::new(),
             actuation: Vec::new(),
@@ -244,6 +268,31 @@ mod tests {
         assert_eq!(classify(&accident, &base, 2.0), OutcomeClass::Accident);
         let viol = result(traj(&[(0.0, 0.0, 5.0), (1.0, 1.0, 5.0)]), None, None);
         assert_eq!(classify(&viol, &base, 2.0), OutcomeClass::TrajViolation);
+    }
+
+    #[test]
+    fn classify_parts_agrees_with_classify() {
+        let base = traj(&[(0.0, 0.0, 0.0), (1.0, 1.0, 0.0)]);
+        let cases = [
+            result(base.clone(), None, None),
+            result(base.clone(), Some(0.5), None),
+            result(traj(&[(0.0, 0.0, 5.0), (1.0, 1.0, 5.0)]), None, None),
+            RunResult {
+                termination: Termination::Trap(diverseav_agent::AgentError {
+                    fabric: diverseav_fabric::Profile::Gpu,
+                    trap: diverseav_fabric::Trap::Watchdog,
+                }),
+                ..result(base.clone(), None, None)
+            },
+        ];
+        for r in &cases {
+            assert_eq!(
+                classify_parts(r.termination.label(), r.has_accident(), &r.trajectory, &base, 2.0),
+                classify(r, &base, 2.0),
+                "parts-based classification must match, outcome {}",
+                r.termination.label()
+            );
+        }
     }
 
     #[test]

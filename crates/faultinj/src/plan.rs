@@ -109,6 +109,8 @@ mod tests {
             fault_activated: false,
             min_cvip: 10.0,
             red_light_violations: 0,
+            ticks: 0,
+            deadline_misses: 0,
             trajectory: Vec::new(),
             training: Vec::new(),
             actuation: Vec::new(),

@@ -97,6 +97,13 @@ pub struct RunResult {
     pub min_cvip: f64,
     /// Red lights crossed against a stop demand.
     pub red_light_violations: u32,
+    /// Simulation ticks executed — this run's share of the
+    /// `runtime.ticks` counter, carried per run so shard artifacts can
+    /// account work without re-deriving it from the shared registry.
+    pub ticks: u64,
+    /// Ticks whose modeled latency exceeded the 25 ms control budget
+    /// (0 when profiling is off; see `DIVERSEAV_PROFILE`).
+    pub deadline_misses: u64,
     /// Recorded ego trajectory.
     pub trajectory: Vec<TrajPoint>,
     /// Recorded divergence stream (if requested): training data for golden
@@ -239,6 +246,8 @@ pub fn run_experiment_observed(cfg: &RunConfig, extra: &mut [&mut dyn LoopObserv
         fault_activated: ads.fault_activated(),
         min_cvip: world.min_cvip(),
         red_light_violations: world.red_light_violations(),
+        ticks: perf.ticks(),
+        deadline_misses: profiling.stats().misses,
         trajectory: world.trajectory().to_vec(),
         training: collector.training,
         actuation: collector.actuation,
@@ -270,6 +279,8 @@ mod tests {
         assert!(!r.fault_activated);
         assert!(r.alarm_time.is_none());
         assert!(r.trajectory.len() > 70);
+        assert!(r.ticks > 70, "per-run tick count recorded ({})", r.ticks);
+        assert_eq!(r.deadline_misses, 0, "round-robin ticks hold the 25 ms budget");
         assert!(r.gpu_dyn_instr > 100_000);
         assert!(!r.gpu_ops.is_empty());
         assert!(!r.cpu_ops.is_empty());

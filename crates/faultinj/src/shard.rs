@@ -1,0 +1,1613 @@
+//! Sharded, checkpointable campaign execution with a deterministic merge.
+//!
+//! A campaign's run set — golden runs plus the injection plan — is a pure
+//! function of its seeds, so it can be partitioned across machines and
+//! reassembled without changing a single bit of the result. This module
+//! provides the three pieces:
+//!
+//! * **Partitioner** — [`unit_shard`] hashes every [`RunUnit`] with the
+//!   campaign's [`plan_seed`] through the same SplitMix64 mix the plan
+//!   generator uses. The assignment depends only on (plan seed, unit,
+//!   shard count): every shard of a campaign computes the identical
+//!   partition independently, with no coordination.
+//! * **Shard executor** — [`execute_shard`] runs one shard's units in
+//!   deterministic batches and appends them to a versioned JSONL artifact.
+//!   Each batch commits atomically (runs first, then a batch marker with
+//!   cumulative metrics); an interrupted shard resumes at its last
+//!   committed batch, and the finished artifact is byte-identical to an
+//!   uninterrupted run.
+//! * **Merger** — [`merge_artifacts`] validates a set of shard artifacts
+//!   (schema version, campaign fingerprint, exactly-once coverage, no
+//!   gaps, no overlap) and reassembles the campaign: run results in
+//!   engine order, the golden baseline, and metrics folded with the same
+//!   commutative operations the monolithic path uses.
+//!
+//! Every value that reaches an artifact is encoded losslessly (`f64`s as
+//! IEEE-754 bit patterns, `u64`s as decimal strings), so a merged
+//! campaign is bit-identical to [`run_campaign_cached`] output for any
+//! shard count, batch size, thread count, or kill/resume schedule.
+//!
+//! [`run_campaign_cached`]: crate::campaign::run_campaign_cached
+
+use crate::cache::sensor_fingerprint;
+use crate::campaign::{
+    plan_seed, scenario_for, splitmix64, Campaign, CampaignScale, TableRow, GOLDEN_SEED_BASE,
+    INJECTED_SEED_BASE,
+};
+use crate::exec::{par_map, thread_count};
+use crate::outcome::{classify_parts, mean_trajectory, OutcomeClass};
+use crate::plan::{generate_plan, PlanConfig};
+use crate::runner::{run_experiment, FaultSpec, RunConfig, RunResult};
+use diverseav_fabric::FaultModel;
+use diverseav_obs::json::{self, Value};
+use diverseav_obs::{metrics, profile, FaultSite, HistSnapshot, TimeSource};
+use diverseav_runtime::DeadlineStats;
+use diverseav_simworld::{Scenario, SensorConfig, TrajPoint, Vec2};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+use std::time::Instant;
+
+/// Version stamped into every shard artifact; bumped whenever the line
+/// format changes incompatibly. The merger refuses other versions.
+pub const SHARD_SCHEMA_VERSION: u32 = 1;
+
+/// Everything that can go wrong sharding or merging.
+#[derive(Debug)]
+pub enum ShardError {
+    /// Filesystem failure reading or writing an artifact.
+    Io(std::io::Error),
+    /// An artifact that is not a shard artifact (bad manifest, wrong
+    /// schema version).
+    Parse(String),
+    /// Valid artifacts that cannot be combined: overlapping or missing
+    /// shards, coverage gaps, or mismatched campaign fingerprints.
+    Mismatch(String),
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::Io(e) => write!(f, "shard artifact I/O error: {e}"),
+            ShardError::Parse(msg) => write!(f, "shard artifact parse error: {msg}"),
+            ShardError::Mismatch(msg) => write!(f, "shard validation error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+impl From<std::io::Error> for ShardError {
+    fn from(e: std::io::Error) -> Self {
+        ShardError::Io(e)
+    }
+}
+
+/// One schedulable run of a campaign.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum RunUnit {
+    /// Golden (fault-free) run `i`, seed `GOLDEN_SEED_BASE + i`.
+    Golden(usize),
+    /// Injected run `i` (plan entry `i`), seed `INJECTED_SEED_BASE + i`.
+    Injected(usize),
+    /// Training run `rep` of long route `route` (partition support for
+    /// detector-training campaigns; the campaign executor never
+    /// schedules these).
+    Training {
+        /// Long-route index (0..3).
+        route: u8,
+        /// Repetition within the route.
+        rep: usize,
+    },
+}
+
+/// Unique 64-bit code of a unit, fed into the partition hash. The tag
+/// byte keeps golden/injected/training spaces disjoint.
+fn unit_code(unit: RunUnit) -> u64 {
+    match unit {
+        RunUnit::Golden(i) => (0x47 << 56) | i as u64,
+        RunUnit::Injected(i) => (0x49 << 56) | i as u64,
+        RunUnit::Training { route, rep } => (0x54 << 56) | ((route as u64) << 32) | rep as u64,
+    }
+}
+
+/// The shard (`0..shard_count`) that owns `unit` in a campaign with the
+/// given plan seed. A pure function — every participant computes the
+/// same partition — and statistically balanced via SplitMix64.
+pub fn unit_shard(plan_seed: u64, unit: RunUnit, shard_count: usize) -> usize {
+    (splitmix64(plan_seed ^ unit_code(unit)) % shard_count.max(1) as u64) as usize
+}
+
+/// The full run set of a campaign, in engine order (golden-major).
+pub fn campaign_units(golden_runs: usize, injected_runs: usize) -> Vec<RunUnit> {
+    (0..golden_runs).map(RunUnit::Golden).chain((0..injected_runs).map(RunUnit::Injected)).collect()
+}
+
+/// The run set of a training-collection campaign: 3 long routes ×
+/// `training_runs` repetitions, route-major.
+pub fn training_units(training_runs: usize) -> Vec<RunUnit> {
+    (0..3u8)
+        .flat_map(|route| (0..training_runs).map(move |rep| RunUnit::Training { route, rep }))
+        .collect()
+}
+
+/// Fingerprint of everything that determines a campaign's run set:
+/// the plan seed (all campaign discriminants), the scale, the profiling
+/// time source, and every sensor-config bit. Shards may only merge when
+/// their fingerprints agree — otherwise they were cut from different
+/// campaigns and their union is meaningless.
+pub fn campaign_fingerprint(
+    campaign: &Campaign,
+    scale: &CampaignScale,
+    sensor: &SensorConfig,
+) -> u64 {
+    let source_code: u64 = match profile::source() {
+        TimeSource::Modeled => 1,
+        TimeSource::Wall => 2,
+        TimeSource::Off => 3,
+    };
+    let words = [
+        plan_seed(campaign),
+        scale.n_transient as u64,
+        scale.permanent_repeats as u64,
+        scale.golden_runs as u64,
+        scale.long_route_duration.to_bits(),
+        scale.training_runs as u64,
+        source_code,
+    ];
+    let mut fp = 0xD1CE ^ SHARD_SCHEMA_VERSION as u64;
+    for w in words.into_iter().chain(sensor_fingerprint(sensor)) {
+        fp = splitmix64(fp ^ w);
+    }
+    fp
+}
+
+/// Label of the active profiling time source, recorded in the manifest.
+fn profile_source_label() -> &'static str {
+    match profile::source() {
+        TimeSource::Modeled => "modeled",
+        TimeSource::Wall => "wall",
+        TimeSource::Off => "off",
+    }
+}
+
+/// Which shard of how many.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// This shard's index (`0..count`).
+    pub index: usize,
+    /// Total shard count.
+    pub count: usize,
+}
+
+impl ShardSpec {
+    /// Reject impossible specs (`count == 0`, `index >= count`).
+    pub fn validate(&self) -> Result<(), ShardError> {
+        if self.count == 0 {
+            Err(ShardError::Mismatch("shard count must be at least 1".to_string()))
+        } else if self.index >= self.count {
+            Err(ShardError::Mismatch(format!(
+                "shard index {} out of range for {} shards",
+                self.index, self.count
+            )))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// One shard of one campaign: everything [`execute_shard`] needs.
+#[derive(Clone, Debug)]
+pub struct ShardConfig {
+    /// The campaign being sharded.
+    pub campaign: Campaign,
+    /// Experiment scale (must match across all shards).
+    pub scale: CampaignScale,
+    /// Sensor configuration (must match across all shards).
+    pub sensor: SensorConfig,
+    /// Which shard this is.
+    pub spec: ShardSpec,
+    /// Runs per checkpoint batch (clamped to ≥ 1). The checkpoint
+    /// granularity only — results are independent of it.
+    pub batch_size: usize,
+}
+
+/// One run's results, flattened for the shard artifact. Every field a
+/// [`RunResult`] contributes to Table I, the journal, or the merged
+/// metrics — encoded losslessly so the merge is bit-exact.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardRun {
+    /// `"golden"` or `"injected"`.
+    pub kind: String,
+    /// Engine index within its kind.
+    pub index: usize,
+    /// The run seed (validated against the engine's seed law on merge).
+    pub seed: u64,
+    /// `Termination::label()` of the run.
+    pub outcome: String,
+    /// Simulation time reached.
+    pub end_time: f64,
+    /// Collision time, if the ego collided.
+    pub collision_time: Option<f64>,
+    /// Detector alarm time, if raised.
+    pub alarm_time: Option<f64>,
+    /// Whether the fault corrupted at least one register.
+    pub fault_activated: bool,
+    /// Minimum CVIP distance over the run.
+    pub min_cvip: f64,
+    /// Red lights crossed against a stop demand.
+    pub red_light_violations: u32,
+    /// Simulation ticks executed.
+    pub ticks: u64,
+    /// Ticks over the 25 ms control budget.
+    pub deadline_misses: u64,
+    /// Injection site, if any.
+    pub fault: Option<FaultSite>,
+    /// Recorded ego trajectory.
+    pub trajectory: Vec<TrajPoint>,
+}
+
+impl ShardRun {
+    /// Flatten a live [`RunResult`] (same fault-site mapping as the
+    /// run journal's [`run_record`](crate::runner::run_record)).
+    pub fn from_result(kind: &str, index: usize, r: &RunResult) -> Self {
+        let fault = r.fault.map(|f| {
+            let (model, cycle, op, mask) = match f.model {
+                FaultModel::Transient { instr_index, mask } => {
+                    ("transient", Some(instr_index), None, mask)
+                }
+                FaultModel::Permanent { op, mask } => {
+                    ("permanent", None, Some(op.to_string()), mask)
+                }
+            };
+            FaultSite {
+                profile: f.profile.to_string(),
+                unit: f.unit,
+                model: model.to_string(),
+                mask,
+                cycle,
+                op,
+            }
+        });
+        ShardRun {
+            kind: kind.to_string(),
+            index,
+            seed: r.seed,
+            outcome: r.termination.label().to_string(),
+            end_time: r.end_time,
+            collision_time: r.collision_time,
+            alarm_time: r.alarm_time,
+            fault_activated: r.fault_activated,
+            min_cvip: r.min_cvip,
+            red_light_violations: r.red_light_violations,
+            ticks: r.ticks,
+            deadline_misses: r.deadline_misses,
+            fault,
+            trajectory: r.trajectory.clone(),
+        }
+    }
+
+    /// Render as one artifact line within batch `batch`.
+    pub fn render_line(&self, batch: usize) -> String {
+        let fault = match &self.fault {
+            None => "null".to_string(),
+            Some(f) => format!(
+                "{{\"profile\": \"{}\", \"unit\": {}, \"model\": \"{}\", \"mask\": {}, \
+                 \"cycle\": {}, \"op\": {}}}",
+                json::escape(&f.profile),
+                f.unit,
+                json::escape(&f.model),
+                f.mask,
+                f.cycle.map(json::u64_str).unwrap_or_else(|| "null".to_string()),
+                json::opt_str(f.op.as_deref()),
+            ),
+        };
+        let traj: Vec<String> = self
+            .trajectory
+            .iter()
+            .map(|p| {
+                format!(
+                    "\"{:016x}:{:016x}:{:016x}\"",
+                    p.t.to_bits(),
+                    p.pos.x.to_bits(),
+                    p.pos.y.to_bits()
+                )
+            })
+            .collect();
+        let mut s = String::with_capacity(256 + traj.len() * 56);
+        s.push_str(&format!(
+            "{{\"type\": \"shard_run\", \"batch\": {batch}, \"kind\": \"{}\", \
+             \"index\": {}, \"seed\": {}, \"outcome\": \"{}\", ",
+            json::escape(&self.kind),
+            self.index,
+            self.seed,
+            json::escape(&self.outcome),
+        ));
+        s.push_str(&format!(
+            "\"end_time\": {}, \"collision_time\": {}, \"alarm_time\": {}, \
+             \"fault_activated\": {}, \"min_cvip\": {}, \"red_light_violations\": {}, ",
+            json::f64_bits(self.end_time),
+            json::opt_f64_bits(self.collision_time),
+            json::opt_f64_bits(self.alarm_time),
+            self.fault_activated,
+            json::f64_bits(self.min_cvip),
+            self.red_light_violations,
+        ));
+        s.push_str(&format!(
+            "\"ticks\": {}, \"deadline_misses\": {}, \"fault\": {fault}, \
+             \"trajectory\": [{}]}}",
+            json::u64_str(self.ticks),
+            json::u64_str(self.deadline_misses),
+            traj.join(", "),
+        ));
+        s
+    }
+
+    /// Parse a line rendered by [`render_line`]; returns `(batch, run)`.
+    pub fn parse(v: &Value) -> Result<(usize, ShardRun), String> {
+        let batch = req_usize(v, "batch")?;
+        let fault = match req(v, "fault")? {
+            Value::Null => None,
+            f => {
+                let cycle = match req(f, "cycle")? {
+                    Value::Null => None,
+                    c => Some(json::parse_u64_str(c)?),
+                };
+                let op = match req(f, "op")? {
+                    Value::Null => None,
+                    o => Some(o.as_str().ok_or("fault op must be a string")?.to_string()),
+                };
+                Some(FaultSite {
+                    profile: req_str(f, "profile")?,
+                    unit: req_usize(f, "unit")?,
+                    model: req_str(f, "model")?,
+                    mask: req_usize(f, "mask")? as u32,
+                    cycle,
+                    op,
+                })
+            }
+        };
+        let traj_val = req(v, "trajectory")?.as_arr().ok_or("trajectory must be an array")?;
+        let mut trajectory = Vec::with_capacity(traj_val.len());
+        for p in traj_val {
+            let s = p.as_str().ok_or("trajectory points must be strings")?;
+            let mut parts = s.split(':');
+            let mut next_bits = || -> Result<f64, String> {
+                let part = parts.next().ok_or_else(|| format!("bad trajectory point {s:?}"))?;
+                if part.len() != 16 {
+                    return Err(format!("bad trajectory point {s:?}"));
+                }
+                u64::from_str_radix(part, 16)
+                    .map(f64::from_bits)
+                    .map_err(|e| format!("bad trajectory point {s:?}: {e}"))
+            };
+            let (t, x, y) = (next_bits()?, next_bits()?, next_bits()?);
+            if parts.next().is_some() {
+                return Err(format!("bad trajectory point {s:?}"));
+            }
+            trajectory.push(TrajPoint { t, pos: Vec2 { x, y } });
+        }
+        Ok((
+            batch,
+            ShardRun {
+                kind: req_str(v, "kind")?,
+                index: req_usize(v, "index")?,
+                seed: req_usize(v, "seed")? as u64,
+                outcome: req_str(v, "outcome")?,
+                end_time: req_f64_bits(v, "end_time")?,
+                collision_time: opt_f64_bits_member(v, "collision_time")?,
+                alarm_time: opt_f64_bits_member(v, "alarm_time")?,
+                fault_activated: req_bool(v, "fault_activated")?,
+                min_cvip: req_f64_bits(v, "min_cvip")?,
+                red_light_violations: req_usize(v, "red_light_violations")? as u32,
+                ticks: req_u64_str(v, "ticks")?,
+                deadline_misses: req_u64_str(v, "deadline_misses")?,
+                fault,
+                trajectory,
+            },
+        ))
+    }
+}
+
+/// Prefixes of the process-global metrics a shard is accountable for:
+/// everything the simulation runs themselves produce. Campaign-level
+/// phases and cache counters belong to the orchestrator, not the shard.
+const COUNTER_PREFIXES: [&str; 3] = ["runtime.", "deadline.", "runner."];
+const GAUGE_PREFIXES: [&str; 1] = ["deadline."];
+const HIST_PREFIXES: [&str; 1] = ["tick."];
+
+/// The slice of the process-global metrics registry attributable to one
+/// shard's runs. All three maps merge with commutative, associative
+/// operations (sum / max / histogram absorb), so folding shard slices in
+/// any order reproduces the monolithic registry contents exactly.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSlice {
+    /// Counter deltas (zero deltas omitted).
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values (all shard-scope gauges are running maxima).
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram contributions.
+    pub hists: BTreeMap<String, HistSnapshot>,
+}
+
+impl MetricsSlice {
+    /// Snapshot the shard-scope subset of the global registry.
+    pub fn capture() -> Self {
+        let snap = metrics::snapshot();
+        MetricsSlice {
+            counters: snap
+                .counters
+                .into_iter()
+                .filter(|(k, _)| COUNTER_PREFIXES.iter().any(|p| k.starts_with(p)))
+                .collect(),
+            gauges: snap
+                .gauges
+                .into_iter()
+                .filter(|(k, _)| GAUGE_PREFIXES.iter().any(|p| k.starts_with(p)))
+                .collect(),
+            hists: snap
+                .hists
+                .into_iter()
+                .filter(|(k, _)| HIST_PREFIXES.iter().any(|p| k.starts_with(p)))
+                .collect(),
+        }
+    }
+
+    /// Contribution between `base` (captured earlier) and `self`
+    /// (captured later): counters subtract (zero deltas dropped so key
+    /// sets match the monolithic render), histogram counts and sums
+    /// subtract (empty histograms dropped, the later max kept), gauges
+    /// keep the later value — every shard-scope gauge is a running max,
+    /// and maxima cannot be subtracted, only re-maxed on merge.
+    pub fn delta(&self, base: &MetricsSlice) -> MetricsSlice {
+        let mut counters = BTreeMap::new();
+        for (k, v) in &self.counters {
+            let d = v.saturating_sub(base.counters.get(k).copied().unwrap_or(0));
+            if d > 0 {
+                counters.insert(k.clone(), d);
+            }
+        }
+        let mut hists = BTreeMap::new();
+        for (k, snap) in &self.hists {
+            let mut out = snap.clone();
+            if let Some(b) = base.hists.get(k) {
+                for (i, c) in b.sparse() {
+                    if i < out.buckets.len() {
+                        out.buckets[i] = out.buckets[i].saturating_sub(c);
+                    }
+                }
+                out.sum = out.sum.saturating_sub(b.sum);
+            }
+            if out.count() > 0 {
+                hists.insert(k.clone(), out);
+            }
+        }
+        MetricsSlice { counters, gauges: self.gauges.clone(), hists }
+    }
+
+    /// Fold in another slice: counters add, gauges take the max,
+    /// histograms absorb (bucket-wise add, max of maxima).
+    pub fn add(&mut self, other: &MetricsSlice) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            let slot = self.gauges.entry(k.clone()).or_insert(*v);
+            if *v > *slot {
+                *slot = *v;
+            }
+        }
+        for (k, h) in &other.hists {
+            match self.hists.get_mut(k) {
+                Some(mine) => mine.absorb(h),
+                None => {
+                    self.hists.insert(k.clone(), h.clone());
+                }
+            }
+        }
+    }
+
+    /// Render the three maps as JSON object members (losslessly: u64s as
+    /// decimal strings, f64s as bit patterns, histograms sparse).
+    fn render_fields(&self) -> String {
+        let counters: Vec<String> = self
+            .counters
+            .iter()
+            .map(|(k, v)| format!("\"{}\": {}", json::escape(k), json::u64_str(*v)))
+            .collect();
+        let gauges: Vec<String> = self
+            .gauges
+            .iter()
+            .map(|(k, v)| format!("\"{}\": {}", json::escape(k), json::f64_bits(*v)))
+            .collect();
+        let hists: Vec<String> = self
+            .hists
+            .iter()
+            .map(|(k, h)| {
+                let pairs: Vec<String> = h
+                    .sparse()
+                    .iter()
+                    .map(|(i, c)| format!("[{}, {}]", i, json::u64_str(*c)))
+                    .collect();
+                format!(
+                    "\"{}\": {{\"sum\": {}, \"max\": {}, \"buckets\": [{}]}}",
+                    json::escape(k),
+                    json::u64_str(h.sum),
+                    json::u64_str(h.max),
+                    pairs.join(", ")
+                )
+            })
+            .collect();
+        format!(
+            "\"counters\": {{{}}}, \"gauges\": {{{}}}, \"hists\": {{{}}}",
+            counters.join(", "),
+            gauges.join(", "),
+            hists.join(", ")
+        )
+    }
+
+    /// Parse the members rendered by [`Self::render_fields`].
+    fn parse_fields(v: &Value) -> Result<MetricsSlice, String> {
+        let mut out = MetricsSlice::default();
+        for (k, val) in req(v, "counters")?.as_obj().ok_or("counters must be an object")? {
+            out.counters.insert(k.clone(), json::parse_u64_str(val)?);
+        }
+        for (k, val) in req(v, "gauges")?.as_obj().ok_or("gauges must be an object")? {
+            out.gauges.insert(k.clone(), json::parse_f64_bits(val)?);
+        }
+        for (k, val) in req(v, "hists")?.as_obj().ok_or("hists must be an object")? {
+            let sum = req_u64_str(val, "sum")?;
+            let max = req_u64_str(val, "max")?;
+            let arr = req(val, "buckets")?.as_arr().ok_or("buckets must be an array")?;
+            let mut pairs = Vec::with_capacity(arr.len());
+            for p in arr {
+                let pair = p.as_arr().filter(|a| a.len() == 2);
+                let pair = pair.ok_or("bucket entries must be [index, count] pairs")?;
+                let i = pair[0].as_f64().ok_or("bucket index must be a number")?;
+                pairs.push((i as usize, json::parse_u64_str(&pair[1])?));
+            }
+            out.hists.insert(k.clone(), HistSnapshot::from_sparse(&pairs, sum, max)?);
+        }
+        Ok(out)
+    }
+}
+
+/// First line of every shard artifact: identity and shape.
+///
+/// On resume, the executor recomputes this manifest and requires exact
+/// equality with the one on disk — a checkpoint can only be continued by
+/// the identical configuration that started it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardManifest {
+    /// Artifact format version ([`SHARD_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// [`campaign_fingerprint`] of the campaign.
+    pub fingerprint: u64,
+    /// The campaign's injection-plan seed.
+    pub plan_seed: u64,
+    /// Campaign display label (e.g. `"GPU-transient LSD [diverseav]"`).
+    pub campaign: String,
+    /// Scenario abbreviation (the Table-I "DS" column).
+    pub scenario: String,
+    /// Full scenario name (the journal's scenario field).
+    pub scenario_name: String,
+    /// Injection target (`"GPU"` / `"CPU"`).
+    pub target: String,
+    /// Fault-model kind (`"transient"` / `"permanent"`).
+    pub kind: String,
+    /// Agent mode label.
+    pub mode: String,
+    /// Profiling time source active when the shard ran.
+    pub profile_source: String,
+    /// This shard's index.
+    pub shard_index: usize,
+    /// Total shard count.
+    pub shard_count: usize,
+    /// Checkpoint batch size.
+    pub batch_size: usize,
+    /// Golden runs in the whole campaign.
+    pub golden_runs: usize,
+    /// Injected runs in the whole campaign (the plan length).
+    pub injected_runs: usize,
+    /// Units assigned to this shard by the partitioner.
+    pub assigned_runs: usize,
+}
+
+impl ShardManifest {
+    /// Render as the artifact's first line.
+    pub fn render(&self) -> String {
+        format!(
+            "{{\"type\": \"shard_manifest\", \"schema_version\": {}, \
+             \"fingerprint\": \"{:016x}\", \"plan_seed\": \"{:016x}\", \
+             \"campaign\": \"{}\", \"scenario\": \"{}\", \"scenario_name\": \"{}\", \
+             \"target\": \"{}\", \"kind\": \"{}\", \"mode\": \"{}\", \
+             \"profile_source\": \"{}\", \"shard_index\": {}, \"shard_count\": {}, \
+             \"batch_size\": {}, \"golden_runs\": {}, \"injected_runs\": {}, \
+             \"assigned_runs\": {}}}",
+            self.schema_version,
+            self.fingerprint,
+            self.plan_seed,
+            json::escape(&self.campaign),
+            json::escape(&self.scenario),
+            json::escape(&self.scenario_name),
+            json::escape(&self.target),
+            json::escape(&self.kind),
+            json::escape(&self.mode),
+            json::escape(&self.profile_source),
+            self.shard_index,
+            self.shard_count,
+            self.batch_size,
+            self.golden_runs,
+            self.injected_runs,
+            self.assigned_runs,
+        )
+    }
+
+    /// Parse a manifest line; rejects wrong types and schema versions.
+    pub fn parse(v: &Value) -> Result<ShardManifest, String> {
+        let ty = req_str(v, "type")?;
+        if ty != "shard_manifest" {
+            return Err(format!("not a shard manifest (type {ty:?})"));
+        }
+        let schema_version = req_usize(v, "schema_version")? as u32;
+        if schema_version != SHARD_SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported shard schema version {schema_version} \
+                 (this build reads version {SHARD_SCHEMA_VERSION})"
+            ));
+        }
+        Ok(ShardManifest {
+            schema_version,
+            fingerprint: req_hex64(v, "fingerprint")?,
+            plan_seed: req_hex64(v, "plan_seed")?,
+            campaign: req_str(v, "campaign")?,
+            scenario: req_str(v, "scenario")?,
+            scenario_name: req_str(v, "scenario_name")?,
+            target: req_str(v, "target")?,
+            kind: req_str(v, "kind")?,
+            mode: req_str(v, "mode")?,
+            profile_source: req_str(v, "profile_source")?,
+            shard_index: req_usize(v, "shard_index")?,
+            shard_count: req_usize(v, "shard_count")?,
+            batch_size: req_usize(v, "batch_size")?,
+            golden_runs: req_usize(v, "golden_runs")?,
+            injected_runs: req_usize(v, "injected_runs")?,
+            assigned_runs: req_usize(v, "assigned_runs")?,
+        })
+    }
+}
+
+/// One committed checkpoint batch.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatchMark {
+    /// Batch index (sequential from 0).
+    pub batch: usize,
+    /// Wall-clock seconds this batch took (informational; excluded from
+    /// all bit-exactness guarantees).
+    pub wall_secs: f64,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Cumulative [`MetricsSlice`] of all batches up to and including
+    /// this one.
+    pub metrics: MetricsSlice,
+}
+
+impl BatchMark {
+    fn parse(v: &Value) -> Result<BatchMark, String> {
+        Ok(BatchMark {
+            batch: req_usize(v, "batch")?,
+            wall_secs: req(v, "wall_secs")?.as_f64().unwrap_or(0.0),
+            threads: req_usize(v, "threads")?,
+            metrics: MetricsSlice::parse_fields(v)?,
+        })
+    }
+}
+
+/// A parsed shard artifact: the committed prefix of the file.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardArtifact {
+    /// The manifest line.
+    pub manifest: ShardManifest,
+    /// Runs of committed batches, in file (= engine) order.
+    pub runs: Vec<ShardRun>,
+    /// Committed batch markers, in order.
+    pub batches: Vec<BatchMark>,
+    /// Whether the `shard_done` footer was present.
+    pub complete: bool,
+    /// Lines in the committed prefix (manifest + committed batches),
+    /// used by the resume path to truncate a torn tail.
+    pub committed_lines: usize,
+}
+
+impl ShardArtifact {
+    /// Cumulative metrics slice of the last committed batch.
+    pub fn metrics(&self) -> MetricsSlice {
+        self.batches.last().map(|b| b.metrics.clone()).unwrap_or_default()
+    }
+}
+
+/// Parse a shard artifact.
+///
+/// The manifest line must parse and carry the supported schema version;
+/// after that, parsing is *lenient at the tail*: the first malformed or
+/// out-of-sequence line — a torn write from a killed shard — truncates
+/// the artifact at the last committed batch. Run lines not yet sealed by
+/// their batch marker are discarded (their batch will re-run on resume).
+pub fn parse_artifact(text: &str) -> Result<ShardArtifact, ShardError> {
+    let mut lines = text.lines();
+    let first = lines.next().ok_or_else(|| ShardError::Parse("empty artifact".to_string()))?;
+    let mv = json::parse(first).map_err(|e| ShardError::Parse(format!("manifest line: {e}")))?;
+    let manifest = ShardManifest::parse(&mv).map_err(ShardError::Parse)?;
+    let mut runs = Vec::new();
+    let mut pending: Vec<ShardRun> = Vec::new();
+    let mut batches: Vec<BatchMark> = Vec::new();
+    let mut complete = false;
+    let mut committed_lines = 1usize;
+    let mut line_no = 1usize;
+    for line in lines {
+        line_no += 1;
+        let Ok(v) = json::parse(line) else { break };
+        let Some(ty) = v.get("type").and_then(Value::as_str) else { break };
+        match ty {
+            "shard_run" => {
+                let Ok((batch, run)) = ShardRun::parse(&v) else { break };
+                if batch != batches.len() {
+                    break;
+                }
+                pending.push(run);
+            }
+            "shard_batch" => {
+                let Ok(mark) = BatchMark::parse(&v) else { break };
+                if mark.batch != batches.len() {
+                    break;
+                }
+                runs.append(&mut pending);
+                batches.push(mark);
+                committed_lines = line_no;
+            }
+            "shard_done" => {
+                if pending.is_empty() {
+                    complete = true;
+                    committed_lines = line_no;
+                }
+                break;
+            }
+            _ => break,
+        }
+    }
+    Ok(ShardArtifact { manifest, runs, batches, complete, committed_lines })
+}
+
+/// What [`execute_shard`] did.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ShardStatus {
+    /// Total checkpoint batches in this shard.
+    pub total_batches: usize,
+    /// Batches adopted from an existing checkpoint.
+    pub resumed_batches: usize,
+    /// Batches executed by this invocation.
+    pub executed_batches: usize,
+    /// Units the partitioner assigned to this shard.
+    pub assigned_runs: usize,
+    /// Whether the shard is finished (footer written).
+    pub complete: bool,
+}
+
+/// Build a run configuration exactly as the monolithic campaign path
+/// does (no detector, no trace collection — the sharded path covers
+/// fault-propagation campaigns).
+fn run_cfg(
+    cfg: &ShardConfig,
+    scenario: &Scenario,
+    seed: u64,
+    fault: Option<FaultSpec>,
+) -> RunConfig {
+    let mut rc = RunConfig::new(scenario.clone(), cfg.campaign.mode, seed);
+    rc.sensor = cfg.sensor;
+    rc.fault = fault;
+    rc
+}
+
+fn shard_manifest(
+    cfg: &ShardConfig,
+    scenario: &Scenario,
+    golden_runs: usize,
+    injected_runs: usize,
+    assigned_runs: usize,
+) -> ShardManifest {
+    ShardManifest {
+        schema_version: SHARD_SCHEMA_VERSION,
+        fingerprint: campaign_fingerprint(&cfg.campaign, &cfg.scale, &cfg.sensor),
+        plan_seed: plan_seed(&cfg.campaign),
+        campaign: cfg.campaign.to_string(),
+        scenario: cfg.campaign.scenario.abbrev().to_string(),
+        scenario_name: scenario.name.to_string(),
+        target: cfg.campaign.target.to_string(),
+        kind: cfg.campaign.kind.label().to_string(),
+        mode: cfg.campaign.mode.to_string(),
+        profile_source: profile_source_label().to_string(),
+        shard_index: cfg.spec.index,
+        shard_count: cfg.spec.count,
+        batch_size: cfg.batch_size.max(1),
+        golden_runs,
+        injected_runs,
+        assigned_runs,
+    }
+}
+
+/// Execute one shard of a campaign, writing (or resuming) the artifact
+/// at `path`. See [`execute_shard_limited`] for the mechanics.
+pub fn execute_shard(cfg: &ShardConfig, path: &Path) -> Result<ShardStatus, ShardError> {
+    execute_shard_limited(cfg, path, None)
+}
+
+/// [`execute_shard`] with an optional cap on newly executed batches —
+/// the test hook for interrupting a shard at a checkpoint boundary
+/// (`Some(1)` behaves like a kill after the first commit).
+///
+/// If `path` holds a compatible checkpoint, committed batches are
+/// adopted verbatim and execution continues at the first uncommitted
+/// batch; a torn tail (killed mid-batch) is truncated. An artifact from
+/// a *different* configuration (any manifest field differs) is refused,
+/// never overwritten.
+pub fn execute_shard_limited(
+    cfg: &ShardConfig,
+    path: &Path,
+    max_new_batches: Option<usize>,
+) -> Result<ShardStatus, ShardError> {
+    cfg.spec.validate()?;
+    let scenario = scenario_for(cfg.campaign.scenario, &cfg.scale);
+    let golden_runs = cfg.scale.golden_runs.max(1);
+    let seed = plan_seed(&cfg.campaign);
+
+    // The profiling pass is golden run 0, re-run by every shard process
+    // because it sizes the injection plan. Its metric contribution is
+    // bracketed so it is charged exactly once — by the shard that owns
+    // Golden(0), in the batch that commits it.
+    let s0 = MetricsSlice::capture();
+    let profile_run = run_experiment(&run_cfg(cfg, &scenario, GOLDEN_SEED_BASE, None));
+    let s1 = MetricsSlice::capture();
+    let profiling_slice = s1.delta(&s0);
+
+    let plan = generate_plan(
+        &profile_run,
+        &PlanConfig {
+            kind: cfg.campaign.kind,
+            target: cfg.campaign.target,
+            n_transient: cfg.scale.n_transient,
+            repeats: cfg.scale.permanent_repeats,
+            seed,
+        },
+    );
+    let units: Vec<RunUnit> = campaign_units(golden_runs, plan.len())
+        .into_iter()
+        .filter(|u| unit_shard(seed, *u, cfg.spec.count) == cfg.spec.index)
+        .collect();
+    let batch_size = cfg.batch_size.max(1);
+    let total_batches = units.len().div_ceil(batch_size);
+    let manifest = shard_manifest(cfg, &scenario, golden_runs, plan.len(), units.len());
+
+    // Resume from an existing checkpoint when one is present.
+    let mut done_batches = 0usize;
+    let mut cumulative = MetricsSlice::default();
+    let mut prefix = format!("{}\n", manifest.render());
+    if path.exists() {
+        let text = fs::read_to_string(path)?;
+        if !text.trim().is_empty() {
+            let art = parse_artifact(&text)?;
+            if art.manifest != manifest {
+                return Err(ShardError::Mismatch(format!(
+                    "checkpoint at {} was written by a different shard configuration; \
+                     refusing to resume over it",
+                    path.display()
+                )));
+            }
+            if art.complete {
+                return Ok(ShardStatus {
+                    total_batches,
+                    resumed_batches: art.batches.len(),
+                    executed_batches: 0,
+                    assigned_runs: units.len(),
+                    complete: true,
+                });
+            }
+            done_batches = art.batches.len();
+            cumulative = art.metrics();
+            prefix = text.lines().take(art.committed_lines).fold(
+                String::with_capacity(text.len()),
+                |mut acc, l| {
+                    acc.push_str(l);
+                    acc.push('\n');
+                    acc
+                },
+            );
+        }
+    }
+
+    let mut file = fs::File::create(path)?;
+    file.write_all(prefix.as_bytes())?;
+    file.flush()?;
+
+    let threads = thread_count();
+    let mut executed = 0usize;
+    for (b, chunk) in units.chunks(batch_size).enumerate().skip(done_batches) {
+        if let Some(cap) = max_new_batches {
+            if executed >= cap {
+                return Ok(ShardStatus {
+                    total_batches,
+                    resumed_batches: done_batches,
+                    executed_batches: executed,
+                    assigned_runs: units.len(),
+                    complete: false,
+                });
+            }
+        }
+        let wall = Instant::now();
+        let before = MetricsSlice::capture();
+        let results: Vec<ShardRun> = par_map(chunk, |unit| match *unit {
+            RunUnit::Golden(0) => ShardRun::from_result("golden", 0, &profile_run),
+            RunUnit::Golden(i) => {
+                let r = run_experiment(&run_cfg(cfg, &scenario, GOLDEN_SEED_BASE + i as u64, None));
+                ShardRun::from_result("golden", i, &r)
+            }
+            RunUnit::Injected(i) => {
+                let r = run_experiment(&run_cfg(
+                    cfg,
+                    &scenario,
+                    INJECTED_SEED_BASE + i as u64,
+                    Some(plan[i]),
+                ));
+                ShardRun::from_result("injected", i, &r)
+            }
+            RunUnit::Training { .. } => {
+                panic!("training units are partition support only; campaigns never run them")
+            }
+        });
+        let after = MetricsSlice::capture();
+        let mut batch_delta = after.delta(&before);
+        if chunk.contains(&RunUnit::Golden(0)) {
+            batch_delta.add(&profiling_slice);
+        }
+        cumulative.add(&batch_delta);
+
+        let mut out = String::new();
+        for r in &results {
+            out.push_str(&r.render_line(b));
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{{\"type\": \"shard_batch\", \"batch\": {}, \"wall_secs\": {}, \
+             \"threads\": {}, {}}}\n",
+            b,
+            json::num(wall.elapsed().as_secs_f64()),
+            threads,
+            cumulative.render_fields()
+        ));
+        file.write_all(out.as_bytes())?;
+        file.flush()?;
+        executed += 1;
+    }
+    let footer = format!(
+        "{{\"type\": \"shard_done\", \"batches\": {}, \"runs\": {}}}\n",
+        total_batches,
+        units.len()
+    );
+    file.write_all(footer.as_bytes())?;
+    file.flush()?;
+    Ok(ShardStatus {
+        total_batches,
+        resumed_batches: done_batches,
+        executed_batches: executed,
+        assigned_runs: units.len(),
+        complete: true,
+    })
+}
+
+/// Per-shard execution accounting surfaced by the merge (for the merged
+/// `BENCH_campaigns.json`; excluded from all bit-exactness guarantees
+/// except `runs`, `ticks`, and `deadline_misses`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardPerf {
+    /// Which shard.
+    pub shard_index: usize,
+    /// Total wall-clock seconds over its batches.
+    pub wall_secs: f64,
+    /// Worker threads of its last batch.
+    pub threads: usize,
+    /// Runs it executed.
+    pub runs: usize,
+    /// Simulation ticks over its runs.
+    pub ticks: u64,
+    /// Deadline misses over its runs.
+    pub deadline_misses: u64,
+}
+
+/// One campaign reassembled from its shards.
+#[derive(Clone, Debug)]
+pub struct MergedCampaign {
+    /// Shard 0's manifest. Only campaign-invariant fields are meaningful
+    /// here; renderers must not consume `shard_index` / `assigned_runs` /
+    /// `batch_size` from it.
+    pub manifest: ShardManifest,
+    /// Golden runs in engine order.
+    pub golden: Vec<ShardRun>,
+    /// Injected runs in engine order.
+    pub injected: Vec<ShardRun>,
+    /// Mean golden trajectory (the violation baseline), recomputed from
+    /// the merged golden set — identical to the monolithic baseline.
+    pub baseline: Vec<TrajPoint>,
+    /// Shard metric slices folded together.
+    pub metrics: MetricsSlice,
+    /// Deadline accounting folded across shards.
+    pub deadline: DeadlineStats,
+    /// Per-shard accounting, ordered by shard index.
+    pub shards: Vec<ShardPerf>,
+}
+
+/// Validate and merge shard artifacts into campaigns.
+///
+/// Artifacts are grouped by campaign fingerprint; each group must hold
+/// exactly shards `0..n-1` of its campaign, each complete, each exactly
+/// once. Every run is checked against the partitioner (it must sit in
+/// the shard that owns it) and the engine's seed law, and the union must
+/// cover every golden and injected index exactly once. Any violation —
+/// overlap, gap, missing shard, foreign fingerprint in a group,
+/// incomplete shard — is a [`ShardError::Mismatch`].
+///
+/// Campaigns are returned ordered by display label (then fingerprint),
+/// so merged reports are independent of argument order.
+pub fn merge_artifacts(artifacts: &[ShardArtifact]) -> Result<Vec<MergedCampaign>, ShardError> {
+    let mut groups: BTreeMap<u64, Vec<&ShardArtifact>> = BTreeMap::new();
+    for a in artifacts {
+        groups.entry(a.manifest.fingerprint).or_default().push(a);
+    }
+    let mut merged: Vec<MergedCampaign> = Vec::with_capacity(groups.len());
+    for group in groups.values() {
+        merged.push(merge_group(group)?);
+    }
+    merged.sort_by(|a, b| {
+        (a.manifest.campaign.as_str(), a.manifest.fingerprint)
+            .cmp(&(b.manifest.campaign.as_str(), b.manifest.fingerprint))
+    });
+    Ok(merged)
+}
+
+fn merge_group(group: &[&ShardArtifact]) -> Result<MergedCampaign, ShardError> {
+    let first = &group[0].manifest;
+    for a in group {
+        let m = &a.manifest;
+        let same = m.schema_version == first.schema_version
+            && m.plan_seed == first.plan_seed
+            && m.campaign == first.campaign
+            && m.scenario == first.scenario
+            && m.scenario_name == first.scenario_name
+            && m.target == first.target
+            && m.kind == first.kind
+            && m.mode == first.mode
+            && m.profile_source == first.profile_source
+            && m.shard_count == first.shard_count
+            && m.golden_runs == first.golden_runs
+            && m.injected_runs == first.injected_runs;
+        if !same {
+            return Err(ShardError::Mismatch(format!(
+                "campaign {:?}: shard manifests share a fingerprint but disagree on \
+                 campaign fields",
+                first.campaign
+            )));
+        }
+    }
+    let n = first.shard_count;
+    let mut seen = vec![false; n];
+    for a in group {
+        let i = a.manifest.shard_index;
+        if i >= n {
+            return Err(ShardError::Mismatch(format!(
+                "campaign {:?}: shard index {i} out of range for {n} shards",
+                first.campaign
+            )));
+        }
+        if seen[i] {
+            return Err(ShardError::Mismatch(format!(
+                "campaign {:?}: shard {i}/{n} supplied more than once (overlap)",
+                first.campaign
+            )));
+        }
+        seen[i] = true;
+        if !a.complete {
+            return Err(ShardError::Mismatch(format!(
+                "campaign {:?}: shard {i}/{n} is incomplete (no shard_done footer); \
+                 resume it before merging",
+                first.campaign
+            )));
+        }
+    }
+    if let Some(missing) = seen.iter().position(|s| !s) {
+        return Err(ShardError::Mismatch(format!(
+            "campaign {:?}: shard {missing}/{n} is missing",
+            first.campaign
+        )));
+    }
+
+    let mut golden: Vec<Option<ShardRun>> = vec![None; first.golden_runs];
+    let mut injected: Vec<Option<ShardRun>> = vec![None; first.injected_runs];
+    for a in group {
+        for r in &a.runs {
+            let unit = match r.kind.as_str() {
+                "golden" => RunUnit::Golden(r.index),
+                "injected" => RunUnit::Injected(r.index),
+                other => {
+                    return Err(ShardError::Mismatch(format!(
+                        "campaign {:?}: unknown run kind {other:?}",
+                        first.campaign
+                    )))
+                }
+            };
+            let home = unit_shard(first.plan_seed, unit, n);
+            if home != a.manifest.shard_index {
+                return Err(ShardError::Mismatch(format!(
+                    "campaign {:?}: {} run {} belongs to shard {home} but appears in \
+                     shard {}",
+                    first.campaign, r.kind, r.index, a.manifest.shard_index
+                )));
+            }
+            let (slot, base) = match unit {
+                RunUnit::Golden(i) => (golden.get_mut(i), GOLDEN_SEED_BASE),
+                RunUnit::Injected(i) => (injected.get_mut(i), INJECTED_SEED_BASE),
+                RunUnit::Training { .. } => unreachable!("campaign runs only"),
+            };
+            let Some(slot) = slot else {
+                return Err(ShardError::Mismatch(format!(
+                    "campaign {:?}: {} run {} exceeds the campaign's declared run count",
+                    first.campaign, r.kind, r.index
+                )));
+            };
+            if r.seed != base + r.index as u64 {
+                return Err(ShardError::Mismatch(format!(
+                    "campaign {:?}: {} run {} carries seed {} (engine law says {})",
+                    first.campaign,
+                    r.kind,
+                    r.index,
+                    r.seed,
+                    base + r.index as u64
+                )));
+            }
+            if slot.is_some() {
+                return Err(ShardError::Mismatch(format!(
+                    "campaign {:?}: {} run {} appears twice (overlapping shards)",
+                    first.campaign, r.kind, r.index
+                )));
+            }
+            *slot = Some(r.clone());
+        }
+    }
+    let fill = |runs: Vec<Option<ShardRun>>, kind: &str| -> Result<Vec<ShardRun>, ShardError> {
+        runs.into_iter()
+            .enumerate()
+            .map(|(i, r)| {
+                r.ok_or_else(|| {
+                    ShardError::Mismatch(format!(
+                        "campaign {:?}: {kind} run {i} is missing (coverage gap)",
+                        first.campaign
+                    ))
+                })
+            })
+            .collect()
+    };
+    let golden = fill(golden, "golden")?;
+    let injected = fill(injected, "injected")?;
+
+    let trajs: Vec<&[TrajPoint]> = golden.iter().map(|g| g.trajectory.as_slice()).collect();
+    let baseline = mean_trajectory(&trajs);
+
+    let mut ordered: Vec<&&ShardArtifact> = group.iter().collect();
+    ordered.sort_by_key(|a| a.manifest.shard_index);
+    let mut metrics = MetricsSlice::default();
+    let mut deadline = DeadlineStats::default();
+    let mut shards = Vec::with_capacity(ordered.len());
+    for a in ordered {
+        let slice = a.metrics();
+        deadline.absorb(&DeadlineStats {
+            ticks: slice.counters.get("deadline.ticks").copied().unwrap_or(0),
+            misses: slice.counters.get("deadline.misses").copied().unwrap_or(0),
+            worst_ns: slice.gauges.get("deadline.worst_ns").copied().unwrap_or(0.0) as u64,
+        });
+        metrics.add(&slice);
+        shards.push(ShardPerf {
+            shard_index: a.manifest.shard_index,
+            wall_secs: a.batches.iter().map(|b| b.wall_secs).sum(),
+            threads: a.batches.last().map(|b| b.threads).unwrap_or(0),
+            runs: a.runs.len(),
+            ticks: a.runs.iter().map(|r| r.ticks).sum(),
+            deadline_misses: a.runs.iter().map(|r| r.deadline_misses).sum(),
+        });
+    }
+
+    Ok(MergedCampaign {
+        manifest: group
+            .iter()
+            .find(|a| a.manifest.shard_index == 0)
+            .map(|a| a.manifest.clone())
+            .unwrap_or_else(|| first.clone()),
+        golden,
+        injected,
+        baseline,
+        metrics,
+        deadline,
+        shards,
+    })
+}
+
+/// Summarize a merged campaign into a Table-I row — the shard-side
+/// counterpart of [`summarize`](crate::campaign::summarize), classifying
+/// from the serialized run parts via
+/// [`classify_parts`](crate::outcome::classify_parts). Unlike
+/// `summarize` it has *no* metric side effects: merged outcome counters
+/// come from the shard slices, not from re-tallying.
+pub fn summarize_merged(m: &MergedCampaign, td: f64) -> TableRow {
+    let mut row = TableRow { total: m.injected.len(), ..Default::default() };
+    for r in &m.injected {
+        if r.fault_activated {
+            row.active += 1;
+        }
+        let class =
+            classify_parts(&r.outcome, r.collision_time.is_some(), &r.trajectory, &m.baseline, td);
+        match class {
+            OutcomeClass::HangCrash => row.hang_crash += 1,
+            OutcomeClass::Accident => row.accidents += 1,
+            OutcomeClass::TrajViolation => row.traj_violations += 1,
+            OutcomeClass::Benign => {}
+        }
+    }
+    row
+}
+
+// -- line-level parse helpers -----------------------------------------------
+
+fn req<'a>(v: &'a Value, key: &str) -> Result<&'a Value, String> {
+    v.get(key).ok_or_else(|| format!("missing member {key:?}"))
+}
+
+fn req_str(v: &Value, key: &str) -> Result<String, String> {
+    req(v, key)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("member {key:?} must be a string"))
+}
+
+fn req_usize(v: &Value, key: &str) -> Result<usize, String> {
+    let n = req(v, key)?.as_f64().ok_or_else(|| format!("member {key:?} must be a number"))?;
+    if n.is_nan() || n < 0.0 || n.fract() != 0.0 {
+        return Err(format!("member {key:?} must be a non-negative integer"));
+    }
+    Ok(n as usize)
+}
+
+fn req_bool(v: &Value, key: &str) -> Result<bool, String> {
+    req(v, key)?.as_bool().ok_or_else(|| format!("member {key:?} must be a boolean"))
+}
+
+fn req_u64_str(v: &Value, key: &str) -> Result<u64, String> {
+    json::parse_u64_str(req(v, key)?).map_err(|e| format!("member {key:?}: {e}"))
+}
+
+fn req_f64_bits(v: &Value, key: &str) -> Result<f64, String> {
+    json::parse_f64_bits(req(v, key)?).map_err(|e| format!("member {key:?}: {e}"))
+}
+
+fn opt_f64_bits_member(v: &Value, key: &str) -> Result<Option<f64>, String> {
+    match req(v, key)? {
+        Value::Null => Ok(None),
+        other => json::parse_f64_bits(other).map(Some).map_err(|e| format!("member {key:?}: {e}")),
+    }
+}
+
+fn req_hex64(v: &Value, key: &str) -> Result<u64, String> {
+    let s = req_str(v, key)?;
+    if s.len() != 16 {
+        return Err(format!("member {key:?} must be 16 hex digits"));
+    }
+    u64::from_str_radix(&s, 16).map_err(|e| format!("member {key:?}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diverseav::AgentMode;
+    use diverseav_fabric::Profile;
+    use diverseav_simworld::ScenarioKind;
+
+    fn campaign() -> Campaign {
+        Campaign {
+            scenario: ScenarioKind::LeadSlowdown,
+            target: Profile::Gpu,
+            kind: crate::plan::FaultModelKind::Transient,
+            mode: AgentMode::RoundRobin,
+        }
+    }
+
+    #[test]
+    fn unit_partition_is_deterministic_and_total() {
+        let units = campaign_units(4, 10);
+        assert_eq!(units.len(), 14);
+        for u in &units {
+            let s = unit_shard(42, *u, 3);
+            assert!(s < 3);
+            assert_eq!(s, unit_shard(42, *u, 3), "assignment must be stable");
+        }
+        let total: usize =
+            (0..3).map(|k| units.iter().filter(|u| unit_shard(42, **u, 3) == k).count()).sum();
+        assert_eq!(total, units.len(), "shards partition the unit set");
+        assert_eq!(unit_shard(42, RunUnit::Golden(1), 1), 0, "1-shard runs own everything");
+        assert_eq!(training_units(2).len(), 6, "3 routes x reps");
+    }
+
+    #[test]
+    fn unit_codes_keep_kinds_disjoint() {
+        assert_ne!(unit_code(RunUnit::Golden(5)), unit_code(RunUnit::Injected(5)));
+        assert_ne!(
+            unit_code(RunUnit::Injected(3)),
+            unit_code(RunUnit::Training { route: 0, rep: 3 })
+        );
+        assert_ne!(
+            unit_code(RunUnit::Training { route: 1, rep: 0 }),
+            unit_code(RunUnit::Training { route: 0, rep: 1 })
+        );
+    }
+
+    #[test]
+    fn fingerprint_separates_campaign_scale_and_sensor() {
+        let scale = CampaignScale::quick();
+        let sensor = SensorConfig::default();
+        let base = campaign_fingerprint(&campaign(), &scale, &sensor);
+        let other_campaign = Campaign { target: Profile::Cpu, ..campaign() };
+        assert_ne!(base, campaign_fingerprint(&other_campaign, &scale, &sensor));
+        let other_scale = CampaignScale { golden_runs: scale.golden_runs + 1, ..scale };
+        assert_ne!(base, campaign_fingerprint(&campaign(), &other_scale, &sensor));
+        let noisy = SensorConfig { pixel_noise: sensor.pixel_noise + 0.25, ..sensor };
+        assert_ne!(base, campaign_fingerprint(&campaign(), &scale, &noisy));
+        assert_eq!(base, campaign_fingerprint(&campaign(), &scale, &sensor), "stable");
+    }
+
+    fn sample_run() -> ShardRun {
+        ShardRun {
+            kind: "injected".to_string(),
+            index: 3,
+            seed: INJECTED_SEED_BASE + 3,
+            outcome: "crash".to_string(),
+            end_time: 1.25,
+            collision_time: None,
+            alarm_time: Some(0.875),
+            fault_activated: true,
+            min_cvip: f64::INFINITY,
+            red_light_violations: 1,
+            ticks: 51,
+            deadline_misses: 2,
+            fault: Some(FaultSite {
+                profile: "GPU".to_string(),
+                unit: 0,
+                model: "transient".to_string(),
+                mask: 1 << 7,
+                cycle: Some(123_456),
+                op: None,
+            }),
+            trajectory: vec![
+                TrajPoint { t: 0.0, pos: Vec2 { x: -0.0, y: 1.5 } },
+                TrajPoint { t: 0.025, pos: Vec2 { x: 0.3, y: 1.625 } },
+            ],
+        }
+    }
+
+    #[test]
+    fn shard_run_round_trips_bit_exactly() {
+        let run = sample_run();
+        let line = run.render_line(7);
+        let v = json::parse(&line).expect("run line parses");
+        let (batch, back) = ShardRun::parse(&v).expect("run reconstructs");
+        assert_eq!(batch, 7);
+        assert_eq!(back, run);
+        // -0.0 must survive (bit pattern, not value, equality).
+        assert_eq!(back.trajectory[0].pos.x.to_bits(), (-0.0f64).to_bits());
+        assert!(back.min_cvip.is_infinite());
+    }
+
+    #[test]
+    fn manifest_round_trips_and_rejects_other_versions() {
+        let m = ShardManifest {
+            schema_version: SHARD_SCHEMA_VERSION,
+            fingerprint: 0x0123_4567_89ab_cdef,
+            plan_seed: 0xfedc_ba98_7654_3210,
+            campaign: "GPU-transient LSD [diverseav]".to_string(),
+            scenario: "LSD".to_string(),
+            scenario_name: "lead_slowdown".to_string(),
+            target: "GPU".to_string(),
+            kind: "transient".to_string(),
+            mode: "diverseav".to_string(),
+            profile_source: "modeled".to_string(),
+            shard_index: 1,
+            shard_count: 4,
+            batch_size: 8,
+            golden_runs: 6,
+            injected_runs: 16,
+            assigned_runs: 5,
+        };
+        let v = json::parse(&m.render()).expect("manifest renders as JSON");
+        assert_eq!(ShardManifest::parse(&v).expect("manifest reconstructs"), m);
+        let bumped = m.render().replace(
+            &format!("\"schema_version\": {SHARD_SCHEMA_VERSION}"),
+            &format!("\"schema_version\": {}", SHARD_SCHEMA_VERSION + 1),
+        );
+        let v = json::parse(&bumped).expect("still JSON");
+        assert!(ShardManifest::parse(&v).is_err(), "future versions must be refused");
+    }
+
+    #[test]
+    fn metrics_slice_delta_add_and_encoding_round_trip() {
+        let mut before = MetricsSlice::default();
+        before.counters.insert("runtime.ticks".to_string(), 100);
+        let mut after = MetricsSlice::default();
+        after.counters.insert("runtime.ticks".to_string(), 151);
+        after.counters.insert("runner.experiments".to_string(), 2);
+        after.gauges.insert("deadline.worst_ns".to_string(), 1.5e6);
+        let mut h =
+            HistSnapshot { buckets: vec![0; diverseav_obs::hist::N_BUCKETS], sum: 40, max: 12 };
+        h.buckets[3] = 4;
+        after.hists.insert("tick.total".to_string(), h);
+        let d = after.delta(&before);
+        assert_eq!(d.counters.get("runtime.ticks"), Some(&51));
+        assert_eq!(d.counters.get("runner.experiments"), Some(&2));
+
+        let line = format!("{{{}}}", d.render_fields());
+        let v = json::parse(&line).expect("fields parse");
+        let back = MetricsSlice::parse_fields(&v).expect("fields reconstruct");
+        assert_eq!(back, d);
+
+        let mut folded = MetricsSlice::default();
+        folded.add(&d);
+        folded.add(&d);
+        assert_eq!(folded.counters.get("runtime.ticks"), Some(&102));
+        assert_eq!(folded.gauges.get("deadline.worst_ns"), Some(&1.5e6));
+        assert_eq!(folded.hists.get("tick.total").map(|h| h.count()), Some(8));
+    }
+
+    fn synthetic_artifacts(n: usize) -> Vec<ShardArtifact> {
+        let plan_seed = 0x1234_5678;
+        let (golden_runs, injected_runs) = (2, 2);
+        let manifest = |i: usize, assigned: usize| ShardManifest {
+            schema_version: SHARD_SCHEMA_VERSION,
+            fingerprint: 0xFACE,
+            plan_seed,
+            campaign: "GPU-transient LSD [diverseav]".to_string(),
+            scenario: "LSD".to_string(),
+            scenario_name: "lead_slowdown".to_string(),
+            target: "GPU".to_string(),
+            kind: "transient".to_string(),
+            mode: "diverseav".to_string(),
+            profile_source: "modeled".to_string(),
+            shard_index: i,
+            shard_count: n,
+            batch_size: 4,
+            golden_runs,
+            injected_runs,
+            assigned_runs: assigned,
+        };
+        let run = |kind: &str, index: usize, base: u64| ShardRun {
+            kind: kind.to_string(),
+            index,
+            seed: base + index as u64,
+            outcome: "completed".to_string(),
+            end_time: 2.0,
+            collision_time: None,
+            alarm_time: None,
+            fault_activated: false,
+            min_cvip: 5.0,
+            red_light_violations: 0,
+            ticks: 10,
+            deadline_misses: 0,
+            fault: None,
+            trajectory: vec![TrajPoint { t: 0.0, pos: Vec2 { x: 0.0, y: 0.0 } }],
+        };
+        let mut shards: Vec<Vec<ShardRun>> = vec![Vec::new(); n];
+        for u in campaign_units(golden_runs, injected_runs) {
+            let (kind, index, base) = match u {
+                RunUnit::Golden(i) => ("golden", i, GOLDEN_SEED_BASE),
+                RunUnit::Injected(i) => ("injected", i, INJECTED_SEED_BASE),
+                RunUnit::Training { .. } => unreachable!(),
+            };
+            shards[unit_shard(plan_seed, u, n)].push(run(kind, index, base));
+        }
+        shards
+            .into_iter()
+            .enumerate()
+            .map(|(i, runs)| ShardArtifact {
+                manifest: manifest(i, runs.len()),
+                batches: vec![BatchMark {
+                    batch: 0,
+                    wall_secs: 0.0,
+                    threads: 1,
+                    metrics: MetricsSlice::default(),
+                }],
+                complete: true,
+                committed_lines: 2 + runs.len(),
+                runs,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn merge_validates_overlap_gaps_and_order_independence() {
+        let arts = synthetic_artifacts(2);
+        let merged = merge_artifacts(&arts).expect("clean shards merge");
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].golden.len(), 2);
+        assert_eq!(merged[0].injected.len(), 2);
+        assert_eq!(merged[0].golden[0].seed, GOLDEN_SEED_BASE);
+        assert_eq!(merged[0].injected[1].seed, INJECTED_SEED_BASE + 1);
+
+        let reversed: Vec<ShardArtifact> = arts.iter().rev().cloned().collect();
+        let remerged = merge_artifacts(&reversed).expect("order must not matter");
+        assert_eq!(remerged[0].golden, merged[0].golden);
+        assert_eq!(remerged[0].injected, merged[0].injected);
+
+        let mut dup = arts.clone();
+        dup.push(arts[0].clone());
+        let err = merge_artifacts(&dup).expect_err("duplicated shard must fail");
+        assert!(err.to_string().contains("overlap"), "{err}");
+
+        let err = merge_artifacts(&arts[..1]).expect_err("missing shard must fail");
+        assert!(err.to_string().contains("missing"), "{err}");
+
+        let mut torn = arts.clone();
+        torn[1].complete = false;
+        let err = merge_artifacts(&torn).expect_err("incomplete shard must fail");
+        assert!(err.to_string().contains("incomplete"), "{err}");
+
+        let mut wrong_seed = arts.clone();
+        let victim =
+            wrong_seed.iter_mut().find(|a| !a.runs.is_empty()).expect("some shard has runs");
+        victim.runs[0].seed += 1;
+        let err = merge_artifacts(&wrong_seed).expect_err("seed-law violation must fail");
+        assert!(err.to_string().contains("seed"), "{err}");
+    }
+
+    #[test]
+    fn parse_artifact_truncates_torn_tails() {
+        let arts = synthetic_artifacts(1);
+        let a = &arts[0];
+        let mut text = format!("{}\n", a.manifest.render());
+        for r in &a.runs {
+            text.push_str(&r.render_line(0));
+            text.push('\n');
+        }
+        text.push_str(&format!(
+            "{{\"type\": \"shard_batch\", \"batch\": 0, \"wall_secs\": 0.000000, \
+             \"threads\": 1, {}}}\n",
+            MetricsSlice::default().render_fields()
+        ));
+        let committed = parse_artifact(&text).expect("committed prefix parses");
+        assert_eq!(committed.runs.len(), a.runs.len());
+        assert_eq!(committed.batches.len(), 1);
+        assert!(!committed.complete, "no footer yet");
+
+        // A torn tail: one uncommitted run line, then a half-written line.
+        let mut torn = text.clone();
+        torn.push_str(&a.runs[0].render_line(1));
+        torn.push('\n');
+        torn.push_str("{\"type\": \"shard_ru");
+        let parsed = parse_artifact(&torn).expect("torn artifact still parses");
+        assert_eq!(parsed.runs.len(), a.runs.len(), "uncommitted run discarded");
+        assert_eq!(parsed.batches.len(), 1);
+        assert_eq!(
+            torn.lines().take(parsed.committed_lines).count(),
+            parsed.committed_lines,
+            "committed prefix stays within the file"
+        );
+
+        // Completed artifact round-trips.
+        let mut done = text.clone();
+        done.push_str("{\"type\": \"shard_done\", \"batches\": 1, \"runs\": 4}\n");
+        let parsed = parse_artifact(&done).expect("completed artifact parses");
+        assert!(parsed.complete);
+    }
+}

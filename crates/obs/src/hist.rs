@@ -178,6 +178,46 @@ impl HistSnapshot {
         self.quantile(0.99)
     }
 
+    /// Fold another snapshot's contents into this one (bucket-wise add,
+    /// sum add, max of maxima) — the plain-data mirror of
+    /// [`Histogram::absorb`], for merging snapshots that were serialized
+    /// and read back (shard artifacts). Commutative and associative, so
+    /// the merged contents are independent of shard order.
+    pub fn absorb(&mut self, other: &HistSnapshot) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (mine, &theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// The sparse `(index, count)` pairs of non-empty buckets, in
+    /// ascending index order (the same shape [`render_json`] emits).
+    ///
+    /// [`render_json`]: HistSnapshot::render_json
+    pub fn sparse(&self) -> Vec<(usize, u64)> {
+        self.buckets.iter().enumerate().filter(|&(_, &c)| c > 0).map(|(i, &c)| (i, c)).collect()
+    }
+
+    /// Rebuild a full snapshot from sparse pairs plus the exact sum and
+    /// max (inverse of [`sparse`](HistSnapshot::sparse)).
+    ///
+    /// # Errors
+    ///
+    /// Rejects bucket indices outside the fixed [`N_BUCKETS`] scale.
+    pub fn from_sparse(pairs: &[(usize, u64)], sum: u64, max: u64) -> Result<Self, String> {
+        let mut buckets = vec![0u64; N_BUCKETS];
+        for &(i, c) in pairs {
+            let slot =
+                buckets.get_mut(i).ok_or_else(|| format!("bucket index {i} >= {N_BUCKETS}"))?;
+            *slot += c;
+        }
+        Ok(HistSnapshot { buckets, sum, max })
+    }
+
     /// Render as a JSON object: summary quantiles plus the sparse bucket
     /// list `[[index, count], ...]` in ascending index order.
     pub fn render_json(&self) -> String {
@@ -300,6 +340,41 @@ mod tests {
             }
         });
         assert_eq!(par.snapshot(), seq.snapshot());
+    }
+
+    #[test]
+    fn snapshot_absorb_matches_histogram_absorb() {
+        let all = Histogram::new();
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in 0..5_000u64 {
+            all.record(v * 13 + 7);
+            if v % 3 == 0 { &a } else { &b }.record(v * 13 + 7);
+        }
+        let mut sa = a.snapshot();
+        sa.absorb(&b.snapshot());
+        assert_eq!(sa, all.snapshot());
+        // Absorbing into a default (empty-bucket) snapshot resizes it.
+        let mut empty = HistSnapshot::default();
+        empty.absorb(&all.snapshot());
+        assert_eq!(empty, all.snapshot());
+    }
+
+    #[test]
+    fn sparse_round_trips_through_from_sparse() {
+        let h = Histogram::new();
+        for v in [0u64, 3, 3, 200, 1 << 40] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let rebuilt = HistSnapshot::from_sparse(&snap.sparse(), snap.sum, snap.max).unwrap();
+        assert_eq!(rebuilt, snap);
+        assert!(HistSnapshot::from_sparse(&[(N_BUCKETS, 1)], 0, 0).is_err(), "bounds checked");
+        assert_eq!(
+            HistSnapshot::from_sparse(&[], 0, 0).unwrap().buckets.len(),
+            N_BUCKETS,
+            "empty sparse set still yields a full-scale snapshot"
+        );
     }
 
     #[test]

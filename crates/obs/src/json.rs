@@ -41,6 +41,42 @@ pub fn opt_str(v: Option<&str>) -> String {
     v.map(|s| format!("\"{}\"", escape(s))).unwrap_or_else(|| "null".to_string())
 }
 
+/// Render an `f64` as its exact IEEE-754 bit pattern (a quoted 16-digit
+/// hex string) — the lossless companion of [`num`] for artifacts that
+/// must round-trip bit-identically. Handles every value, including the
+/// infinities [`num`] flattens to `null`.
+pub fn f64_bits(v: f64) -> String {
+    format!("\"{:016x}\"", v.to_bits())
+}
+
+/// Render an optional `f64` bit pattern (`None` → `null`).
+pub fn opt_f64_bits(v: Option<f64>) -> String {
+    v.map(f64_bits).unwrap_or_else(|| "null".to_string())
+}
+
+/// Parse a value rendered by [`f64_bits`].
+pub fn parse_f64_bits(v: &Value) -> Result<f64, String> {
+    let s = v.as_str().ok_or("expected an f64 bit-pattern string")?;
+    if s.len() != 16 {
+        return Err(format!("bad f64 bit pattern {s:?}: want 16 hex digits"));
+    }
+    u64::from_str_radix(s, 16)
+        .map(f64::from_bits)
+        .map_err(|e| format!("bad f64 bit pattern {s:?}: {e}"))
+}
+
+/// Render a `u64` losslessly as a quoted decimal string: plain JSON
+/// numbers parse back as `f64` and lose precision past 2^53.
+pub fn u64_str(v: u64) -> String {
+    format!("\"{v}\"")
+}
+
+/// Parse a value rendered by [`u64_str`].
+pub fn parse_u64_str(v: &Value) -> Result<u64, String> {
+    let s = v.as_str().ok_or("expected a u64 decimal string")?;
+    s.parse::<u64>().map_err(|e| format!("bad u64 string {s:?}: {e}"))
+}
+
 /// A parsed JSON document.
 ///
 /// Objects keep their members as an ordered `Vec` (first occurrence wins
@@ -335,6 +371,26 @@ mod tests {
         assert_eq!(opt_num(Some(1.0)), "1.000000");
         assert_eq!(opt_str(Some("x")), "\"x\"");
         assert_eq!(opt_str(None), "null");
+    }
+
+    #[test]
+    fn bit_pattern_helpers_round_trip_exactly() {
+        for v in [0.0, -0.0, 1.5, f64::INFINITY, f64::NEG_INFINITY, f64::MIN_POSITIVE, 1e300] {
+            let rendered = f64_bits(v);
+            let parsed = parse_f64_bits(&parse(&rendered).unwrap()).unwrap();
+            assert_eq!(parsed.to_bits(), v.to_bits(), "{v} must round-trip bits");
+        }
+        assert_eq!(opt_f64_bits(None), "null");
+        assert_eq!(opt_f64_bits(Some(1.0)), f64_bits(1.0));
+        for v in [0u64, 1, u64::MAX, (1 << 53) + 1] {
+            let parsed = parse_u64_str(&parse(&u64_str(v)).unwrap()).unwrap();
+            assert_eq!(parsed, v, "{v} must round-trip exactly");
+        }
+        assert!(parse_f64_bits(&Value::Num(1.0)).is_err());
+        assert!(parse_f64_bits(&Value::Str("xyz".into())).is_err());
+        assert!(parse_f64_bits(&Value::Str("00".into())).is_err(), "length checked");
+        assert!(parse_u64_str(&Value::Str("-1".into())).is_err());
+        assert!(parse_u64_str(&Value::Num(3.0)).is_err());
     }
 
     #[test]

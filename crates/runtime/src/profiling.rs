@@ -79,6 +79,18 @@ pub struct DeadlineStats {
     pub worst_ns: u64,
 }
 
+impl DeadlineStats {
+    /// Fold another tally into this one (sum ticks and misses, max of
+    /// worst latencies). Commutative and associative, so totals merged
+    /// from per-run or per-shard tallies are independent of the order
+    /// the pieces arrive in.
+    pub fn absorb(&mut self, other: &DeadlineStats) {
+        self.ticks += other.ticks;
+        self.misses += other.misses;
+        self.worst_ns = self.worst_ns.max(other.worst_ns);
+    }
+}
+
 /// A [`LoopObserver`] recording per-phase tick latencies and 25 ms
 /// deadline misses for one run. Attach one per run (the fault-injection
 /// runner does this automatically unless `DIVERSEAV_PROFILE=off`).
@@ -251,6 +263,23 @@ mod tests {
             stats.worst_ns
         );
         assert!(stats.worst_ns > DEADLINE_NS);
+    }
+
+    #[test]
+    fn deadline_stats_absorb_is_order_independent() {
+        let a = DeadlineStats { ticks: 40, misses: 3, worst_ns: 26_000_000 };
+        let b = DeadlineStats { ticks: 80, misses: 0, worst_ns: 24_000_000 };
+        let c = DeadlineStats { ticks: 10, misses: 10, worst_ns: 30_000_000 };
+        let mut fwd = DeadlineStats::default();
+        for s in [a, b, c] {
+            fwd.absorb(&s);
+        }
+        let mut rev = DeadlineStats::default();
+        for s in [c, b, a] {
+            rev.absorb(&s);
+        }
+        assert_eq!(fwd, rev);
+        assert_eq!(fwd, DeadlineStats { ticks: 130, misses: 13, worst_ns: 30_000_000 });
     }
 
     #[test]
