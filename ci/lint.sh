@@ -9,6 +9,11 @@
 #         Wall-clock reads belong to obs::profile's Wall mode and the
 #         harness timing layer; anywhere else they threaten the
 #         bit-identical merge invariant.
+# Gate 3: no `&mut SensorFrame` outside the sensor-fault injection hook.
+#         The frame between World::sense_into and the driver is mutated
+#         in exactly one sanctioned place (runtime::inject, applied by
+#         runtime::simloop); a second mutation site would bypass the
+#         fault-onset bookkeeping and break seed-pure realizations.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -57,7 +62,21 @@ if [[ -n "$instant_hits" ]]; then
     fail=1
 fi
 
+# --- Gate 3: SensorFrame mutation outside the injection hook ------------
+# The producer (simworld fills frames it owns) and the one sanctioned
+# injection site are allowed; everything else must take &SensorFrame.
+frame_hits=$(grep -rn '&mut SensorFrame' crates --include='*.rs' \
+    | grep -v '^crates/simworld/' \
+    | grep -v '^crates/runtime/src/inject.rs:' \
+    | grep -v '^crates/runtime/src/simloop.rs:' || true)
+if [[ -n "$frame_hits" ]]; then
+    echo "lint: &mut SensorFrame outside the sanctioned injection hook" >&2
+    echo "(sensor faults go through runtime::inject::FrameInjector only):" >&2
+    echo "$frame_hits" >&2
+    fail=1
+fi
+
 if [[ $fail -ne 0 ]]; then
     exit 1
 fi
-echo "lint: ok (no stray unwrap(), no unlisted Instant::now)"
+echo "lint: ok (no stray unwrap(), no unlisted Instant::now, no rogue SensorFrame mutation)"

@@ -7,6 +7,11 @@
 //!                 [--batch 8] [--scale quick|paper] [--max-batches N]
 //! ```
 //!
+//! `--kind` accepts `transient`, `permanent`, or any sensor-boundary
+//! class label (`sensor-dropout`, `sensor-bias-drift`,
+//! `sensor-outlier-burst`, `sensor-noise-inflation`,
+//! `sensor-oscillation`).
+//!
 //! `DIVERSEAV_THREADS` controls intra-shard parallelism exactly like the
 //! monolithic path; the artifact's run payload is bit-identical for any
 //! setting. `--max-batches` caps how many *new* batches this invocation
@@ -64,13 +69,10 @@ fn run() -> Result<ExitCode, String> {
                 });
             }
             "--kind" => {
-                kind = Some(match next(&mut i, "--kind")?.as_str() {
-                    "transient" => FaultModelKind::Transient,
-                    "permanent" => FaultModelKind::Permanent,
-                    other => {
-                        return Err(format!("--kind: want transient|permanent, got {other:?}"))
-                    }
-                });
+                let raw = next(&mut i, "--kind")?;
+                kind = Some(FaultModelKind::from_label(&raw).ok_or_else(|| {
+                    format!("--kind: want transient|permanent|sensor-<class>, got {raw:?}")
+                })?);
             }
             "--mode" => {
                 mode = match next(&mut i, "--mode")?.as_str() {
@@ -110,7 +112,7 @@ fn run() -> Result<ExitCode, String> {
 
     let scenario = scenario.ok_or("--scenario is required (LSD|GC|FA)")?;
     let target = target.ok_or("--target is required (GPU|CPU)")?;
-    let kind = kind.ok_or("--kind is required (transient|permanent)")?;
+    let kind = kind.ok_or("--kind is required (transient|permanent|sensor-<class>)")?;
     let spec = spec.ok_or("--shard K/N is required")?;
     let out = out.ok_or("--out PATH is required")?;
 

@@ -121,6 +121,8 @@ fn run() -> Result<ExitCode, String> {
     print!("{}", tracecheck::cell_summary(&trace.runs));
     println!("\n== distributions ==\n");
     print!("{}", tracecheck::latency_report(&trace.runs));
+    println!("\n== sensor-fault detection latency (onset -> alarm) ==\n");
+    print!("{}", tracecheck::sensor_latency_report(&trace.runs));
 
     if let Some(metrics_path) = metrics_path {
         let metrics =

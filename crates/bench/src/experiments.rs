@@ -94,6 +94,41 @@ pub fn campaigns_for(
     })
 }
 
+/// The fifteen sensor-boundary campaigns (5 fault classes × 3 safety-
+/// critical scenarios) in a mode, with divergence streams recorded.
+///
+/// Sensor faults corrupt frames between `World::sense_into` and the
+/// driver, so the fabric-target axis is vacuous; the cells are pinned to
+/// `Profile::Gpu` purely to satisfy the campaign key (the injector never
+/// touches the fabric). Sharing `cache` with the register campaigns
+/// collapses the golden sets they have in common.
+pub fn sensor_campaigns(
+    mode: AgentMode,
+    scale: &CampaignScale,
+    cache: Option<&GoldenCache>,
+) -> Vec<CampaignResult> {
+    let cells: Vec<Campaign> = FaultModelKind::SENSOR_KINDS
+        .into_iter()
+        .flat_map(|kind| {
+            ScenarioKind::safety_critical().into_iter().map(move |scenario| Campaign {
+                scenario,
+                target: Profile::Gpu,
+                kind,
+                mode,
+            })
+        })
+        .collect();
+    par_map(&cells, |&campaign| {
+        eprintln!("  running campaign {campaign} ...");
+        crate::perf::timed(
+            campaign.to_string(),
+            "campaign",
+            |r: &CampaignResult| r.golden.len() + r.injected.len(),
+            || run_campaign_cached(campaign, scale, None, SensorConfig::default(), true, cache),
+        )
+    })
+}
+
 /// Fault-free training streams for a mode (long routes, §III-D).
 pub fn training(mode: AgentMode, scale: &CampaignScale) -> Vec<Vec<TrainSample>> {
     eprintln!("  collecting {mode} training runs ...");
@@ -286,6 +321,7 @@ pub fn table1_report() -> String {
     let cache = GoldenCache::new();
     let gpu = campaigns_for(Profile::Gpu, AgentMode::RoundRobin, &scale, Some(&cache));
     let cpu = campaigns_for(Profile::Cpu, AgentMode::RoundRobin, &scale, Some(&cache));
+    let sensor = sensor_campaigns(AgentMode::RoundRobin, &scale, Some(&cache));
     eprintln!("  golden cache: {} misses, {} hits", cache.misses(), cache.hits());
     diverseav_obs::metrics::gauge_set("cache.entries", cache.len() as f64);
     let mut t = Table::new(vec![
@@ -297,10 +333,16 @@ pub fn table1_report() -> String {
         "#Acc",
         "#TrajViol",
     ]);
-    for c in gpu.iter().chain(cpu.iter()) {
+    for c in gpu.iter().chain(cpu.iter()).chain(sensor.iter()) {
         let row = summarize(c, BEST_TD);
+        // Sensor-fault rows are target-agnostic (the fault lands on the
+        // frame, not a fabric): label them by the class alone.
+        let fi_target = match c.campaign.kind {
+            FaultModelKind::Sensor(_) => c.campaign.kind.label().to_string(),
+            _ => format!("{}-{}", c.campaign.target, c.campaign.kind.label()),
+        };
         t.row(vec![
-            format!("{}-{}", c.campaign.target, c.campaign.kind.label()),
+            fi_target,
             c.campaign.scenario.abbrev().to_string(),
             row.active.to_string(),
             row.hang_crash.to_string(),
@@ -547,7 +589,7 @@ pub fn fig2_report() -> String {
         cfg.collect_training = true;
         run_experiment(&cfg)
     };
-    let fault = Some(FaultSpec {
+    let fault = Some(FaultSpec::Fabric {
         unit: 0,
         profile: Profile::Gpu,
         model: FaultModel::Permanent { op: Op::FMax, mask: 1 << 21 },

@@ -145,6 +145,7 @@ pub fn journal_doc(merged: &[MergedCampaign]) -> String {
                     collision_time: r.collision_time,
                     alarm_time: r.alarm_time,
                     fault_activated: r.fault_activated,
+                    fault_onset_time: r.fault_onset_time,
                     min_cvip: r.min_cvip,
                     div_peak: [0.0; 3],
                     fault: r.fault.clone(),
@@ -294,6 +295,7 @@ mod tests {
             collision_time: collision,
             alarm_time: None,
             fault_activated: collision.is_some(),
+            fault_onset_time: None,
             min_cvip: 4.0,
             red_light_violations: 0,
             ticks: 80,

@@ -42,6 +42,12 @@ pub struct RunLine {
     pub collision_time: Option<f64>,
     /// Whether the armed fault corrupted at least one register.
     pub fault_activated: bool,
+    /// Simulation time of the first corrupted frame (sensor faults only).
+    pub fault_onset_time: Option<f64>,
+    /// Sensor-fault class label (`dropout`, `bias-drift`, …) from the
+    /// fault site's `op` field when `model == "sensor"`; `None` for
+    /// register faults and golden runs.
+    pub fault_class: Option<String>,
     /// Peak rolling divergence per channel.
     pub div_peak: [f64; 3],
 }
@@ -114,6 +120,13 @@ pub fn parse_trace(text: &str) -> Result<Trace, Vec<String>> {
                         out
                     })
                     .unwrap_or([0.0; 3]);
+                let fault_class = v.get("fault").and_then(|f| {
+                    if str_field(f, "model").as_deref() == Some("sensor") {
+                        str_field(f, "op")
+                    } else {
+                        None
+                    }
+                });
                 trace.runs.push(RunLine {
                     campaign: str_field(&v, "campaign").unwrap_or_default(),
                     kind: str_field(&v, "kind").unwrap_or_default(),
@@ -125,6 +138,8 @@ pub fn parse_trace(text: &str) -> Result<Trace, Vec<String>> {
                         .get("fault_activated")
                         .and_then(Value::as_bool)
                         .unwrap_or(false),
+                    fault_onset_time: f64_field(&v, "fault_onset_time"),
+                    fault_class,
                     div_peak,
                 });
             }
@@ -298,6 +313,44 @@ pub fn latency_report(runs: &[RunLine]) -> String {
     let mut out = distribution_block("detection latency: alarm -> collision lead time", "s", lead);
     out.push('\n');
     out.push_str(&distribution_block("peak divergence per injected run", "", peaks));
+    out
+}
+
+/// Render per-fault-class detection-latency distributions for
+/// sensor-boundary campaigns: `alarm_time − fault_onset_time` over runs
+/// that carry both (i.e. the fault corrupted at least one frame and the
+/// detector alarmed), grouped by the sensor fault class. Runs whose fault
+/// activated but never alarmed are tallied as missed — a silent
+/// divergence the histogram cannot hide. Returns an explanatory stub
+/// when the journal holds no sensor-fault runs.
+pub fn sensor_latency_report(runs: &[RunLine]) -> String {
+    let mut by_class: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
+    let mut missed: BTreeMap<&str, u64> = BTreeMap::new();
+    for r in runs {
+        let Some(class) = r.fault_class.as_deref() else { continue };
+        match (r.alarm_time, r.fault_onset_time) {
+            (Some(a), Some(o)) if a >= o => by_class.entry(class).or_default().push(a - o),
+            (None, Some(_)) => *missed.entry(class).or_default() += 1,
+            _ => {}
+        }
+    }
+    if by_class.is_empty() && missed.is_empty() {
+        return String::from("(no sensor-fault runs in this journal)\n");
+    }
+    let classes: std::collections::BTreeSet<&str> =
+        by_class.keys().chain(missed.keys()).copied().collect();
+    let mut out = String::new();
+    for class in classes {
+        out.push_str(&distribution_block(
+            &format!("sensor fault [{class}]: onset -> alarm latency"),
+            "s",
+            by_class.remove(class).unwrap_or_default(),
+        ));
+        if let Some(&n) = missed.get(class) {
+            out.push_str(&format!("  WARNING: {n} activated run(s) never alarmed\n"));
+        }
+        out.push('\n');
+    }
     out
 }
 
@@ -499,6 +552,20 @@ mod tests {
         "\"fault_activated\": true, \"min_cvip\": 0.0, \"div_peak\": [0.5, 0.2, 0.1], ",
         "\"fault\": {\"profile\": \"GPU\", \"unit\": 0, \"model\": \"transient\", ",
         "\"mask\": 4, \"cycle\": 100, \"op\": null}}\n",
+        "{\"type\": \"run\", \"campaign\": \"GPU-sensor-dropout LSD\", \"kind\": \"injected\", ",
+        "\"index\": 2, \"seed\": 3, \"scenario\": \"lead_slowdown\", \"outcome\": \"completed\", ",
+        "\"end_time\": 36.0, \"collision_time\": null, \"alarm_time\": 1.25, ",
+        "\"fault_activated\": true, \"fault_onset_time\": 0.5, \"min_cvip\": 6.0, ",
+        "\"div_peak\": [0.4, 0.1, 0.0], ",
+        "\"fault\": {\"profile\": \"SENSOR\", \"unit\": 0, \"model\": \"sensor\", ",
+        "\"mask\": 0, \"cycle\": 77, \"op\": \"dropout\"}}\n",
+        "{\"type\": \"run\", \"campaign\": \"GPU-sensor-bias-drift LSD\", \"kind\": \"injected\", ",
+        "\"index\": 3, \"seed\": 4, \"scenario\": \"lead_slowdown\", \"outcome\": \"completed\", ",
+        "\"end_time\": 36.0, \"collision_time\": null, \"alarm_time\": null, ",
+        "\"fault_activated\": true, \"fault_onset_time\": 0.75, \"min_cvip\": 6.0, ",
+        "\"div_peak\": [0.1, 0.0, 0.0], ",
+        "\"fault\": {\"profile\": \"SENSOR\", \"unit\": 0, \"model\": \"sensor\", ",
+        "\"mask\": 0, \"cycle\": 78, \"op\": \"bias-drift\"}}\n",
         "{\"type\": \"span_events\", \"label\": \"campaign\", \"index\": 0, \"events\": [",
         "{\"event\": \"span_begin\", \"name\": \"item\", \"t_ns\": 1000}, ",
         "{\"event\": \"counter\", \"name\": \"worker\", \"value\": 2}, ",
@@ -508,11 +575,38 @@ mod tests {
     #[test]
     fn parses_runs_and_spans() {
         let trace = parse_trace(SAMPLE).expect("sample parses");
-        assert_eq!(trace.runs.len(), 2);
+        assert_eq!(trace.runs.len(), 4);
         assert_eq!(trace.spans.len(), 1);
         assert_eq!(trace.runs[1].alarm_time, Some(9.5));
         assert_eq!(trace.runs[1].outcome, "collision");
         assert_eq!(trace.spans[0].events.len(), 3);
+    }
+
+    #[test]
+    fn parses_sensor_fault_fields() {
+        let trace = parse_trace(SAMPLE).unwrap();
+        // Register fault: no class, no onset.
+        assert_eq!(trace.runs[1].fault_class, None);
+        assert_eq!(trace.runs[1].fault_onset_time, None);
+        // Sensor fault: class from the site's op, onset carried through.
+        assert_eq!(trace.runs[2].fault_class.as_deref(), Some("dropout"));
+        assert_eq!(trace.runs[2].fault_onset_time, Some(0.5));
+    }
+
+    #[test]
+    fn sensor_latency_report_groups_by_class_and_flags_misses() {
+        let trace = parse_trace(SAMPLE).unwrap();
+        let report = sensor_latency_report(&trace.runs);
+        assert!(report.contains("sensor fault [dropout]"), "{report}");
+        assert!(report.contains("p50 0.750 s"), "1.25 - 0.5 latency: {report}");
+        assert!(report.contains("sensor fault [bias-drift]"), "{report}");
+        assert!(
+            report.contains("WARNING: 1 activated run(s) never alarmed"),
+            "silent divergence flagged: {report}"
+        );
+        // Register-only journals get the stub, not an empty string.
+        let stub = sensor_latency_report(&trace.runs[..2]);
+        assert!(stub.contains("no sensor-fault runs"), "{stub}");
     }
 
     #[test]
@@ -541,7 +635,7 @@ mod tests {
         assert!(report.contains("detection latency"));
         assert!(report.contains("p50 2.500 s"), "12.0 - 9.5 lead time: {report}");
         assert!(report.contains("peak divergence"));
-        assert!(report.contains("(1 samples)"), "only injected runs counted");
+        assert!(report.contains("(3 samples)"), "only injected runs counted: {report}");
     }
 
     #[test]

@@ -38,6 +38,42 @@ pub struct DetectorConfig {
     /// of state bins (robustness against sparse training coverage).
     /// Disable only for ablation studies.
     pub neighborhood: bool,
+    /// Optional trend-aware extension: alarm on a sustained upward slope
+    /// of the normalized divergence score before the magnitude threshold
+    /// is crossed. `None` (the default) reproduces the paper's
+    /// magnitude-only detector bit-for-bit.
+    pub trend: Option<TrendConfig>,
+}
+
+/// Parameters of the trend-aware alarm path (slow-onset sensor faults such
+/// as bias drift cross the magnitude threshold late; their divergence
+/// *slope* turns positive much earlier).
+///
+/// Let `s_t = max_ch sm_t(ch) / threshold(state_t, ch)` be the normalized
+/// divergence score (1.0 ≡ the magnitude alarm line) and
+/// `d_t = s_t − s_{t−1}` its discrete derivative. The detector maintains
+/// `ewma_t = alpha·d_t + (1−alpha)·ewma_{t−1}` and raises the alarm when
+/// `ewma_t > slope_threshold` **and** `s_t > arming_floor`. The arming
+/// floor keeps benign low-divergence jitter from alarming on slope alone;
+/// the magnitude check is evaluated first and unchanged, so the trend path
+/// can only make detection earlier, never later.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct TrendConfig {
+    /// EWMA smoothing factor over the score derivative, in (0, 1].
+    pub alpha: f64,
+    /// Alarm when the smoothed derivative exceeds this (score units per
+    /// observation; at 40 Hz, 0.06 ≈ the score rising a full threshold
+    /// in ~0.4 s).
+    pub slope_threshold: f64,
+    /// The trend alarm only arms once the score itself exceeds this
+    /// fraction of the magnitude threshold.
+    pub arming_floor: f64,
+}
+
+impl Default for TrendConfig {
+    fn default() -> Self {
+        TrendConfig { alpha: 0.25, slope_threshold: 0.06, arming_floor: 0.8 }
+    }
 }
 
 impl Default for DetectorConfig {
@@ -51,6 +87,7 @@ impl Default for DetectorConfig {
             margin: 1.2,
             floor: 0.005,
             neighborhood: true,
+            trend: None,
         }
     }
 }
@@ -60,6 +97,13 @@ impl DetectorConfig {
     pub fn with_rw(mut self, rw: usize) -> Self {
         assert!(rw >= 1, "rolling window must be at least 1");
         self.rw = rw;
+        self
+    }
+
+    /// The configuration with the trend-aware alarm path enabled.
+    pub fn with_trend(mut self, trend: TrendConfig) -> Self {
+        assert!(trend.alpha > 0.0 && trend.alpha <= 1.0, "alpha must be in (0, 1]");
+        self.trend = Some(trend);
         self
     }
 
@@ -231,6 +275,10 @@ pub struct OnlineDetector {
     cfg: DetectorConfig,
     window: SmoothedDivergence,
     alarm_at: Option<f64>,
+    /// Normalized score of the previous observation (trend path).
+    prev_score: f64,
+    /// EWMA of the score derivative (trend path).
+    ewma_slope: f64,
 }
 
 impl OnlineDetector {
@@ -240,11 +288,18 @@ impl OnlineDetector {
     /// sweep harness trains one model per `rw`).
     pub fn new(model: DetectorModel, cfg: DetectorConfig) -> Self {
         let window = SmoothedDivergence::new(cfg.rw);
-        OnlineDetector { model, cfg, window, alarm_at: None }
+        OnlineDetector { model, cfg, window, alarm_at: None, prev_score: 0.0, ewma_slope: 0.0 }
     }
 
     /// Feed one divergence observation at time `t`; returns `true` if this
     /// observation raises the alarm (first exceedance only).
+    ///
+    /// The magnitude check (smoothed divergence above the learned
+    /// per-state threshold) is evaluated on every observation exactly as
+    /// in the magnitude-only detector. When [`DetectorConfig::trend`] is
+    /// set, a second alarm path fires on a sustained positive slope of
+    /// the normalized score (see [`TrendConfig`]); the paths are
+    /// OR-composed, so the trend path can only move the alarm earlier.
     ///
     /// The first exceedance also increments the process-global
     /// `detector.alarms` counter (at most once per run — alarm events,
@@ -254,12 +309,30 @@ impl OnlineDetector {
         if self.alarm_at.is_some() {
             return false;
         }
+        let mut magnitude = false;
+        let mut score = 0.0_f64;
         for ch in 0..3 {
-            if sm.channel(ch) > self.model.threshold(state, ch, &self.cfg) {
-                self.alarm_at = Some(t);
-                diverseav_obs::metrics::counter_add("detector.alarms", 1);
-                return true;
+            // `threshold` bottoms out at `cfg.floor` > 0, so the
+            // normalized score is always finite.
+            let th = self.model.threshold(state, ch, &self.cfg);
+            if sm.channel(ch) > th {
+                magnitude = true;
             }
+            score = score.max(sm.channel(ch) / th);
+        }
+        let trend = match self.cfg.trend {
+            Some(tr) => {
+                let d = score - self.prev_score;
+                self.ewma_slope = tr.alpha * d + (1.0 - tr.alpha) * self.ewma_slope;
+                self.prev_score = score;
+                self.ewma_slope > tr.slope_threshold && score > tr.arming_floor
+            }
+            None => false,
+        };
+        if magnitude || trend {
+            self.alarm_at = Some(t);
+            diverseav_obs::metrics::counter_add("detector.alarms", 1);
+            return true;
         }
         false
     }
@@ -474,5 +547,98 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn zero_window_rejected() {
         let _ = DetectorConfig::default().with_rw(0);
+    }
+
+    /// A linear ramp of divergence: slow onset, as in sensor bias drift.
+    fn ramp(n: usize, step: f64) -> Vec<TrainSample> {
+        (0..n)
+            .map(|i| TrainSample {
+                t: i as f64 * 0.025,
+                state: state(5.0, 0.0),
+                div: Divergence { throttle: i as f64 * step, ..Default::default() },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn trend_path_alarms_before_magnitude_on_a_ramp() {
+        let runs = vec![vec![sample(5.0, 0.0, 0.2)]];
+        let mut cfg = DetectorConfig::default().with_rw(1);
+        cfg.margin = 1.0;
+        let model = DetectorModel::train(&runs, &cfg);
+        // Normalized slope 0.02 / 0.2 = 0.1 per observation: steep enough
+        // for the EWMA to clear the default slope threshold while the
+        // magnitude path is still below the alarm line.
+        let stream = ramp(60, 0.02);
+        let magnitude = OnlineDetector::replay(&model, cfg, &stream).expect("magnitude alarms");
+        let trend = OnlineDetector::replay(&model, cfg.with_trend(TrendConfig::default()), &stream)
+            .expect("trend alarms");
+        assert!(trend < magnitude, "trend {trend} must beat magnitude {magnitude}");
+    }
+
+    #[test]
+    fn trend_disabled_is_bit_identical_to_magnitude_only() {
+        let runs = vec![vec![sample(5.0, 0.0, 0.2)]];
+        let cfg = DetectorConfig::default().with_rw(1);
+        let model = DetectorModel::train(&runs, &cfg);
+        let stream = ramp(60, 0.01);
+        // `trend: None` is the default — the config carries no trend state
+        // and replay matches the historical detector exactly.
+        assert_eq!(cfg.trend, None);
+        assert_eq!(
+            OnlineDetector::replay(&model, cfg, &stream),
+            OnlineDetector::replay(&model, DetectorConfig { trend: None, ..cfg }, &stream),
+        );
+    }
+
+    #[test]
+    fn trend_never_alarms_later_than_magnitude() {
+        // The magnitude check is evaluated on every observation regardless
+        // of the trend state, so OR-composition can only be earlier.
+        let runs = vec![vec![sample(5.0, 0.0, 0.1)]];
+        let mut cfg = DetectorConfig::default().with_rw(2);
+        cfg.margin = 1.0;
+        let model = DetectorModel::train(&runs, &cfg);
+        for (n, step) in [(40, 0.02), (80, 0.005), (30, 0.05)] {
+            let stream = ramp(n, step);
+            let mag = OnlineDetector::replay(&model, cfg, &stream);
+            let tr =
+                OnlineDetector::replay(&model, cfg.with_trend(TrendConfig::default()), &stream);
+            match (tr, mag) {
+                (Some(tr), Some(mag)) => assert!(tr <= mag, "trend {tr} > magnitude {mag}"),
+                (None, Some(mag)) => panic!("trend missed an alarm magnitude caught at {mag}"),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn trend_arming_floor_suppresses_low_level_jitter() {
+        // Alternating tiny divergence has positive slope half the time but
+        // never approaches the threshold: the arming floor must hold the
+        // alarm (this is the golden-run false-positive guard).
+        let runs = vec![vec![sample(5.0, 0.0, 0.2)]];
+        let mut cfg = DetectorConfig::default().with_rw(1);
+        cfg.margin = 1.0;
+        let model = DetectorModel::train(&runs, &cfg);
+        let stream: Vec<TrainSample> = (0..200)
+            .map(|i| TrainSample {
+                t: i as f64 * 0.025,
+                state: state(5.0, 0.0),
+                div: Divergence {
+                    throttle: if i % 2 == 0 { 0.02 } else { 0.0 },
+                    ..Default::default()
+                },
+            })
+            .collect();
+        let cfg = cfg.with_trend(TrendConfig::default());
+        assert_eq!(OnlineDetector::replay(&model, cfg, &stream), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0, 1]")]
+    fn trend_alpha_out_of_range_rejected() {
+        let _ = DetectorConfig::default()
+            .with_trend(TrendConfig { alpha: 0.0, ..TrendConfig::default() });
     }
 }

@@ -280,6 +280,9 @@ pub fn plan_seed(campaign: &Campaign) -> u64 {
     let kind_code: u64 = match campaign.kind {
         FaultModelKind::Transient => 1,
         FaultModelKind::Permanent => 2,
+        // Sensor classes occupy a disjoint code block above the register
+        // models so every fault-model axis value stays well separated.
+        FaultModelKind::Sensor(class) => 0x10 + class.class_code(),
     };
     let mode_code: u64 = match campaign.mode {
         AgentMode::Single => 1,
@@ -469,9 +472,13 @@ mod tests {
         ];
         let mut seeds: Vec<u64> = variants.iter().map(plan_seed).collect();
         seeds.push(plan_seed(&base));
+        // The five sensor-fault classes each get their own plan seed too.
+        for kind in FaultModelKind::SENSOR_KINDS {
+            seeds.push(plan_seed(&Campaign { kind, ..base }));
+        }
         seeds.sort_unstable();
         seeds.dedup();
-        assert_eq!(seeds.len(), 5, "all campaign variants must get distinct seeds");
+        assert_eq!(seeds.len(), 10, "all campaign variants must get distinct seeds");
     }
 
     #[test]

@@ -5,9 +5,12 @@
 //! Plan Generator, Driver, and run classification.
 //!
 //! A campaign targets one cell of Table I: `{GPU, CPU} × {transient,
-//! permanent} × {LeadSlowdown, GhostCutIn, FrontAccident}`. Golden runs
-//! double as the NVBitFI-style profiling pass that sizes the transient
-//! fault-site space and enumerates the opcodes for permanent campaigns.
+//! permanent} × {LeadSlowdown, GhostCutIn, FrontAccident}`, plus the
+//! sensor-boundary extension `sensor-<class>` campaigns (five
+//! [`diverseav_runtime::SensorFaultKind`] classes injected between
+//! `World::sense_into` and the driver). Golden runs double as the
+//! NVBitFI-style profiling pass that sizes the transient fault-site
+//! space and enumerates the opcodes for permanent campaigns.
 //!
 //! ## Example
 //!
@@ -54,6 +57,9 @@ pub use outcome::{
     max_traj_divergence, mean_trajectory, missed_hazard_probability, DetectionEval, OutcomeClass,
 };
 pub use plan::{generate_plan, FaultModelKind, PlanConfig};
+// Sensor-fault realizations live in the runtime crate (the injector is a
+// `SimLoop` hook); re-exported here so campaign code has one import root.
+pub use diverseav_runtime::{SensorFault, SensorFaultKind};
 pub use runner::{
     run_experiment, run_experiment_observed, run_record, FaultSpec, RunConfig, RunResult,
     Termination,

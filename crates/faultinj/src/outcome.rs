@@ -209,6 +209,7 @@ mod tests {
             collision_time: collision,
             alarm_time: alarm,
             fault_activated: true,
+            fault_onset_time: None,
             min_cvip: 5.0,
             red_light_violations: 0,
             ticks: 0,

@@ -1,27 +1,64 @@
 //! The Injection Plan Generator (Fig 3): samples transient fault sites
 //! from a profiling run and enumerates opcodes for permanent campaigns,
-//! mirroring the NVBitFI/PinFI methodology of §IV-D.
+//! mirroring the NVBitFI/PinFI methodology of §IV-D. The sensor-boundary
+//! extension (ROADMAP item 5) adds per-class [`SensorFaultKind`] plan
+//! dimensions alongside the register-flip campaigns.
 
 use crate::runner::{FaultSpec, RunResult};
 use diverseav_fabric::{FaultModel, Op, Profile};
+use diverseav_runtime::{SensorFault, SensorFaultKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// Transient vs permanent campaign.
+/// The fault-model axis of a campaign: register flips (transient /
+/// permanent, §II-B) or one sensor-boundary fault class.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub enum FaultModelKind {
     /// One corrupted dynamic instruction per run.
     Transient,
     /// Every dynamic instance of one opcode corrupted, per run.
     Permanent,
+    /// One sensor-boundary fault of the given class per run, injected
+    /// between `World::sense_into` and the driver.
+    Sensor(SensorFaultKind),
 }
 
 impl FaultModelKind {
-    /// Short label used in reports ("transient"/"permanent").
+    /// Every sensor-fault campaign kind, in stable enumeration order.
+    pub const SENSOR_KINDS: [FaultModelKind; 5] = [
+        FaultModelKind::Sensor(SensorFaultKind::Dropout),
+        FaultModelKind::Sensor(SensorFaultKind::BiasDrift),
+        FaultModelKind::Sensor(SensorFaultKind::OutlierBurst),
+        FaultModelKind::Sensor(SensorFaultKind::NoiseInflation),
+        FaultModelKind::Sensor(SensorFaultKind::Oscillation),
+    ];
+
+    /// Short label used in reports and shard manifests ("transient",
+    /// "permanent", "sensor-<class>").
     pub fn label(self) -> &'static str {
         match self {
             FaultModelKind::Transient => "transient",
             FaultModelKind::Permanent => "permanent",
+            FaultModelKind::Sensor(class) => match class {
+                SensorFaultKind::Dropout => "sensor-dropout",
+                SensorFaultKind::BiasDrift => "sensor-bias-drift",
+                SensorFaultKind::OutlierBurst => "sensor-outlier-burst",
+                SensorFaultKind::NoiseInflation => "sensor-noise-inflation",
+                SensorFaultKind::Oscillation => "sensor-oscillation",
+            },
+        }
+    }
+
+    /// Parse a label produced by [`label`](Self::label) (the shard CLI's
+    /// `--kind` axis).
+    pub fn from_label(s: &str) -> Option<Self> {
+        match s {
+            "transient" => Some(FaultModelKind::Transient),
+            "permanent" => Some(FaultModelKind::Permanent),
+            _ => {
+                let class = s.strip_prefix("sensor-")?;
+                SensorFaultKind::from_label(class).map(FaultModelKind::Sensor)
+            }
         }
     }
 }
@@ -48,7 +85,10 @@ pub struct PlanConfig {
 /// instruction stream; permanent faults enumerate every opcode the
 /// profiling run actually executed on the target fabric (the paper's "171
 /// GPU opcodes / 131 Intel opcodes" enumeration). Masks are single random
-/// bit flips of the 32-bit destination register.
+/// bit flips of the 32-bit destination register. Sensor plans draw
+/// `n_transient` per-run realization seeds — each realized fault (onset,
+/// magnitudes, per-frame noise) is then a pure function of its seed, so
+/// sharding and caching work exactly as for register campaigns.
 pub fn generate_plan(profile_run: &RunResult, cfg: &PlanConfig) -> Vec<FaultSpec> {
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xF417);
     let mut specs = Vec::new();
@@ -62,7 +102,7 @@ pub fn generate_plan(profile_run: &RunResult, cfg: &PlanConfig) -> Vec<FaultSpec
             for _ in 0..cfg.n_transient {
                 let instr_index = rng.gen_range(0..space);
                 let mask = 1u32 << rng.gen_range(0..32);
-                specs.push(FaultSpec {
+                specs.push(FaultSpec::Fabric {
                     unit: 0,
                     profile: cfg.target,
                     model: FaultModel::Transient { instr_index, mask },
@@ -78,12 +118,18 @@ pub fn generate_plan(profile_run: &RunResult, cfg: &PlanConfig) -> Vec<FaultSpec
             for op in ops {
                 for _ in 0..cfg.repeats {
                     let mask = 1u32 << rng.gen_range(0..32);
-                    specs.push(FaultSpec {
+                    specs.push(FaultSpec::Fabric {
                         unit: 0,
                         profile: cfg.target,
                         model: FaultModel::Permanent { op, mask },
                     });
                 }
+            }
+        }
+        FaultModelKind::Sensor(class) => {
+            for _ in 0..cfg.n_transient {
+                let seed: u64 = rng.gen();
+                specs.push(FaultSpec::Sensor(SensorFault { kind: class, seed }));
             }
         }
     }
@@ -107,6 +153,7 @@ mod tests {
             collision_time: None,
             alarm_time: None,
             fault_activated: false,
+            fault_onset_time: None,
             min_cvip: 10.0,
             red_light_violations: 0,
             ticks: 0,
@@ -133,13 +180,17 @@ mod tests {
         let plan = generate_plan(&fake_profile(), &cfg);
         assert_eq!(plan.len(), 50);
         for spec in &plan {
-            assert_eq!(spec.profile, Profile::Gpu);
-            match spec.model {
-                FaultModel::Transient { instr_index, mask } => {
-                    assert!(instr_index < 1_000_000);
+            match spec {
+                FaultSpec::Fabric {
+                    profile,
+                    model: FaultModel::Transient { instr_index, mask },
+                    ..
+                } => {
+                    assert_eq!(*profile, Profile::Gpu);
+                    assert!(*instr_index < 1_000_000);
                     assert_eq!(mask.count_ones(), 1, "single-bit masks");
                 }
-                _ => panic!("expected transient"),
+                other => panic!("expected transient fabric fault, got {other:?}"),
             }
         }
     }
@@ -156,9 +207,39 @@ mod tests {
         let plan = generate_plan(&fake_profile(), &cfg);
         assert_eq!(plan.len(), 2 * 3, "2 used CPU opcodes × 3 repeats");
         assert!(plan.iter().all(|s| matches!(
-            s.model,
-            FaultModel::Permanent { op, .. } if op == Op::IAdd || op == Op::FSub
+            s,
+            FaultSpec::Fabric { model: FaultModel::Permanent { op, .. }, .. }
+                if *op == Op::IAdd || *op == Op::FSub
         )));
+    }
+
+    #[test]
+    fn sensor_plan_draws_seed_pure_realizations() {
+        for class in SensorFaultKind::ALL {
+            let cfg = PlanConfig {
+                kind: FaultModelKind::Sensor(class),
+                target: Profile::Gpu,
+                n_transient: 12,
+                repeats: 3,
+                seed: 9,
+            };
+            let plan = generate_plan(&fake_profile(), &cfg);
+            assert_eq!(plan.len(), 12, "sensor plans size like transient plans");
+            let mut seeds: Vec<u64> = plan
+                .iter()
+                .map(|s| match s {
+                    FaultSpec::Sensor(sf) => {
+                        assert_eq!(sf.kind, class);
+                        sf.seed
+                    }
+                    other => panic!("expected sensor fault, got {other:?}"),
+                })
+                .collect();
+            assert_eq!(plan, generate_plan(&fake_profile(), &cfg), "seed-pure");
+            seeds.sort_unstable();
+            seeds.dedup();
+            assert!(seeds.len() > 10, "realization seeds are well spread");
+        }
     }
 
     #[test]
@@ -179,5 +260,29 @@ mod tests {
     fn labels() {
         assert_eq!(FaultModelKind::Transient.label(), "transient");
         assert_eq!(FaultModelKind::Permanent.label(), "permanent");
+        assert_eq!(FaultModelKind::Sensor(SensorFaultKind::BiasDrift).label(), "sensor-bias-drift");
+        let all: Vec<&str> = FaultModelKind::SENSOR_KINDS.iter().map(|k| k.label()).collect();
+        assert_eq!(
+            all,
+            [
+                "sensor-dropout",
+                "sensor-bias-drift",
+                "sensor-outlier-burst",
+                "sensor-noise-inflation",
+                "sensor-oscillation"
+            ]
+        );
+    }
+
+    #[test]
+    fn labels_round_trip_through_from_label() {
+        let kinds = [FaultModelKind::Transient, FaultModelKind::Permanent]
+            .into_iter()
+            .chain(FaultModelKind::SENSOR_KINDS);
+        for kind in kinds {
+            assert_eq!(FaultModelKind::from_label(kind.label()), Some(kind));
+        }
+        assert_eq!(FaultModelKind::from_label("sensor-bogus"), None);
+        assert_eq!(FaultModelKind::from_label("bogus"), None);
     }
 }

@@ -5,27 +5,51 @@ use diverseav::{Ads, AdsConfig, AgentMode, DetectorConfig, DetectorModel, TrainS
 use diverseav_agent::AgentConfig;
 use diverseav_fabric::{FaultModel, Op, Profile};
 use diverseav_runtime::{
-    LoopObserver, PerfObserver, ProfilingObserver, SimLoop, TrainingCollector,
+    FrameInjector, LoopObserver, PerfObserver, ProfilingObserver, SensorFault, SimLoop,
+    TrainingCollector,
 };
 use diverseav_simworld::{Scenario, SensorConfig, TrajPoint, World, TICK_HZ};
 use std::fmt;
 
 pub use diverseav_runtime::Termination;
 
-/// A fault to inject into one experiment.
+/// A fault to inject into one experiment: a register flip inside the
+/// compute fabric (the paper's §II-B model) or a sensor-boundary fault
+/// applied to the frame before the driver sees it (ROADMAP item 5).
 #[derive(Copy, Clone, Debug, PartialEq)]
-pub struct FaultSpec {
-    /// Processor unit index (0 except for FD's second processor).
-    pub unit: usize,
-    /// Target fabric (the paper's CPU-vs-GPU injection axis).
-    pub profile: Profile,
-    /// The architectural fault model.
-    pub model: FaultModel,
+pub enum FaultSpec {
+    /// An architectural fault in the compute fabric.
+    Fabric {
+        /// Processor unit index (0 except for FD's second processor).
+        unit: usize,
+        /// Target fabric (the paper's CPU-vs-GPU injection axis).
+        profile: Profile,
+        /// The architectural fault model.
+        model: FaultModel,
+    },
+    /// A sensor-boundary fault injected between `World::sense_into` and
+    /// the driver.
+    Sensor(SensorFault),
+}
+
+impl FaultSpec {
+    /// The sensor fault, if this spec targets the sensor boundary.
+    pub fn as_sensor(&self) -> Option<SensorFault> {
+        match self {
+            FaultSpec::Sensor(sf) => Some(*sf),
+            FaultSpec::Fabric { .. } => None,
+        }
+    }
 }
 
 impl fmt::Display for FaultSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}[unit{}] {}", self.profile, self.unit, self.model)
+        match self {
+            FaultSpec::Fabric { unit, profile, model } => {
+                write!(f, "{profile}[unit{unit}] {model}")
+            }
+            FaultSpec::Sensor(sf) => write!(f, "{sf}"),
+        }
     }
 }
 
@@ -91,8 +115,13 @@ pub struct RunResult {
     pub collision_time: Option<f64>,
     /// Detector alarm time, if raised.
     pub alarm_time: Option<f64>,
-    /// Whether the armed fault corrupted at least one register.
+    /// Whether the armed fault corrupted at least one register (fabric
+    /// faults) or frame (sensor faults).
     pub fault_activated: bool,
+    /// Simulation time of the first corrupted frame for sensor faults
+    /// (`None` for golden runs and fabric faults) — the reference point
+    /// for detection-latency accounting.
+    pub fault_onset_time: Option<f64>,
     /// Minimum CVIP distance over the run.
     pub min_cvip: f64,
     /// Red lights crossed against a stop demand.
@@ -149,21 +178,35 @@ pub fn run_record(
     index: usize,
     r: &RunResult,
 ) -> diverseav_obs::RunRecord {
-    let fault = r.fault.map(|f| {
-        let (model, cycle, op, mask) = match f.model {
-            FaultModel::Transient { instr_index, mask } => {
-                ("transient", Some(instr_index), None, mask)
+    let fault = r.fault.map(|f| match f {
+        FaultSpec::Fabric { unit, profile, model } => {
+            let (model, cycle, op, mask) = match model {
+                FaultModel::Transient { instr_index, mask } => {
+                    ("transient", Some(instr_index), None, mask)
+                }
+                FaultModel::Permanent { op, mask } => {
+                    ("permanent", None, Some(op.to_string()), mask)
+                }
+            };
+            diverseav_obs::FaultSite {
+                profile: profile.to_string(),
+                unit,
+                model: model.to_string(),
+                mask,
+                cycle,
+                op,
             }
-            FaultModel::Permanent { op, mask } => ("permanent", None, Some(op.to_string()), mask),
-        };
-        diverseav_obs::FaultSite {
-            profile: f.profile.to_string(),
-            unit: f.unit,
-            model: model.to_string(),
-            mask,
-            cycle,
-            op,
         }
+        // Sensor faults ride the same site schema: the realization seed
+        // in `cycle`, the class label in `op`.
+        FaultSpec::Sensor(sf) => diverseav_obs::FaultSite {
+            profile: "SENSOR".to_string(),
+            unit: 0,
+            model: "sensor".to_string(),
+            mask: 0,
+            cycle: Some(sf.seed),
+            op: Some(sf.kind.label().to_string()),
+        },
     });
     diverseav_obs::RunRecord {
         campaign: campaign.to_string(),
@@ -176,6 +219,7 @@ pub fn run_record(
         collision_time: r.collision_time,
         alarm_time: r.alarm_time,
         fault_activated: r.fault_activated,
+        fault_onset_time: r.fault_onset_time,
         min_cvip: r.min_cvip,
         div_peak: r.divergence_peak(),
         fault,
@@ -208,8 +252,13 @@ pub fn run_experiment_observed(cfg: &RunConfig, extra: &mut [&mut dyn LoopObserv
     if let Some((model, det_cfg)) = &cfg.detector {
         ads.attach_detector(model.clone(), *det_cfg);
     }
-    if let Some(fault) = cfg.fault {
-        ads.inject_fault(fault.unit, fault.profile, fault.model);
+    let mut sensor_fault: Option<SensorFault> = None;
+    match cfg.fault {
+        Some(FaultSpec::Fabric { unit, profile, model }) => {
+            ads.inject_fault(unit, profile, model);
+        }
+        Some(FaultSpec::Sensor(sf)) => sensor_fault = Some(sf),
+        None => {}
     }
 
     let capacity = (cfg.scenario.duration * TICK_HZ) as usize + 2;
@@ -217,6 +266,9 @@ pub fn run_experiment_observed(cfg: &RunConfig, extra: &mut [&mut dyn LoopObserv
     let mut perf = PerfObserver::new();
     let mut profiling = ProfilingObserver::new(cfg.scenario.name);
     let mut sim = SimLoop::new(world, ads);
+    if let Some(sf) = sensor_fault {
+        sim.set_injector(FrameInjector::new(sf));
+    }
     let termination = {
         let mut observers: Vec<&mut dyn LoopObserver> = Vec::with_capacity(3 + extra.len());
         observers.push(&mut collector);
@@ -229,6 +281,8 @@ pub fn run_experiment_observed(cfg: &RunConfig, extra: &mut [&mut dyn LoopObserv
         }
         sim.run_observed(&mut observers)
     };
+    let (injector_activated, fault_onset_time) =
+        sim.injector().map_or((false, None), |inj| (inj.activated(), inj.onset_time()));
     let (world, ads) = sim.into_parts();
 
     let stats = |p: Profile| ads.unit_stats(p, 0).expect("unit 0 exists in every mode");
@@ -243,7 +297,8 @@ pub fn run_experiment_observed(cfg: &RunConfig, extra: &mut [&mut dyn LoopObserv
         end_time: world.time(),
         collision_time: world.collision_time(),
         alarm_time: ads.alarm_time(),
-        fault_activated: ads.fault_activated(),
+        fault_activated: ads.fault_activated() || injector_activated,
+        fault_onset_time,
         min_cvip: world.min_cvip(),
         red_light_violations: world.red_light_violations(),
         ticks: perf.ticks(),
@@ -298,7 +353,7 @@ mod tests {
     #[test]
     fn cpu_hang_fault_is_platform_detected() {
         let mut cfg = RunConfig::new(short_scenario(), AgentMode::RoundRobin, 3);
-        cfg.fault = Some(FaultSpec {
+        cfg.fault = Some(FaultSpec::Fabric {
             unit: 0,
             profile: Profile::Cpu,
             model: FaultModel::Permanent { op: Op::IAdd, mask: 1 },
@@ -313,7 +368,7 @@ mod tests {
     fn inert_transient_fault_is_masked() {
         // Target an index far beyond the run's instruction count.
         let mut cfg = RunConfig::new(short_scenario(), AgentMode::RoundRobin, 4);
-        cfg.fault = Some(FaultSpec {
+        cfg.fault = Some(FaultSpec::Fabric {
             unit: 0,
             profile: Profile::Gpu,
             model: FaultModel::Transient { instr_index: u64::MAX, mask: 1 },
@@ -348,7 +403,7 @@ mod tests {
     #[test]
     fn run_record_flattens_fault_site() {
         let mut cfg = RunConfig::new(short_scenario(), AgentMode::RoundRobin, 8);
-        cfg.fault = Some(FaultSpec {
+        cfg.fault = Some(FaultSpec::Fabric {
             unit: 0,
             profile: Profile::Gpu,
             model: FaultModel::Transient { instr_index: 42, mask: 7 },
@@ -369,5 +424,44 @@ mod tests {
         let a = run_experiment(&RunConfig::new(short_scenario(), AgentMode::RoundRobin, 6));
         let b = run_experiment(&RunConfig::new(short_scenario(), AgentMode::RoundRobin, 7));
         assert_ne!(a.trajectory, b.trajectory, "nondeterminism model active");
+    }
+
+    #[test]
+    fn sensor_fault_activates_and_records_onset() {
+        use diverseav_runtime::SensorFaultKind;
+        let mut cfg = RunConfig::new(short_scenario(), AgentMode::RoundRobin, 9);
+        let sf = SensorFault { kind: SensorFaultKind::Dropout, seed: 0xD50 };
+        cfg.fault = Some(FaultSpec::Sensor(sf));
+        cfg.collect_training = true;
+        let r = run_experiment(&cfg);
+        assert!(r.fault_activated, "dropout must corrupt frames");
+        let onset = r.fault_onset_time.expect("onset time recorded");
+        assert!((onset - sf.onset_step() as f64 / TICK_HZ).abs() < 1e-9, "onset {onset}");
+        // The corrupted stream must diverge from the same seed's golden run.
+        let golden = run_experiment(&RunConfig::new(short_scenario(), AgentMode::RoundRobin, 9));
+        assert_ne!(r.trajectory, golden.trajectory, "sensor fault reached the control loop");
+    }
+
+    #[test]
+    fn sensor_fault_run_record_carries_class_and_onset() {
+        use diverseav_runtime::SensorFaultKind;
+        let mut cfg = RunConfig::new(short_scenario(), AgentMode::RoundRobin, 10);
+        cfg.fault =
+            Some(FaultSpec::Sensor(SensorFault { kind: SensorFaultKind::Oscillation, seed: 3 }));
+        let r = run_experiment(&cfg);
+        let rec = run_record("SENSOR-oscillation LSD [diverseav]", "injected", 0, &r);
+        let site = rec.fault.as_ref().expect("fault site recorded");
+        assert_eq!(site.profile, "SENSOR");
+        assert_eq!(site.model, "sensor");
+        assert_eq!(site.op.as_deref(), Some("oscillation"));
+        assert_eq!(site.cycle, Some(3));
+        assert_eq!(rec.fault_onset_time, r.fault_onset_time);
+        assert!(rec.render().contains("\"fault_onset_time\""));
+    }
+
+    #[test]
+    fn golden_runs_leave_onset_unset() {
+        let r = run_experiment(&RunConfig::new(short_scenario(), AgentMode::RoundRobin, 11));
+        assert_eq!(r.fault_onset_time, None);
     }
 }

@@ -52,7 +52,8 @@ use std::time::Instant;
 
 /// Version stamped into every shard artifact; bumped whenever the line
 /// format changes incompatibly. The merger refuses other versions.
-pub const SHARD_SCHEMA_VERSION: u32 = 1;
+/// v2 added `fault_onset_time` to run lines (sensor-boundary faults).
+pub const SHARD_SCHEMA_VERSION: u32 = 2;
 
 /// Everything that can go wrong sharding or merging.
 #[derive(Debug)]
@@ -233,8 +234,10 @@ pub struct ShardRun {
     pub collision_time: Option<f64>,
     /// Detector alarm time, if raised.
     pub alarm_time: Option<f64>,
-    /// Whether the fault corrupted at least one register.
+    /// Whether the fault corrupted at least one register or frame.
     pub fault_activated: bool,
+    /// First corrupted-frame time for sensor faults (`None` otherwise).
+    pub fault_onset_time: Option<f64>,
     /// Minimum CVIP distance over the run.
     pub min_cvip: f64,
     /// Red lights crossed against a stop demand.
@@ -253,23 +256,36 @@ impl ShardRun {
     /// Flatten a live [`RunResult`] (same fault-site mapping as the
     /// run journal's [`run_record`](crate::runner::run_record)).
     pub fn from_result(kind: &str, index: usize, r: &RunResult) -> Self {
-        let fault = r.fault.map(|f| {
-            let (model, cycle, op, mask) = match f.model {
-                FaultModel::Transient { instr_index, mask } => {
-                    ("transient", Some(instr_index), None, mask)
+        let fault = r.fault.map(|f| match f {
+            FaultSpec::Fabric { unit, profile, model } => {
+                let (model, cycle, op, mask) = match model {
+                    FaultModel::Transient { instr_index, mask } => {
+                        ("transient", Some(instr_index), None, mask)
+                    }
+                    FaultModel::Permanent { op, mask } => {
+                        ("permanent", None, Some(op.to_string()), mask)
+                    }
+                };
+                FaultSite {
+                    profile: profile.to_string(),
+                    unit,
+                    model: model.to_string(),
+                    mask,
+                    cycle,
+                    op,
                 }
-                FaultModel::Permanent { op, mask } => {
-                    ("permanent", None, Some(op.to_string()), mask)
-                }
-            };
-            FaultSite {
-                profile: f.profile.to_string(),
-                unit: f.unit,
-                model: model.to_string(),
-                mask,
-                cycle,
-                op,
             }
+            // Sensor faults ride shard schema v1 unchanged: realization
+            // seed in `cycle`, class label in `op`. Onset time is a pure
+            // function of the seed, so the artifact need not carry it.
+            FaultSpec::Sensor(sf) => FaultSite {
+                profile: "SENSOR".to_string(),
+                unit: 0,
+                model: "sensor".to_string(),
+                mask: 0,
+                cycle: Some(sf.seed),
+                op: Some(sf.kind.label().to_string()),
+            },
         });
         ShardRun {
             kind: kind.to_string(),
@@ -280,6 +296,7 @@ impl ShardRun {
             collision_time: r.collision_time,
             alarm_time: r.alarm_time,
             fault_activated: r.fault_activated,
+            fault_onset_time: r.fault_onset_time,
             min_cvip: r.min_cvip,
             red_light_violations: r.red_light_violations,
             ticks: r.ticks,
@@ -327,11 +344,13 @@ impl ShardRun {
         ));
         s.push_str(&format!(
             "\"end_time\": {}, \"collision_time\": {}, \"alarm_time\": {}, \
-             \"fault_activated\": {}, \"min_cvip\": {}, \"red_light_violations\": {}, ",
+             \"fault_activated\": {}, \"fault_onset_time\": {}, \"min_cvip\": {}, \
+             \"red_light_violations\": {}, ",
             json::f64_bits(self.end_time),
             json::opt_f64_bits(self.collision_time),
             json::opt_f64_bits(self.alarm_time),
             self.fault_activated,
+            json::opt_f64_bits(self.fault_onset_time),
             json::f64_bits(self.min_cvip),
             self.red_light_violations,
         ));
@@ -400,6 +419,7 @@ impl ShardRun {
                 collision_time: opt_f64_bits_member(v, "collision_time")?,
                 alarm_time: opt_f64_bits_member(v, "alarm_time")?,
                 fault_activated: req_bool(v, "fault_activated")?,
+                fault_onset_time: opt_f64_bits_member(v, "fault_onset_time")?,
                 min_cvip: req_f64_bits(v, "min_cvip")?,
                 red_light_violations: req_usize(v, "red_light_violations")? as u32,
                 ticks: req_u64_str(v, "ticks")?,
@@ -1380,6 +1400,7 @@ mod tests {
             collision_time: None,
             alarm_time: Some(0.875),
             fault_activated: true,
+            fault_onset_time: None,
             min_cvip: f64::INFINITY,
             red_light_violations: 1,
             ticks: 51,
@@ -1501,6 +1522,7 @@ mod tests {
             collision_time: None,
             alarm_time: None,
             fault_activated: false,
+            fault_onset_time: None,
             min_cvip: 5.0,
             red_light_violations: 0,
             ticks: 10,

@@ -14,12 +14,18 @@ use std::collections::HashMap;
 
 const MODES: [AgentMode; 3] = [AgentMode::Single, AgentMode::RoundRobin, AgentMode::Duplicate];
 const TARGETS: [Profile; 2] = [Profile::Gpu, Profile::Cpu];
-const KINDS: [FaultModelKind; 2] = [FaultModelKind::Transient, FaultModelKind::Permanent];
+/// Every campaign kind: register flips plus the five sensor-boundary
+/// classes added with the sensor-fault extension.
+fn kinds() -> Vec<FaultModelKind> {
+    let mut kinds = vec![FaultModelKind::Transient, FaultModelKind::Permanent];
+    kinds.extend(FaultModelKind::SENSOR_KINDS);
+    kinds
+}
 
 #[test]
 fn ghost_cut_in_never_shares_a_seed_with_front_accident() {
     for target in TARGETS {
-        for kind in KINDS {
+        for kind in kinds() {
             for mode in MODES {
                 let gc = Campaign { scenario: ScenarioKind::GhostCutIn, target, kind, mode };
                 let fa = Campaign { scenario: ScenarioKind::FrontAccident, ..gc };
@@ -35,12 +41,13 @@ fn ghost_cut_in_never_shares_a_seed_with_front_accident() {
 
 #[test]
 fn every_campaign_cell_has_a_distinct_seed() {
-    // 3 scenarios × 2 targets × 2 kinds × 3 modes = 36 cells; every one
-    // must draw from its own fault-site distribution.
+    // 3 scenarios × 2 targets × 7 kinds (transient, permanent, and the
+    // five sensor classes) × 3 modes = 126 cells; every one must draw
+    // from its own fault-site distribution.
     let mut seen: HashMap<u64, Campaign> = HashMap::new();
     for scenario in ScenarioKind::safety_critical() {
         for target in TARGETS {
-            for kind in KINDS {
+            for kind in kinds() {
                 for mode in MODES {
                     let c = Campaign { scenario, target, kind, mode };
                     if let Some(prev) = seen.insert(plan_seed(&c), c) {
@@ -50,5 +57,5 @@ fn every_campaign_cell_has_a_distinct_seed() {
             }
         }
     }
-    assert_eq!(seen.len(), 36);
+    assert_eq!(seen.len(), 126);
 }

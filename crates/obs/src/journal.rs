@@ -53,8 +53,12 @@ pub struct RunRecord {
     pub collision_time: Option<f64>,
     /// Detector alarm time, if raised.
     pub alarm_time: Option<f64>,
-    /// Whether the armed fault corrupted at least one register.
+    /// Whether the armed fault corrupted at least one register (fabric
+    /// faults) or frame (sensor faults).
     pub fault_activated: bool,
+    /// Simulation time of the first corrupted frame for sensor faults
+    /// (`None` otherwise) — the detection-latency reference point.
+    pub fault_onset_time: Option<f64>,
     /// Minimum CVIP distance over the run (`null` when no NPC was ever
     /// in view — infinity has no JSON encoding).
     pub min_cvip: f64,
@@ -84,7 +88,8 @@ impl RunRecord {
             "{{\"type\": \"run\", \"campaign\": \"{}\", \"kind\": \"{}\", \"index\": {}, \
              \"seed\": {}, \"scenario\": \"{}\", \"outcome\": \"{}\", \"end_time\": {}, \
              \"collision_time\": {}, \"alarm_time\": {}, \"fault_activated\": {}, \
-             \"min_cvip\": {}, \"div_peak\": [{}, {}, {}], \"fault\": {}}}",
+             \"fault_onset_time\": {}, \"min_cvip\": {}, \"div_peak\": [{}, {}, {}], \
+             \"fault\": {}}}",
             json::escape(&self.campaign),
             self.kind,
             self.index,
@@ -95,6 +100,7 @@ impl RunRecord {
             json::opt_num(self.collision_time),
             json::opt_num(self.alarm_time),
             self.fault_activated,
+            json::opt_num(self.fault_onset_time),
             json::num(self.min_cvip),
             json::num(self.div_peak[0]),
             json::num(self.div_peak[1]),
@@ -229,6 +235,7 @@ mod tests {
             collision_time: Some(12.5),
             alarm_time: Some(9.25),
             fault_activated: true,
+            fault_onset_time: None,
             min_cvip: 0.0,
             div_peak: [0.5, 0.25, 0.125],
             fault: Some(FaultSite {
@@ -249,8 +256,27 @@ mod tests {
         assert!(line.contains("\"cycle\": 123456"));
         assert!(line.contains("\"op\": null"));
         assert!(line.contains("\"alarm_time\": 9.250000"));
+        assert!(line.contains("\"fault_onset_time\": null"));
         assert!(line.contains("\"div_peak\": [0.500000, 0.250000, 0.125000]"));
         assert!(line.ends_with('}'));
+    }
+
+    #[test]
+    fn sensor_record_carries_onset_time() {
+        let mut r = record();
+        r.fault_onset_time = Some(0.75);
+        r.fault = Some(FaultSite {
+            profile: "SENSOR".into(),
+            unit: 0,
+            model: "sensor".into(),
+            mask: 0,
+            cycle: Some(42),
+            op: Some("dropout".into()),
+        });
+        let line = r.render();
+        assert!(line.contains("\"fault_onset_time\": 0.750000"));
+        assert!(line.contains("\"model\": \"sensor\""));
+        assert!(line.contains("\"op\": \"dropout\""));
     }
 
     #[test]

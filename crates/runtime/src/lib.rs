@@ -18,6 +18,10 @@
 //!   [`World::sense_into`](diverseav_simworld::World::sense_into), so a
 //!   steady-state tick performs no heap allocation (the campaign hot
 //!   path the parallel engine fans out).
+//! - **[`inject`]** — sensor-boundary fault injection: a seed-pure
+//!   [`FrameInjector`] installed on the loop corrupts the pooled frame
+//!   in place between `sense_into` and the driver (the broadened,
+//!   component-agnostic fault model of ROADMAP item 5).
 //! - **[`registry`]** — the named scenario catalog carrying interned
 //!   `&'static str` scenario IDs end to end; a new workload is one
 //!   [`registry::register`] call.
@@ -29,11 +33,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod inject;
 pub mod observers;
 pub mod profiling;
 pub mod registry;
 pub mod simloop;
 
+pub use inject::{FrameInjector, SensorFault, SensorFaultKind};
 pub use observers::{PerfObserver, TrainingCollector};
 pub use profiling::{DeadlineStats, ProfilingObserver, DEADLINE_NS};
 pub use registry::ScenarioEntry;

@@ -273,12 +273,27 @@ pub struct SimLoop<D: LoopDriver> {
     world: World,
     driver: D,
     frame: SensorFrame,
+    injector: Option<crate::FrameInjector>,
 }
 
 impl<D: LoopDriver> SimLoop<D> {
     /// Couple `driver` to `world`.
     pub fn new(world: World, driver: D) -> Self {
-        SimLoop { world, driver, frame: SensorFrame::empty() }
+        SimLoop { world, driver, frame: SensorFrame::empty(), injector: None }
+    }
+
+    /// Install a sensor-boundary fault injector: from now on every frame
+    /// captured by `sense_into` is passed through
+    /// [`FrameInjector::apply`](crate::FrameInjector::apply) before the
+    /// driver sees it.
+    pub fn set_injector(&mut self, injector: crate::FrameInjector) {
+        self.injector = Some(injector);
+    }
+
+    /// The installed sensor-fault injector, if any (end-of-run
+    /// activation/onset accounting).
+    pub fn injector(&self) -> Option<&crate::FrameInjector> {
+        self.injector.as_ref()
     }
 
     /// Drive the loop to termination with no observers.
@@ -310,6 +325,11 @@ impl<D: LoopDriver> SimLoop<D> {
             }
             let t0 = timing.then(Instant::now);
             self.world.sense_into(&mut self.frame);
+            if let Some(inj) = &mut self.injector {
+                // The one sanctioned sensor-fault mutation point: between
+                // capture and the driver (see crate::inject).
+                inj.apply(&mut self.frame);
+            }
             let hint = self.world.route_hint();
             let state = VehState::from(self.world.ego_state());
             let t_now = self.world.time();

@@ -61,6 +61,12 @@ impl Image {
         &self.data
     }
 
+    /// Mutable raw interleaved RGB bytes (row-major) — the in-place
+    /// corruption surface used by the sensor-fault injector.
+    pub fn data_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
     /// Read pixel `(x, y)`.
     ///
     /// # Panics

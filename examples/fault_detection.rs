@@ -39,7 +39,7 @@ fn main() {
     //    detector raises the alarm with usable lead time.
     let mut faulty = RunConfig::new(lead_slowdown(), AgentMode::RoundRobin, 7);
     faulty.detector = Some((model, det_cfg));
-    faulty.fault = Some(FaultSpec {
+    faulty.fault = Some(FaultSpec::Fabric {
         unit: 0,
         profile: Profile::Gpu,
         model: FaultModel::Permanent { op: Op::FMax, mask: 1 << 23 },

@@ -51,7 +51,7 @@ fn severe_permanent_gpu_fault_is_detected_or_platform_caught() {
     // An exponent-bit corruption of every FMax destroys perception.
     let mut rc = RunConfig::new(lead_slowdown(), AgentMode::RoundRobin, 13);
     rc.detector = Some((model, cfg));
-    rc.fault = Some(FaultSpec {
+    rc.fault = Some(FaultSpec::Fabric {
         unit: 0,
         profile: Profile::Gpu,
         model: FaultModel::Permanent { op: Op::FMax, mask: 1 << 23 },
@@ -72,7 +72,7 @@ fn cpu_faults_hang_crash_or_mask_without_safety_impact() {
     let mut unsafe_runs = 0;
     for (i, op) in [Op::IAdd, Op::FMul, Op::FAdd, Op::F2I, Op::ILt].iter().enumerate() {
         let mut rc = RunConfig::new(scenario.clone(), AgentMode::RoundRobin, 21);
-        rc.fault = Some(FaultSpec {
+        rc.fault = Some(FaultSpec::Fabric {
             unit: 0,
             profile: Profile::Cpu,
             model: FaultModel::Permanent { op: *op, mask: 1 << (7 + i) },
@@ -119,7 +119,7 @@ fn fd_mode_detects_single_unit_fault() {
     let model = DetectorModel::train(&training, &cfg);
     let mut rc = RunConfig::new(short(ScenarioKind::LeadSlowdown, 15.0), AgentMode::Duplicate, 41);
     rc.detector = Some((model, cfg));
-    rc.fault = Some(FaultSpec {
+    rc.fault = Some(FaultSpec::Fabric {
         unit: 0,
         profile: Profile::Gpu,
         model: FaultModel::Permanent { op: Op::FMax, mask: 1 << 23 },
@@ -144,7 +144,7 @@ fn replay_matches_online_detection() {
         RunConfig::new(short(ScenarioKind::FrontAccident, 15.0), AgentMode::RoundRobin, 51);
     rc.detector = Some((model.clone(), cfg));
     rc.collect_training = true;
-    rc.fault = Some(FaultSpec {
+    rc.fault = Some(FaultSpec::Fabric {
         unit: 0,
         profile: Profile::Gpu,
         model: FaultModel::Permanent { op: Op::FFma, mask: 1 << 30 },
@@ -182,7 +182,7 @@ fn transient_faults_are_mostly_masked() {
     let total = 5;
     for k in 0..total {
         let mut rc = RunConfig::new(scenario.clone(), AgentMode::RoundRobin, 71);
-        rc.fault = Some(FaultSpec {
+        rc.fault = Some(FaultSpec::Fabric {
             unit: 0,
             profile: Profile::Gpu,
             model: FaultModel::Transient {

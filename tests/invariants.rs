@@ -57,7 +57,7 @@ proptest! {
     #[test]
     fn transient_runs_have_consistent_records(site in 0u64..3_000_000, bit in 0u32..32) {
         let mut rc = RunConfig::new(short_scenario(), AgentMode::RoundRobin, 7);
-        rc.fault = Some(FaultSpec {
+        rc.fault = Some(FaultSpec::Fabric {
             unit: 0,
             profile: Profile::Gpu,
             model: FaultModel::Transient { instr_index: site, mask: 1 << bit },
@@ -79,7 +79,7 @@ proptest! {
     #[test]
     fn runs_are_reproducible(seed in 0u64..50, bit in 0u32..32) {
         let mut rc = RunConfig::new(short_scenario(), AgentMode::RoundRobin, seed);
-        rc.fault = Some(FaultSpec {
+        rc.fault = Some(FaultSpec::Fabric {
             unit: 0,
             profile: Profile::Gpu,
             model: FaultModel::Permanent { op: Op::FMul, mask: 1 << bit },
@@ -99,7 +99,7 @@ fn duplicate_mode_unit1_fault_leaves_vehicle_control_clean() {
     // affect the reference stream, never the driven trajectory.
     let mut clean_rc = RunConfig::new(short_scenario(), AgentMode::Duplicate, 5);
     let clean = run_experiment(&clean_rc);
-    clean_rc.fault = Some(FaultSpec {
+    clean_rc.fault = Some(FaultSpec::Fabric {
         unit: 1,
         profile: Profile::Gpu,
         model: FaultModel::Permanent { op: Op::FAdd, mask: 1 << 30 },

@@ -1,0 +1,140 @@
+//! The "no silent divergence" gate: every sensor-boundary fault class,
+//! injected into every registered safety-critical scenario, must (a)
+//! corrupt at least one frame, (b) measurably grow the inter-agent
+//! divergence after onset, and (c) raise a detector alarm before the run
+//! ends. A fault class that sneaks through silently fails this suite —
+//! and CI runs it as a required job, so the failure blocks the merge.
+//!
+//! The detector is the PR's trend-aware configuration (magnitude
+//! threshold OR'd with the divergence-slope EWMA); a fault that only
+//! drifts slowly still has to be caught.
+
+use diverseav::AgentMode;
+use diverseav::{DetectorConfig, DetectorModel, TrendConfig};
+use diverseav_faultinj::{
+    collect_training_runs, run_experiment, CampaignScale, FaultSpec, RunConfig, SensorFault,
+    SensorFaultKind,
+};
+use diverseav_simworld::{Scenario, ScenarioKind, SensorConfig};
+use std::sync::OnceLock;
+
+/// Long-route training scale: enough coverage for a usable LUT without
+/// making the gate slow.
+fn training_scale() -> CampaignScale {
+    CampaignScale {
+        n_transient: 0,
+        permanent_repeats: 1,
+        golden_runs: 1,
+        long_route_duration: 30.0,
+        training_runs: 1,
+    }
+}
+
+/// One trained model shared across every (class, scenario) case — the
+/// training runs are the expensive part of the gate.
+fn trained() -> &'static (DetectorModel, DetectorConfig) {
+    static MODEL: OnceLock<(DetectorModel, DetectorConfig)> = OnceLock::new();
+    MODEL.get_or_init(|| {
+        let cfg = DetectorConfig::default().with_trend(TrendConfig::default());
+        let training = collect_training_runs(
+            AgentMode::RoundRobin,
+            &training_scale(),
+            SensorConfig::default(),
+        );
+        (DetectorModel::train(&training, &cfg), cfg)
+    })
+}
+
+/// Largest per-sample divergence (max over channels) within `[lo, hi)`.
+fn peak_divergence(samples: &[diverseav::TrainSample], lo: f64, hi: f64) -> f64 {
+    samples
+        .iter()
+        .filter(|s| s.t >= lo && s.t < hi)
+        .map(|s| s.div.throttle.max(s.div.brake).max(s.div.steer))
+        .fold(0.0, f64::max)
+}
+
+/// Drive one (fault class, scenario) case through the closed loop and
+/// assert the full activate → diverge → alarm chain.
+fn assert_fault_is_caught(class: SensorFaultKind, kind: ScenarioKind, seed: u64) {
+    let (model, dcfg) = trained().clone();
+    let mut scenario = Scenario::of_kind(kind);
+    scenario.duration = scenario.duration.min(12.0);
+    let fault = SensorFault { kind: class, seed };
+    let mut cfg = RunConfig::new(scenario, AgentMode::RoundRobin, 4242);
+    cfg.fault = Some(FaultSpec::Sensor(fault));
+    cfg.detector = Some((model, dcfg));
+    cfg.collect_training = true;
+    let r = run_experiment(&cfg);
+
+    assert!(r.fault_activated, "{class} on {kind:?}: fault never corrupted a frame");
+    let onset =
+        r.fault_onset_time.unwrap_or_else(|| panic!("{class} on {kind:?}: no onset time recorded"));
+
+    // (b) Divergence must grow: the peak after onset has to clear the
+    // fault-free peak before onset. The pre-onset window can be nearly
+    // silent, so also require a meaningful absolute level.
+    let pre = peak_divergence(&r.training, 0.0, onset);
+    let post = peak_divergence(&r.training, onset, r.end_time + 1.0);
+    assert!(
+        post > pre && post > 0.01,
+        "{class} on {kind:?}: divergence did not grow after onset \
+         (pre-onset peak {pre:.5}, post-onset peak {post:.5})"
+    );
+
+    // (c) The detector must alarm before the run ends — the "no silent
+    // divergence" clause. A hang/crash of the faulted stack also counts
+    // as caught (platform detection, as for register faults).
+    let caught = r.alarm_time.is_some() || r.termination.is_hang_or_crash();
+    assert!(
+        caught,
+        "{class} on {kind:?}: SILENT DIVERGENCE — fault active at t={onset:.3}, \
+         divergence peaked at {post:.5}, but no alarm by end of run (t={:.2})",
+        r.end_time
+    );
+    if let Some(alarm) = r.alarm_time {
+        assert!(
+            alarm >= onset,
+            "{class} on {kind:?}: alarm at {alarm:.3} precedes onset {onset:.3} \
+             (false positive before the fault existed)"
+        );
+    }
+}
+
+/// Every fault class × every registered safety-critical scenario.
+/// Per-class seeds keep realizations distinct while staying pinned.
+macro_rules! gate {
+    ($name:ident, $class:expr, $seed:expr) => {
+        #[test]
+        fn $name() {
+            for (i, kind) in ScenarioKind::safety_critical().into_iter().enumerate() {
+                assert_fault_is_caught($class, kind, $seed + i as u64);
+            }
+        }
+    };
+}
+
+gate!(dropout_never_diverges_silently, SensorFaultKind::Dropout, 0x0D10);
+gate!(bias_drift_never_diverges_silently, SensorFaultKind::BiasDrift, 0x0D20);
+gate!(outlier_burst_never_diverges_silently, SensorFaultKind::OutlierBurst, 0x0D30);
+gate!(noise_inflation_never_diverges_silently, SensorFaultKind::NoiseInflation, 0x0D40);
+gate!(oscillation_never_diverges_silently, SensorFaultKind::Oscillation, 0x0D50);
+
+#[test]
+fn golden_runs_stay_silent_under_the_same_detector() {
+    // The gate is meaningless if the detector alarms on clean runs too:
+    // pin the false-alarm side on every registered scenario.
+    let (model, dcfg) = trained().clone();
+    for kind in ScenarioKind::safety_critical() {
+        let mut scenario = Scenario::of_kind(kind);
+        scenario.duration = scenario.duration.min(12.0);
+        let mut cfg = RunConfig::new(scenario, AgentMode::RoundRobin, 4242);
+        cfg.detector = Some((model.clone(), dcfg));
+        let r = run_experiment(&cfg);
+        assert!(
+            r.alarm_time.is_none(),
+            "golden {kind:?} run alarmed at {:?} — detector too hot for the gate",
+            r.alarm_time
+        );
+    }
+}

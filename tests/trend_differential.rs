@@ -1,0 +1,86 @@
+//! Differential gate for the trend-aware detector: replay the *same*
+//! recorded divergence traces through a magnitude-only and a trend-aware
+//! detector. The trend path is OR-composed on top of the unchanged
+//! magnitude check, so on every sensor-fault class its detection latency
+//! must be less than or equal to the magnitude-only latency — and on
+//! golden (fault-free) traces the two must agree exactly, pinning the
+//! false-alarm rate.
+
+use diverseav::{AgentMode, DetectorConfig, DetectorModel, OnlineDetector, TrendConfig};
+use diverseav_faultinj::{
+    collect_training_runs, run_experiment, CampaignScale, FaultSpec, RunConfig, SensorFault,
+    SensorFaultKind,
+};
+use diverseav_simworld::{Scenario, ScenarioKind, SensorConfig};
+use std::sync::OnceLock;
+
+fn scale() -> CampaignScale {
+    CampaignScale {
+        n_transient: 0,
+        permanent_repeats: 1,
+        golden_runs: 1,
+        long_route_duration: 30.0,
+        training_runs: 1,
+    }
+}
+
+fn model() -> &'static DetectorModel {
+    static MODEL: OnceLock<DetectorModel> = OnceLock::new();
+    MODEL.get_or_init(|| {
+        let training =
+            collect_training_runs(AgentMode::RoundRobin, &scale(), SensorConfig::default());
+        DetectorModel::train(&training, &DetectorConfig::default())
+    })
+}
+
+/// Record one run's divergence trace (no online detector — the replay is
+/// the experiment).
+fn trace_of(fault: Option<FaultSpec>, seed: u64) -> Vec<diverseav::TrainSample> {
+    let mut scenario = Scenario::of_kind(ScenarioKind::LeadSlowdown);
+    scenario.duration = scenario.duration.min(12.0);
+    let mut cfg = RunConfig::new(scenario, AgentMode::RoundRobin, seed);
+    cfg.fault = fault;
+    cfg.collect_training = true;
+    run_experiment(&cfg).training
+}
+
+#[test]
+fn trend_latency_never_exceeds_magnitude_latency_on_any_fault_class() {
+    let magnitude_cfg = DetectorConfig::default();
+    let trend_cfg = magnitude_cfg.with_trend(TrendConfig::default());
+    for (i, class) in SensorFaultKind::ALL.into_iter().enumerate() {
+        let fault = SensorFault { kind: class, seed: 0xDF00 + i as u64 };
+        let stream = trace_of(Some(FaultSpec::Sensor(fault)), 77);
+        assert!(!stream.is_empty(), "{class}: no divergence trace recorded");
+        let magnitude = OnlineDetector::replay(model(), magnitude_cfg, &stream);
+        let trend = OnlineDetector::replay(model(), trend_cfg, &stream);
+        match (trend, magnitude) {
+            (Some(t), Some(m)) => assert!(
+                t <= m,
+                "{class}: trend-aware latency regressed (trend alarm {t:.3} > magnitude {m:.3})"
+            ),
+            (None, Some(m)) => panic!(
+                "{class}: trend-aware detector missed an alarm magnitude-only raised at {m:.3}"
+            ),
+            (Some(_), None) => {} // trend caught what magnitude missed — strictly better
+            (None, None) => panic!("{class}: neither detector alarmed on a faulted trace"),
+        }
+    }
+}
+
+#[test]
+fn golden_false_alarm_behaviour_is_unchanged_by_the_trend_path() {
+    let magnitude_cfg = DetectorConfig::default();
+    let trend_cfg = magnitude_cfg.with_trend(TrendConfig::default());
+    for seed in [101, 202, 303] {
+        let stream = trace_of(None, seed);
+        assert!(!stream.is_empty(), "golden trace recorded");
+        let magnitude = OnlineDetector::replay(model(), magnitude_cfg, &stream);
+        let trend = OnlineDetector::replay(model(), trend_cfg, &stream);
+        assert_eq!(magnitude, None, "magnitude-only detector false-alarmed on golden seed {seed}");
+        assert_eq!(
+            trend, magnitude,
+            "trend path changed the golden false-alarm outcome on seed {seed}"
+        );
+    }
+}
