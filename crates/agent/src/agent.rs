@@ -408,11 +408,10 @@ impl SensorimotorAgent {
         gpu.run_kernel(&self.programs.decide, &mut self.gpu_ctx, 1, &[], self.cfg.decide_budget)
             .map_err(gerr)?;
 
-        // --- host DMA: waypoints GPU → CPU ---
-        for k in 0..8 {
-            let v = self.gpu_ctx.read_f32(l.out + out::WP + k);
-            self.cpu_ctx.write_f32(cpu::WP + k, v);
-        }
+        // --- host DMA: waypoints GPU → CPU (stack buffer, no allocation) ---
+        let mut wp = [0.0f32; 8];
+        self.gpu_ctx.read_slice_f32_into(l.out + out::WP, &mut wp);
+        self.cpu_ctx.write_slice_f32(cpu::WP, &wp);
         self.cpu_ctx.write_f32(cpu::SPEED, frame.speed);
         self.cpu_ctx.write_f32(cpu::DT, dt as f32);
         self.cpu_ctx.write_f32(cpu::YAW_RATE, frame.imu.yaw_rate);

@@ -11,7 +11,7 @@ use diverseav_agent::{AgentConfig, SensorimotorAgent};
 use diverseav_fabric::{Fabric, Profile, ProgramBuilder, Reg};
 use diverseav_runtime::{PolicyDriver, SimLoop};
 use diverseav_simworld::{
-    lead_slowdown, render_camera, Controls, RenderScene, SensorConfig, World,
+    lead_slowdown, lidar_scan_into, render_camera, Controls, RenderScene, SensorConfig, World,
 };
 
 /// Straight-line float pipeline for raw interpreter throughput.
@@ -39,7 +39,10 @@ fn interpreter_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-/// Data-parallel kernel launch (the agent's dominant cost shape).
+/// Data-parallel kernel launch (the agent's dominant cost shape), through
+/// both engines: the lockstep path `run_kernel` dispatches to, and the
+/// thread-major reference interpreter it must stay bit-identical to. The
+/// pair is the standing measurement of the lockstep speedup.
 fn kernel_launch(c: &mut Criterion) {
     let mut b = ProgramBuilder::new();
     b.tid(Reg(0));
@@ -55,6 +58,11 @@ fn kernel_launch(c: &mut Criterion) {
         let mut fabric = Fabric::new(Profile::Gpu);
         let mut ctx = fabric.new_context(8192);
         bench.iter(|| fabric.run_kernel(&prog, &mut ctx, 3072, &[], 100).expect("runs"));
+    });
+    group.bench_function("kernel_3072_threads_scalar_reference", |bench| {
+        let mut fabric = Fabric::new(Profile::Gpu);
+        let mut ctx = fabric.new_context(8192);
+        bench.iter(|| fabric.run_kernel_reference(&prog, &mut ctx, 3072, &[], 100).expect("runs"));
     });
     group.finish();
 }
@@ -73,6 +81,27 @@ fn camera_render(c: &mut Criterion) {
                 frame_seed: 1234,
             };
             render_camera(&cfg, &scene, 1)
+        });
+    });
+}
+
+/// One LiDAR sweep of a populated scene into a reused range buffer (the
+/// allocation-free form the campaign hot path uses when LiDAR is enabled).
+fn lidar_sweep(c: &mut Criterion) {
+    let world = World::new(lead_slowdown(), SensorConfig::default(), 7);
+    let cfg = SensorConfig::default();
+    c.bench_function("sensors/lidar_scan_180_beams", |bench| {
+        let mut ranges = Vec::new();
+        bench.iter(|| {
+            let scene = RenderScene {
+                track: &world.scenario().track,
+                ego: world.ego_state().pose,
+                ego_s: world.ego_s(),
+                npcs: world.npcs(),
+                frame_seed: 1234,
+            };
+            lidar_scan_into(&cfg, &scene, &mut ranges);
+            ranges.len()
         });
     });
 }
@@ -148,6 +177,6 @@ fn detector_observe(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = interpreter_throughput, kernel_launch, camera_render, agent_inference, ads_tick, world_step, detector_observe
+    targets = interpreter_throughput, kernel_launch, camera_render, lidar_sweep, agent_inference, ads_tick, world_step, detector_observe
 }
 criterion_main!(benches);

@@ -53,6 +53,15 @@ impl ExecStats {
         self.per_op[op.index()] += 1;
     }
 
+    /// Record `n` executions of one opcode at once — the lockstep batch
+    /// engine amortizes one decode over all active lanes and accounts the
+    /// whole mask here. Equivalent to `n` calls to [`record`](Self::record).
+    #[inline]
+    pub(crate) fn record_n(&mut self, op: Op, n: u64) {
+        self.total += n;
+        self.per_op[op.index()] += n;
+    }
+
     /// Record one program run / kernel launch.
     #[inline]
     pub(crate) fn record_launch(&mut self) {

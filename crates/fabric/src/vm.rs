@@ -2,7 +2,7 @@
 //! (GPU-profile) execution with trap semantics and fault injection.
 
 use crate::fault::{FaultModel, FaultState};
-use crate::isa::{bits_to_f32, f32_to_bits, Op, Reg, NUM_REGS};
+use crate::isa::{bits_to_f32, f32_to_bits, Op, Reg, ALL_OPS, NUM_REGS};
 use crate::program::Program;
 use crate::stats::ExecStats;
 use std::error::Error;
@@ -142,11 +142,30 @@ impl Context {
 
     /// Read `len` floats starting at `addr`.
     ///
+    /// Allocates a fresh vector per call; hot readback paths should use
+    /// [`read_slice_f32_into`](Self::read_slice_f32_into) instead to keep
+    /// the steady state allocation-free.
+    ///
     /// # Panics
     ///
     /// Panics if the source range is out of bounds.
     pub fn read_slice_f32(&self, addr: usize, len: usize) -> Vec<f32> {
         self.mem[addr..addr + len].iter().map(|&w| bits_to_f32(w)).collect()
+    }
+
+    /// Read `out.len()` floats starting at `addr` into a caller-provided
+    /// buffer — the allocation-free counterpart of
+    /// [`read_slice_f32`](Self::read_slice_f32) for hot kernel-readback
+    /// sites.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source range is out of bounds.
+    pub fn read_slice_f32_into(&self, addr: usize, out: &mut [f32]) {
+        let src = &self.mem[addr..addr + out.len()];
+        for (o, &w) in out.iter_mut().zip(src) {
+            *o = bits_to_f32(w);
+        }
     }
 
     /// Memory footprint in bytes (Table II accounting).
@@ -170,12 +189,200 @@ pub struct Fabric {
     stats: ExecStats,
     fault: Option<FaultState>,
     dyn_counter: u64,
+    scratch: LockstepScratch,
+}
+
+/// Default lane width of the lockstep kernel engine.
+///
+/// Sixteen lanes amortize one fetch/decode over sixteen threads while the
+/// per-lane state (a lane-major `[[u32; LANES]; NUM_REGS]` register file,
+/// 4 KiB at this width) still fits comfortably in L1, and the value loops
+/// map onto full vector registers.
+pub const LANES: usize = 16;
+
+/// Store-owner map entries pack the owning lane into 8 bits, so lane
+/// widths must stay below this bound.
+const MAX_LANE_WIDTH: usize = u8::MAX as usize;
+
+/// Per-fabric scratch for lockstep batches: an epoch-tagged store-owner map
+/// over context memory, a load-interval summary, an undo log for store
+/// rollback, and the batch's deferred instruction accounting. All buffers
+/// retain capacity across batches so steady-state kernel launches stay
+/// allocation-free.
+///
+/// Loads are deliberately *not* tracked per word. They only record two
+/// address intervals for the batch — `[load_lo, load_hi]` for lane-varying
+/// loads and `[uload_lo, uload_hi]` for uniform broadcast loads — and a
+/// store landing inside either interval aborts to the exact scalar path
+/// instead of consulting a per-word load map. That is strictly more
+/// conservative than precise tracking — every previously-detected conflict
+/// still aborts, some same-lane or disjoint-word cases now abort too — and
+/// aborting is always semantics-preserving (rollback + scalar replay). In
+/// exchange the dominant operation of real kernels, the load, costs no map
+/// traffic at all. Two intervals instead of one because real layouts put
+/// uniform constants (parameter blocks, LUTs) at the far end of memory,
+/// past the output planes: one interval would span the outputs and force
+/// every store to abort. Kernels that genuinely read and write the same
+/// region in one program (the agent's 1-thread planning kernel with its
+/// history buffer) simply run scalar.
+#[derive(Clone, Debug)]
+struct LockstepScratch {
+    /// Current batch epoch; a map entry is valid only if its epoch matches.
+    epoch: u32,
+    /// Store-owner map: per word, `epoch << 8 | lane` packed into one entry
+    /// so an ownership probe is a single load.
+    store_map: Vec<u64>,
+    /// Lowest / highest word address covered by lane-varying loads this
+    /// batch (`lo > hi` when empty).
+    load_lo: usize,
+    load_hi: usize,
+    /// Lowest / highest word address covered by uniform broadcast loads
+    /// this batch (`lo > hi` when empty).
+    uload_lo: usize,
+    uload_hi: usize,
+    /// `(addr, previous value)` for every store in the current batch, in
+    /// execution order; popped in reverse to roll a batch back.
+    undo: Vec<(u32, u32)>,
+    /// Lane-executions per opcode in the current batch; folded into
+    /// [`ExecStats`] and the dynamic-instruction counter only on commit.
+    op_counts: [u64; ALL_OPS.len()],
+}
+
+impl Default for LockstepScratch {
+    fn default() -> Self {
+        LockstepScratch {
+            epoch: 0,
+            store_map: Vec::new(),
+            load_lo: usize::MAX,
+            load_hi: 0,
+            uload_lo: usize::MAX,
+            uload_hi: 0,
+            undo: Vec::new(),
+            op_counts: [0; ALL_OPS.len()],
+        }
+    }
+}
+
+impl LockstepScratch {
+    /// Open a new batch epoch over a context of `words` memory words.
+    fn begin_batch(&mut self, words: usize) {
+        if self.store_map.len() < words {
+            self.store_map.resize(words, 0);
+        }
+        self.undo.clear();
+        self.op_counts = [0; ALL_OPS.len()];
+        self.load_lo = usize::MAX;
+        self.load_hi = 0;
+        self.uload_lo = usize::MAX;
+        self.uload_hi = 0;
+        self.epoch = match self.epoch.checked_add(1) {
+            Some(e) => e,
+            None => {
+                // Epoch wrap: stale entries could alias the new epoch, so
+                // clear the map once every 2^32 batches.
+                self.store_map.fill(0);
+                1
+            }
+        };
+    }
+
+    /// Widen the batch's lane-varying load interval to cover `[lo, hi]`.
+    #[inline]
+    fn note_load_range(&mut self, lo: usize, hi: usize) {
+        if lo < self.load_lo {
+            self.load_lo = lo;
+        }
+        if hi > self.load_hi {
+            self.load_hi = hi;
+        }
+    }
+
+    /// Widen the batch's uniform-load interval to cover `addr`.
+    #[inline]
+    fn note_uniform_load(&mut self, addr: usize) {
+        if addr < self.uload_lo {
+            self.uload_lo = addr;
+        }
+        if addr > self.uload_hi {
+            self.uload_hi = addr;
+        }
+    }
+
+    /// Whether a load of `addr` by `lane` conflicts with another lane's
+    /// earlier store this batch.
+    #[inline]
+    fn load_conflicts(&self, addr: usize, lane: u8) -> bool {
+        let s = self.store_map[addr];
+        s >> 8 == self.epoch as u64 && s & 0xFF != lane as u64
+    }
+
+    /// Record a store to `addr` by `lane`; returns `false` on a conflict
+    /// with any earlier load this batch (conservative interval check) or
+    /// with another lane's earlier store.
+    #[inline]
+    fn note_store(&mut self, addr: usize, lane: u8) -> bool {
+        if (self.load_lo <= addr && addr <= self.load_hi)
+            || (self.uload_lo <= addr && addr <= self.uload_hi)
+        {
+            return false;
+        }
+        let s = self.store_map[addr];
+        if s >> 8 == self.epoch as u64 && s & 0xFF != lane as u64 {
+            return false;
+        }
+        self.store_map[addr] = (self.epoch as u64) << 8 | lane as u64;
+        true
+    }
+}
+
+/// Fault realization mode for one lockstep batch.
+#[derive(Copy, Clone, Debug)]
+enum LaneFault {
+    /// No polling this batch: either no fault is armed, a transient fault
+    /// targets a dynamic index outside this batch, or this is the probe
+    /// pass of a transient fault whose index may land here.
+    Inert,
+    /// Permanent fault: every active lane executing the target opcode is
+    /// corrupted, exactly as every scalar dynamic instance would be.
+    Permanent {
+        /// Targeted opcode.
+        op: Op,
+    },
+    /// Lane-exact transient pass: only `lane` polls the fault, at its
+    /// `local_index`-th executed instruction, reporting the fault's scalar
+    /// dynamic index `fire_index` — so the XOR lands on exactly the write
+    /// the scalar interpreter would have corrupted.
+    Transient { lane: usize, local_index: u64, fire_index: u64 },
+}
+
+/// Outcome of one lockstep batch.
+enum BatchExit<const L: usize> {
+    /// Every lane ran to completion without traps or cross-lane conflicts.
+    /// Memory effects are applied; instruction accounting is parked in the
+    /// scratch op log until the caller commits it.
+    Clean {
+        /// Instructions executed per lane (lane order = thread order).
+        per_lane: [u64; L],
+        /// Total instructions executed, i.e. the dynamic-counter advance.
+        dyn_add: u64,
+    },
+    /// A trap or a cross-lane memory conflict: the caller rolls back and
+    /// re-runs the remaining threads on the scalar reference path, which
+    /// reproduces the exact partial state and trap the paper's
+    /// thread-major model requires.
+    Abort,
 }
 
 impl Fabric {
     /// Create a fabric with the given profile.
     pub fn new(profile: Profile) -> Self {
-        Fabric { profile, stats: ExecStats::new(), fault: None, dyn_counter: 0 }
+        Fabric {
+            profile,
+            stats: ExecStats::new(),
+            fault: None,
+            dyn_counter: 0,
+            scratch: LockstepScratch::default(),
+        }
     }
 
     /// The fabric's profile (CPU or GPU).
@@ -249,8 +456,14 @@ impl Fabric {
     ///
     /// Each thread starts from a zeroed register file with `args` preloaded
     /// and its index available via [`Op::Tid`]; threads share the context's
-    /// memory and run sequentially in thread order (the fabric models a
+    /// memory and observe each other in thread order (the fabric models a
     /// time-multiplexed processor, not a parallel machine).
+    ///
+    /// Execution is lockstep-batched over [`LANES`] threads at a time — one
+    /// fetch/decode per batch step instead of one per thread — and is
+    /// bit-identical to [`run_kernel_reference`](Self::run_kernel_reference):
+    /// batches whose lanes touch overlapping memory, trap, or exhaust the
+    /// watchdog are rolled back and replayed on the scalar path.
     ///
     /// Returns the total number of instructions executed.
     ///
@@ -266,9 +479,198 @@ impl Fabric {
         args: &[(Reg, u32)],
         budget_per_thread: u64,
     ) -> Result<u64, Trap> {
+        self.run_kernel_lockstep::<LANES>(prog, ctx, n_threads, args, budget_per_thread)
+    }
+
+    /// Thread-major scalar kernel launch — the semantic reference for
+    /// [`run_kernel`](Self::run_kernel).
+    ///
+    /// Runs every thread to completion through the scalar interpreter in
+    /// thread order. The lockstep engine must match this path bit for bit
+    /// (registers, memory, traps, statistics, dynamic-instruction counter,
+    /// and fault activations); `lockstep_differential.rs` and the batch
+    /// rollback path both rely on it staying exactly as the paper's
+    /// time-multiplexed model specifies.
+    pub fn run_kernel_reference(
+        &mut self,
+        prog: &Program,
+        ctx: &mut Context,
+        n_threads: u32,
+        args: &[(Reg, u32)],
+        budget_per_thread: u64,
+    ) -> Result<u64, Trap> {
+        self.stats.record_launch();
+        self.finish_scalar(prog, ctx, 0, n_threads, args, budget_per_thread, 0)
+    }
+
+    /// Lockstep kernel launch with an explicit lane width `L`.
+    ///
+    /// [`run_kernel`](Self::run_kernel) uses `L = LANES`; the differential
+    /// tests sweep `L ∈ {1, 4, 8}`. `L = 1` degenerates to the scalar path.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Trap`] exactly when the reference path would.
+    pub fn run_kernel_lockstep<const L: usize>(
+        &mut self,
+        prog: &Program,
+        ctx: &mut Context,
+        n_threads: u32,
+        args: &[(Reg, u32)],
+        budget_per_thread: u64,
+    ) -> Result<u64, Trap> {
+        assert!(L >= 1 && L < MAX_LANE_WIDTH, "unsupported lane width {L}");
         self.stats.record_launch();
         let mut total = 0u64;
-        for t in 0..n_threads {
+        let mut t0 = 0u32;
+        while t0 < n_threads {
+            let width = (n_threads - t0).min(L as u32) as usize;
+            if width < 2 {
+                // Single-thread batches (tails, 1-thread kernels) take the
+                // scalar path directly: it is the reference semantics, and
+                // faults poll live against the true dynamic index.
+                let mut regs = [0u32; NUM_REGS];
+                for &(r, v) in args {
+                    regs[r.idx()] = v;
+                }
+                total += self.exec(prog, &mut regs, &mut ctx.mem, t0, budget_per_thread)?;
+                t0 += 1;
+                continue;
+            }
+
+            let batch_base = self.dyn_counter;
+            let snap_fault = self.fault;
+            let armed = self.fault.map(|f| f.model());
+            // A transient fault whose dynamic index might land in this batch
+            // cannot be applied while lanes interleave: the scalar index of
+            // each write is only known once per-lane instruction counts are.
+            // Run such batches as an unfaulted probe first, then re-run with
+            // the injection pinned to the exact lane and local instruction.
+            let (mode, probing) = match armed {
+                None => (LaneFault::Inert, false),
+                Some(FaultModel::Permanent { op, .. }) => (LaneFault::Permanent { op }, false),
+                Some(FaultModel::Transient { instr_index, .. }) => {
+                    (LaneFault::Inert, instr_index >= batch_base)
+                }
+            };
+
+            match self.exec_batch::<L>(prog, &mut ctx.mem, t0, width, args, budget_per_thread, mode)
+            {
+                BatchExit::Abort => {
+                    self.rollback_mem(&mut ctx.mem);
+                    self.fault = snap_fault;
+                    return self.finish_scalar(
+                        prog,
+                        ctx,
+                        t0,
+                        n_threads,
+                        args,
+                        budget_per_thread,
+                        total,
+                    );
+                }
+                BatchExit::Clean { per_lane, dyn_add } => {
+                    let refire = match armed {
+                        Some(FaultModel::Transient { instr_index, .. }) => {
+                            probing && instr_index < batch_base + dyn_add
+                        }
+                        _ => false,
+                    };
+                    if !refire {
+                        self.commit_batch(dyn_add);
+                        total += dyn_add;
+                    } else {
+                        let Some(FaultModel::Transient { instr_index, .. }) = armed else {
+                            unreachable!("refire implies an armed transient fault")
+                        };
+                        // The probe found the target index inside this batch.
+                        // Locate the faulted lane from the probe's per-lane
+                        // counts: in thread order, lanes before it are
+                        // unaffected by the fault, and the faulted lane
+                        // executes identically up to the injection point, so
+                        // the prefix sums are valid.
+                        self.rollback_mem(&mut ctx.mem);
+                        let mut local = instr_index - batch_base;
+                        let mut lane = 0usize;
+                        while lane < L && local >= per_lane[lane] {
+                            local -= per_lane[lane];
+                            lane += 1;
+                        }
+                        let mode = LaneFault::Transient {
+                            lane,
+                            local_index: local,
+                            fire_index: instr_index,
+                        };
+                        match self.exec_batch::<L>(
+                            prog,
+                            &mut ctx.mem,
+                            t0,
+                            width,
+                            args,
+                            budget_per_thread,
+                            mode,
+                        ) {
+                            BatchExit::Abort => {
+                                self.rollback_mem(&mut ctx.mem);
+                                self.fault = snap_fault;
+                                return self.finish_scalar(
+                                    prog,
+                                    ctx,
+                                    t0,
+                                    n_threads,
+                                    args,
+                                    budget_per_thread,
+                                    total,
+                                );
+                            }
+                            BatchExit::Clean { dyn_add, .. } => {
+                                self.commit_batch(dyn_add);
+                                total += dyn_add;
+                            }
+                        }
+                    }
+                }
+            }
+            t0 += width as u32;
+        }
+        Ok(total)
+    }
+
+    /// Fold the current batch's per-op counts into the statistics and
+    /// advance the dynamic-instruction counter. Called exactly once per
+    /// committed batch; aborted batches leave both untouched.
+    fn commit_batch(&mut self, dyn_add: u64) {
+        for &op in ALL_OPS {
+            let n = self.scratch.op_counts[op.index()];
+            if n > 0 {
+                self.stats.record_n(op, n);
+            }
+        }
+        self.dyn_counter += dyn_add;
+    }
+
+    /// Undo every store of the current batch, newest first.
+    fn rollback_mem(&mut self, mem: &mut [u32]) {
+        while let Some((addr, old)) = self.scratch.undo.pop() {
+            mem[addr as usize] = old;
+        }
+    }
+
+    /// Run threads `t0..n_threads` through the scalar interpreter in thread
+    /// order, accumulating onto `total` — the tail of every rollback and
+    /// the whole of [`run_kernel_reference`](Self::run_kernel_reference).
+    #[allow(clippy::too_many_arguments)]
+    fn finish_scalar(
+        &mut self,
+        prog: &Program,
+        ctx: &mut Context,
+        t0: u32,
+        n_threads: u32,
+        args: &[(Reg, u32)],
+        budget_per_thread: u64,
+        mut total: u64,
+    ) -> Result<u64, Trap> {
+        for t in t0..n_threads {
             let mut regs = [0u32; NUM_REGS];
             for &(r, v) in args {
                 regs[r.idx()] = v;
@@ -276,6 +678,639 @@ impl Fabric {
             total += self.exec(prog, &mut regs, &mut ctx.mem, t, budget_per_thread)?;
         }
         Ok(total)
+    }
+
+    /// Execute one batch of `width` threads (`t0..t0+width`) in lockstep.
+    ///
+    /// One instruction is fetched and decoded per step and applied across
+    /// all active lanes of a lane-major register file. Divergence is
+    /// handled by a min-pc reconvergence mask: each step executes the
+    /// smallest program counter among live lanes, so lanes that branched
+    /// apart rejoin at the earliest common point. Cross-lane memory
+    /// conflicts, traps, and watchdog exhaustion abort the batch — the
+    /// caller rolls back and replays on the scalar path, which keeps the
+    /// committed fast path bit-identical to thread-major execution.
+    #[allow(clippy::too_many_arguments)]
+    fn exec_batch<const L: usize>(
+        &mut self,
+        prog: &Program,
+        mem: &mut [u32],
+        t0: u32,
+        width: usize,
+        args: &[(Reg, u32)],
+        budget: u64,
+        mode: LaneFault,
+    ) -> BatchExit<L> {
+        /// What a batch step does after its value vector is computed.
+        enum Step {
+            /// Masked register writeback, then advance pc.
+            Write,
+            /// Advance pc only (stores).
+            Advance,
+            /// Control flow already updated pc / liveness (branches, halt).
+            Control,
+        }
+
+        self.scratch.begin_batch(mem.len());
+        let instrs = prog.instrs();
+        let plen = instrs.len();
+
+        // Lane-major register file: regs[r][lane].
+        let mut regs = [[0u32; L]; NUM_REGS];
+        for &(r, v) in args {
+            regs[r.idx()] = [v; L];
+        }
+        let mut pc = [0u32; L];
+        let mut executed = [0u64; L];
+        let mut live = [false; L];
+        live[..width].fill(true);
+        let mut dyn_add = 0u64;
+
+        // --- Converged fast path -----------------------------------------
+        //
+        // Until a conditional branch splits them, lanes `0..width` march
+        // through a single shared pc: one fetch, one budget compare, one
+        // accounting add per step, value loops over all `L` lanes with an
+        // unconditional writeback (dead lanes `width..L` hold garbage no one
+        // reads). This is the steady state for the agent's straight-line and
+        // uniform-loop kernels; only genuinely divergent batches pay for the
+        // masked min-pc machinery below.
+        let mut cpc = 0usize;
+        let mut cexec = 0u64;
+        let nw = width as u64;
+        'fast: loop {
+            if cpc >= plen {
+                // Falling off the end is an implicit halt with no budget
+                // check, exactly as in the scalar interpreter.
+                let mut per_lane = [0u64; L];
+                per_lane[..width].fill(cexec);
+                return BatchExit::Clean { per_lane, dyn_add };
+            }
+            let ins = instrs[cpc];
+            if cexec >= budget {
+                // The scalar path raises Watchdog here.
+                return BatchExit::Abort;
+            }
+            cexec += 1;
+            self.scratch.op_counts[ins.op.index()] += nw;
+            dyn_add += nw;
+
+            let ai = ins.a.idx();
+            let bi = ins.b.idx();
+            let mut val = [0u32; L];
+
+            macro_rules! fop2 {
+                ($f:expr) => {{
+                    let a = regs[ai];
+                    let b = regs[bi];
+                    for l in 0..L {
+                        val[l] = f32_to_bits($f(bits_to_f32(a[l]), bits_to_f32(b[l])));
+                    }
+                }};
+            }
+            macro_rules! fop1 {
+                ($f:expr) => {{
+                    let a = regs[ai];
+                    for l in 0..L {
+                        val[l] = f32_to_bits($f(bits_to_f32(a[l])));
+                    }
+                }};
+            }
+            macro_rules! iop2 {
+                ($f:expr) => {{
+                    let a = regs[ai];
+                    let b = regs[bi];
+                    for l in 0..L {
+                        val[l] = $f(a[l], b[l]);
+                    }
+                }};
+            }
+
+            match ins.op {
+                Op::FAdd => fop2!(|x: f32, y: f32| x + y),
+                Op::FSub => fop2!(|x: f32, y: f32| x - y),
+                Op::FMul => fop2!(|x: f32, y: f32| x * y),
+                Op::FDiv => fop2!(|x: f32, y: f32| x / y),
+                Op::FMin => fop2!(|x: f32, y: f32| x.min(y)),
+                Op::FMax => fop2!(|x: f32, y: f32| x.max(y)),
+                Op::FAbs => fop1!(|x: f32| x.abs()),
+                Op::FNeg => fop1!(|x: f32| -x),
+                Op::FSqrt => fop1!(|x: f32| x.sqrt()),
+                Op::FFma => {
+                    let a = regs[ai];
+                    let b = regs[bi];
+                    let c = regs[ins.c.idx()];
+                    for l in 0..L {
+                        val[l] = f32_to_bits(
+                            bits_to_f32(a[l]).mul_add(bits_to_f32(b[l]), bits_to_f32(c[l])),
+                        );
+                    }
+                }
+                Op::IAdd => iop2!(|x: u32, y: u32| x.wrapping_add(y)),
+                Op::ISub => iop2!(|x: u32, y: u32| x.wrapping_sub(y)),
+                Op::IMul => iop2!(|x: u32, y: u32| x.wrapping_mul(y)),
+                Op::IAnd => iop2!(|x: u32, y: u32| x & y),
+                Op::IOr => iop2!(|x: u32, y: u32| x | y),
+                Op::IXor => iop2!(|x: u32, y: u32| x ^ y),
+                Op::IShl => iop2!(|x: u32, y: u32| x << (y & 31)),
+                Op::IShr => iop2!(|x: u32, y: u32| x >> (y & 31)),
+                Op::FLt => {
+                    let a = regs[ai];
+                    let b = regs[bi];
+                    for l in 0..L {
+                        val[l] = (bits_to_f32(a[l]) < bits_to_f32(b[l])) as u32;
+                    }
+                }
+                Op::FLe => {
+                    let a = regs[ai];
+                    let b = regs[bi];
+                    for l in 0..L {
+                        val[l] = (bits_to_f32(a[l]) <= bits_to_f32(b[l])) as u32;
+                    }
+                }
+                Op::ILt => iop2!(|x: u32, y: u32| (x < y) as u32),
+                Op::IEq => iop2!(|x: u32, y: u32| (x == y) as u32),
+                Op::Sel => {
+                    let a = regs[ai];
+                    let b = regs[bi];
+                    let c = regs[ins.c.idx()];
+                    for l in 0..L {
+                        val[l] = if a[l] != 0 { b[l] } else { c[l] };
+                    }
+                }
+                Op::Mov => val = regs[ai],
+                Op::LdImm => val = [ins.imm; L],
+                Op::Ld => {
+                    let a = regs[ai];
+                    let mut uniform = true;
+                    for &w in a.iter().take(width).skip(1) {
+                        uniform &= w == a[0];
+                    }
+                    if uniform {
+                        // Every lane reads the same word (shared weights,
+                        // uniform tables): one bounds check, one conflict
+                        // probe, one broadcast. Any same-batch store to the
+                        // word aborts — with ≥ 2 lanes reading it is a
+                        // guaranteed cross-lane conflict, with one lane it
+                        // is merely conservative.
+                        let addr = a[0].wrapping_add(ins.imm);
+                        let idx = addr as usize;
+                        let Some(&w) = mem.get(idx) else {
+                            // Scalar path raises OutOfBounds { addr }.
+                            return BatchExit::Abort;
+                        };
+                        let s = &mut self.scratch;
+                        if !s.undo.is_empty() && s.store_map[idx] >> 8 == s.epoch as u64 {
+                            return BatchExit::Abort;
+                        }
+                        s.note_uniform_load(idx);
+                        val = [w; L];
+                    } else {
+                        // Hoisted bounds check: one max over the lane
+                        // addresses replaces a branch per lane. An abort on
+                        // any out-of-range lane replays scalar, which raises
+                        // the exact per-lane OutOfBounds trap.
+                        let mut addrs = [0u32; L];
+                        let mut maxa = 0u32;
+                        let mut mina = u32::MAX;
+                        for l in 0..L {
+                            addrs[l] = a[l].wrapping_add(ins.imm);
+                        }
+                        for &ad in addrs.iter().take(width) {
+                            maxa = maxa.max(ad);
+                            mina = mina.min(ad);
+                        }
+                        if maxa as usize >= mem.len() {
+                            return BatchExit::Abort;
+                        }
+                        self.scratch.note_load_range(mina as usize, maxa as usize);
+                        if self.scratch.undo.is_empty() {
+                            // No stores in this batch yet, so the store map
+                            // holds no live entries: the loads cannot
+                            // conflict and cost no probe at all.
+                            for (l, v) in val.iter_mut().enumerate().take(width) {
+                                *v = mem[addrs[l] as usize];
+                            }
+                        } else {
+                            for (l, v) in val.iter_mut().enumerate().take(width) {
+                                let idx = addrs[l] as usize;
+                                if self.scratch.load_conflicts(idx, l as u8) {
+                                    return BatchExit::Abort;
+                                }
+                                *v = mem[idx];
+                            }
+                        }
+                    }
+                }
+                Op::St => {
+                    let a = regs[ai];
+                    let b = regs[bi];
+                    for l in 0..width {
+                        let addr = a[l].wrapping_add(ins.imm);
+                        let idx = addr as usize;
+                        if idx >= mem.len() {
+                            // Scalar path raises OutOfBounds { addr }.
+                            return BatchExit::Abort;
+                        }
+                        if !self.scratch.note_store(idx, l as u8) {
+                            return BatchExit::Abort;
+                        }
+                        self.scratch.undo.push((addr, mem[idx]));
+                        mem[idx] = b[l];
+                    }
+                    cpc += 1;
+                    continue 'fast;
+                }
+                Op::Jmp => {
+                    if ins.imm as usize > plen {
+                        // Scalar path raises InvalidTarget.
+                        return BatchExit::Abort;
+                    }
+                    cpc = ins.imm as usize;
+                    continue 'fast;
+                }
+                Op::Jz | Op::Jnz => {
+                    let a = regs[ai];
+                    let want_zero = ins.op == Op::Jz;
+                    let first = (a[0] == 0) == want_zero;
+                    let mut split = false;
+                    for &w in a.iter().take(width).skip(1) {
+                        split |= ((w == 0) == want_zero) != first;
+                    }
+                    if !split {
+                        if first {
+                            if ins.imm as usize > plen {
+                                // Scalar path raises InvalidTarget.
+                                return BatchExit::Abort;
+                            }
+                            cpc = ins.imm as usize;
+                        } else {
+                            cpc += 1;
+                        }
+                        continue 'fast;
+                    }
+                    // Lanes split here: materialize per-lane pcs and fall
+                    // through to the masked min-pc loop for the rest of the
+                    // batch.
+                    for l in 0..width {
+                        if (a[l] == 0) == want_zero {
+                            if ins.imm as usize > plen {
+                                return BatchExit::Abort;
+                            }
+                            pc[l] = ins.imm;
+                        } else {
+                            pc[l] = cpc as u32 + 1;
+                        }
+                    }
+                    executed[..width].fill(cexec);
+                    break 'fast;
+                }
+                Op::F2I => {
+                    let a = regs[ai];
+                    for l in 0..L {
+                        val[l] = bits_to_f32(a[l]) as u32;
+                    }
+                }
+                Op::I2F => {
+                    let a = regs[ai];
+                    for l in 0..L {
+                        val[l] = f32_to_bits(a[l] as f32);
+                    }
+                }
+                Op::Tid => {
+                    for (l, v) in val.iter_mut().enumerate() {
+                        *v = t0 + l as u32;
+                    }
+                }
+                Op::Halt => {
+                    let mut per_lane = [0u64; L];
+                    per_lane[..width].fill(cexec);
+                    return BatchExit::Clean { per_lane, dyn_add };
+                }
+            }
+
+            // Fault realization with the implicit all-active mask: the
+            // permanent poll corrupts every lane's matching write (as every
+            // scalar dynamic instance would be), the transient pass fires on
+            // the one lane-local write the scalar stream indexes.
+            match mode {
+                LaneFault::Inert => {}
+                LaneFault::Permanent { op } => {
+                    if op == ins.op {
+                        for v in val.iter_mut().take(width) {
+                            if let Some(f) = self.fault.as_mut() {
+                                // Permanent polling ignores the dynamic index.
+                                if let Some(m) = f.poll(0, ins.op) {
+                                    *v ^= m;
+                                }
+                            }
+                        }
+                    }
+                }
+                LaneFault::Transient { lane, local_index, fire_index } => {
+                    if lane < width && cexec - 1 == local_index {
+                        if let Some(f) = self.fault.as_mut() {
+                            if let Some(m) = f.poll(fire_index, ins.op) {
+                                val[lane] ^= m;
+                            }
+                        }
+                    }
+                }
+            }
+            regs[ins.dst.idx()] = val;
+            cpc += 1;
+        }
+
+        loop {
+            // Reconvergence point: the minimum pc among live lanes.
+            let mut pc_cur = u32::MAX;
+            for l in 0..L {
+                if live[l] && pc[l] < pc_cur {
+                    pc_cur = pc[l];
+                }
+            }
+            if pc_cur == u32::MAX {
+                break;
+            }
+            if pc_cur as usize >= plen {
+                // Falling off the end is an implicit halt with no budget
+                // check, exactly as in the scalar interpreter.
+                for l in 0..L {
+                    if live[l] && pc[l] == pc_cur {
+                        live[l] = false;
+                    }
+                }
+                continue;
+            }
+            let ins = instrs[pc_cur as usize];
+
+            let mut active = [false; L];
+            let mut n_active = 0u64;
+            for l in 0..L {
+                let on = live[l] && pc[l] == pc_cur;
+                active[l] = on;
+                n_active += on as u64;
+            }
+            for l in 0..L {
+                if active[l] && executed[l] >= budget {
+                    // The scalar path raises Watchdog here.
+                    return BatchExit::Abort;
+                }
+            }
+            for l in 0..L {
+                executed[l] += active[l] as u64;
+            }
+            self.scratch.op_counts[ins.op.index()] += n_active;
+            dyn_add += n_active;
+
+            let ai = ins.a.idx();
+            let bi = ins.b.idx();
+            let next = pc_cur + 1;
+            let mut val = [0u32; L];
+
+            // Value vectors are computed branch-free over all L lanes —
+            // inactive lanes produce garbage that the masked writeback
+            // discards — so the per-lane loops autovectorize.
+            macro_rules! fop2 {
+                ($f:expr) => {{
+                    let a = regs[ai];
+                    let b = regs[bi];
+                    for l in 0..L {
+                        val[l] = f32_to_bits($f(bits_to_f32(a[l]), bits_to_f32(b[l])));
+                    }
+                    Step::Write
+                }};
+            }
+            macro_rules! fop1 {
+                ($f:expr) => {{
+                    let a = regs[ai];
+                    for l in 0..L {
+                        val[l] = f32_to_bits($f(bits_to_f32(a[l])));
+                    }
+                    Step::Write
+                }};
+            }
+            macro_rules! iop2 {
+                ($f:expr) => {{
+                    let a = regs[ai];
+                    let b = regs[bi];
+                    for l in 0..L {
+                        val[l] = $f(a[l], b[l]);
+                    }
+                    Step::Write
+                }};
+            }
+
+            let step = match ins.op {
+                Op::FAdd => fop2!(|x: f32, y: f32| x + y),
+                Op::FSub => fop2!(|x: f32, y: f32| x - y),
+                Op::FMul => fop2!(|x: f32, y: f32| x * y),
+                Op::FDiv => fop2!(|x: f32, y: f32| x / y),
+                Op::FMin => fop2!(|x: f32, y: f32| x.min(y)),
+                Op::FMax => fop2!(|x: f32, y: f32| x.max(y)),
+                Op::FAbs => fop1!(|x: f32| x.abs()),
+                Op::FNeg => fop1!(|x: f32| -x),
+                Op::FSqrt => fop1!(|x: f32| x.sqrt()),
+                Op::FFma => {
+                    let a = regs[ai];
+                    let b = regs[bi];
+                    let c = regs[ins.c.idx()];
+                    for l in 0..L {
+                        val[l] = f32_to_bits(
+                            bits_to_f32(a[l]).mul_add(bits_to_f32(b[l]), bits_to_f32(c[l])),
+                        );
+                    }
+                    Step::Write
+                }
+                Op::IAdd => iop2!(|x: u32, y: u32| x.wrapping_add(y)),
+                Op::ISub => iop2!(|x: u32, y: u32| x.wrapping_sub(y)),
+                Op::IMul => iop2!(|x: u32, y: u32| x.wrapping_mul(y)),
+                Op::IAnd => iop2!(|x: u32, y: u32| x & y),
+                Op::IOr => iop2!(|x: u32, y: u32| x | y),
+                Op::IXor => iop2!(|x: u32, y: u32| x ^ y),
+                Op::IShl => iop2!(|x: u32, y: u32| x << (y & 31)),
+                Op::IShr => iop2!(|x: u32, y: u32| x >> (y & 31)),
+                Op::FLt => {
+                    let a = regs[ai];
+                    let b = regs[bi];
+                    for l in 0..L {
+                        val[l] = (bits_to_f32(a[l]) < bits_to_f32(b[l])) as u32;
+                    }
+                    Step::Write
+                }
+                Op::FLe => {
+                    let a = regs[ai];
+                    let b = regs[bi];
+                    for l in 0..L {
+                        val[l] = (bits_to_f32(a[l]) <= bits_to_f32(b[l])) as u32;
+                    }
+                    Step::Write
+                }
+                Op::ILt => iop2!(|x: u32, y: u32| (x < y) as u32),
+                Op::IEq => iop2!(|x: u32, y: u32| (x == y) as u32),
+                Op::Sel => {
+                    let a = regs[ai];
+                    let b = regs[bi];
+                    let c = regs[ins.c.idx()];
+                    for l in 0..L {
+                        val[l] = if a[l] != 0 { b[l] } else { c[l] };
+                    }
+                    Step::Write
+                }
+                Op::Mov => {
+                    val = regs[ai];
+                    Step::Write
+                }
+                Op::LdImm => {
+                    val = [ins.imm; L];
+                    Step::Write
+                }
+                Op::Ld => {
+                    let a = regs[ai];
+                    for l in 0..L {
+                        if active[l] {
+                            let addr = a[l].wrapping_add(ins.imm);
+                            let idx = addr as usize;
+                            let Some(&w) = mem.get(idx) else {
+                                // Scalar path raises OutOfBounds { addr }.
+                                return BatchExit::Abort;
+                            };
+                            if !self.scratch.undo.is_empty()
+                                && self.scratch.load_conflicts(idx, l as u8)
+                            {
+                                return BatchExit::Abort;
+                            }
+                            self.scratch.note_load_range(idx, idx);
+                            val[l] = w;
+                        }
+                    }
+                    Step::Write
+                }
+                Op::St => {
+                    let a = regs[ai];
+                    let b = regs[bi];
+                    for l in 0..L {
+                        if active[l] {
+                            let addr = a[l].wrapping_add(ins.imm);
+                            let idx = addr as usize;
+                            if idx >= mem.len() {
+                                // Scalar path raises OutOfBounds { addr }.
+                                return BatchExit::Abort;
+                            }
+                            if !self.scratch.note_store(idx, l as u8) {
+                                return BatchExit::Abort;
+                            }
+                            self.scratch.undo.push((addr, mem[idx]));
+                            mem[idx] = b[l];
+                        }
+                    }
+                    Step::Advance
+                }
+                Op::Jmp | Op::Jz | Op::Jnz => {
+                    let a = regs[ai];
+                    for l in 0..L {
+                        if active[l] {
+                            let taken = match ins.op {
+                                Op::Jmp => true,
+                                Op::Jz => a[l] == 0,
+                                _ => a[l] != 0,
+                            };
+                            if taken {
+                                if ins.imm as usize > plen {
+                                    // Scalar path raises InvalidTarget.
+                                    return BatchExit::Abort;
+                                }
+                                pc[l] = ins.imm;
+                            } else {
+                                pc[l] = next;
+                            }
+                        }
+                    }
+                    Step::Control
+                }
+                Op::F2I => {
+                    let a = regs[ai];
+                    for l in 0..L {
+                        val[l] = bits_to_f32(a[l]) as u32;
+                    }
+                    Step::Write
+                }
+                Op::I2F => {
+                    let a = regs[ai];
+                    for l in 0..L {
+                        val[l] = f32_to_bits(a[l] as f32);
+                    }
+                    Step::Write
+                }
+                Op::Tid => {
+                    for (l, v) in val.iter_mut().enumerate() {
+                        *v = t0 + l as u32;
+                    }
+                    Step::Write
+                }
+                Op::Halt => {
+                    for l in 0..L {
+                        if active[l] {
+                            live[l] = false;
+                        }
+                    }
+                    Step::Control
+                }
+            };
+
+            match step {
+                Step::Write => {
+                    // Fault realization is lane-exact: a permanent fault
+                    // corrupts every active lane's matching write (as every
+                    // scalar dynamic instance would be corrupted), while a
+                    // transient pass corrupts exactly the one lane-local
+                    // write the scalar stream indexes.
+                    match mode {
+                        LaneFault::Inert => {}
+                        LaneFault::Permanent { op } => {
+                            if op == ins.op {
+                                for l in 0..L {
+                                    if active[l] {
+                                        if let Some(f) = self.fault.as_mut() {
+                                            // Permanent polling ignores the
+                                            // dynamic index.
+                                            if let Some(m) = f.poll(0, ins.op) {
+                                                val[l] ^= m;
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        LaneFault::Transient { lane, local_index, fire_index } => {
+                            if active[lane] && executed[lane] - 1 == local_index {
+                                if let Some(f) = self.fault.as_mut() {
+                                    if let Some(m) = f.poll(fire_index, ins.op) {
+                                        val[lane] ^= m;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    let di = ins.dst.idx();
+                    for l in 0..L {
+                        if active[l] {
+                            regs[di][l] = val[l];
+                            pc[l] = next;
+                        }
+                    }
+                }
+                Step::Advance => {
+                    for l in 0..L {
+                        if active[l] {
+                            pc[l] = next;
+                        }
+                    }
+                }
+                Step::Control => {}
+            }
+        }
+        BatchExit::Clean { per_lane: executed, dyn_add }
     }
 
     #[inline(always)]
@@ -729,5 +1764,184 @@ mod tests {
     fn context_bytes_accounting() {
         let ctx = Context::new(100);
         assert_eq!(ctx.bytes(), 100 * 4 + NUM_REGS * 4);
+    }
+
+    #[test]
+    fn read_slice_into_matches_allocating_read() {
+        let mut ctx = Context::new(16);
+        ctx.write_slice_f32(4, &[1.5, -2.0, 3.25]);
+        let mut buf = [0.0f32; 3];
+        ctx.read_slice_f32_into(4, &mut buf);
+        assert_eq!(buf.as_slice(), ctx.read_slice_f32(4, 3).as_slice());
+    }
+
+    /// Run the same kernel through the reference and lockstep paths on two
+    /// fresh fabrics and assert every observable matches bit for bit.
+    fn assert_lockstep_matches(
+        prog: &Program,
+        mem_words: usize,
+        n_threads: u32,
+        budget: u64,
+        fault: Option<FaultModel>,
+    ) {
+        let mut f_ref = Fabric::new(Profile::Gpu);
+        let mut f_ls = Fabric::new(Profile::Gpu);
+        if let Some(m) = fault {
+            f_ref.inject(m);
+            f_ls.inject(m);
+        }
+        let mut ctx_ref = f_ref.new_context(mem_words);
+        let mut ctx_ls = f_ls.new_context(mem_words);
+        let r_ref = f_ref.run_kernel_reference(prog, &mut ctx_ref, n_threads, &[], budget);
+        let r_ls = f_ls.run_kernel(prog, &mut ctx_ls, n_threads, &[], budget);
+        assert_eq!(r_ref, r_ls, "result/trap mismatch");
+        assert_eq!(ctx_ref, ctx_ls, "memory or registers diverged");
+        assert_eq!(f_ref.stats(), f_ls.stats(), "ExecStats diverged");
+        assert_eq!(f_ref.dyn_instr_count(), f_ls.dyn_instr_count(), "dyn counter diverged");
+        assert_eq!(f_ref.fault_state(), f_ls.fault_state(), "fault state diverged");
+    }
+
+    /// tid-dependent loop: lanes iterate different trip counts, so the
+    /// batch diverges and must reconverge at the loop exit.
+    fn divergent_loop_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        b.tid(r(0)); // counter = tid
+        b.ldimm_i(r(1), 1);
+        b.ldimm_i(r(2), 0); // accumulator
+        let top = b.new_label();
+        let done = b.new_label();
+        b.bind(top);
+        b.jz(r(0), done);
+        b.iadd(r(2), r(2), r(0));
+        b.isub(r(0), r(0), r(1));
+        b.jmp(top);
+        b.bind(done);
+        b.tid(r(3));
+        b.st(r(3), r(2), 0); // mem[tid] = sum(1..=tid)
+        b.halt();
+        b.build()
+    }
+
+    #[test]
+    fn lockstep_divergent_loop_matches_reference() {
+        let prog = divergent_loop_program();
+        for n in [1u32, 3, 8, 13, 64] {
+            assert_lockstep_matches(&prog, 64, n, 10_000, None);
+        }
+        let mut f = Fabric::new(Profile::Gpu);
+        let mut ctx = f.new_context(64);
+        f.run_kernel(&prog, &mut ctx, 8, &[], 10_000).unwrap();
+        for t in 0..8u32 {
+            assert_eq!(ctx.mem[t as usize], t * (t + 1) / 2);
+        }
+    }
+
+    #[test]
+    fn lockstep_conflicting_stores_fall_back_to_scalar_order() {
+        // Every thread stores its tid to the SAME word: thread-major order
+        // means the last thread wins. The batch conflicts and must roll
+        // back to the scalar path to preserve that.
+        let mut b = ProgramBuilder::new();
+        b.tid(r(0));
+        b.ldimm_i(r(1), 0);
+        b.st(r(1), r(0), 7);
+        b.halt();
+        let prog = b.build();
+        assert_lockstep_matches(&prog, 16, 8, 100, None);
+        let mut f = Fabric::new(Profile::Gpu);
+        let mut ctx = f.new_context(16);
+        f.run_kernel(&prog, &mut ctx, 8, &[], 100).unwrap();
+        assert_eq!(ctx.mem[7], 7, "last thread's store must win");
+    }
+
+    #[test]
+    fn lockstep_read_after_write_chain_matches_reference() {
+        // Thread t reads the word thread t-1 wrote (cross-lane RAW): the
+        // lockstep batch must detect the conflict and replay scalar.
+        let mut b = ProgramBuilder::new();
+        b.tid(r(0));
+        b.ld(r(1), r(0), 0); // mem[tid] (written by thread tid-1... races)
+        b.ldimm_i(r(2), 1);
+        b.iadd(r(1), r(1), r(2));
+        b.iadd(r(3), r(0), r(2));
+        b.st(r(3), r(1), 0); // mem[tid+1] = mem[tid] + 1
+        b.halt();
+        let prog = b.build();
+        assert_lockstep_matches(&prog, 64, 16, 100, None);
+        let mut f = Fabric::new(Profile::Gpu);
+        let mut ctx = f.new_context(64);
+        f.run_kernel(&prog, &mut ctx, 16, &[], 100).unwrap();
+        assert_eq!(ctx.mem[16], 16, "prefix chain requires thread-major order");
+    }
+
+    #[test]
+    fn lockstep_watchdog_matches_reference() {
+        let mut b = ProgramBuilder::new();
+        let top = b.new_label();
+        b.bind(top);
+        b.jmp(top);
+        let prog = b.build();
+        assert_lockstep_matches(&prog, 4, 8, 50, None);
+    }
+
+    #[test]
+    fn lockstep_oob_store_matches_reference() {
+        // Thread 5 stores out of bounds; earlier threads' stores must land.
+        let mut b = ProgramBuilder::new();
+        b.tid(r(0));
+        b.ldimm_i(r(1), 5);
+        b.ieq(r(2), r(0), r(1));
+        b.ldimm_i(r(3), 1_000_000);
+        b.ldimm_i(r(4), 0);
+        b.sel(r(5), r(2), r(3), r(0));
+        b.st(r(5), r(0), 0);
+        b.halt();
+        let prog = b.build();
+        assert_lockstep_matches(&prog, 16, 8, 100, None);
+    }
+
+    #[test]
+    fn lockstep_transient_fault_is_lane_exact() {
+        // Sweep the transient target across the whole dynamic stream of a
+        // divergent kernel; every index must reproduce the reference run.
+        let prog = divergent_loop_program();
+        let mut probe = Fabric::new(Profile::Gpu);
+        let mut ctx = probe.new_context(64);
+        probe.run_kernel_reference(&prog, &mut ctx, 8, &[], 10_000).unwrap();
+        let dyn_total = probe.dyn_instr_count();
+        for idx in 0..dyn_total {
+            let fault = FaultModel::Transient { instr_index: idx, mask: 0x8000_0001 };
+            assert_lockstep_matches(&prog, 64, 8, 10_000, Some(fault));
+        }
+    }
+
+    #[test]
+    fn lockstep_permanent_fault_matches_reference() {
+        let prog = divergent_loop_program();
+        for op in [Op::IAdd, Op::ISub, Op::Tid, Op::St, Op::Ld] {
+            let fault = FaultModel::Permanent { op, mask: 0x0000_0101 };
+            assert_lockstep_matches(&prog, 64, 8, 10_000, Some(fault));
+        }
+    }
+
+    #[test]
+    fn lockstep_explicit_widths_match() {
+        let prog = divergent_loop_program();
+        let mut f_ref = Fabric::new(Profile::Gpu);
+        let mut ctx_ref = f_ref.new_context(64);
+        f_ref.run_kernel_reference(&prog, &mut ctx_ref, 11, &[], 10_000).unwrap();
+        for width in [1usize, 4, 8, 16] {
+            let mut f = Fabric::new(Profile::Gpu);
+            let mut ctx = f.new_context(64);
+            match width {
+                1 => f.run_kernel_lockstep::<1>(&prog, &mut ctx, 11, &[], 10_000),
+                4 => f.run_kernel_lockstep::<4>(&prog, &mut ctx, 11, &[], 10_000),
+                8 => f.run_kernel_lockstep::<8>(&prog, &mut ctx, 11, &[], 10_000),
+                _ => f.run_kernel_lockstep::<16>(&prog, &mut ctx, 11, &[], 10_000),
+            }
+            .unwrap();
+            assert_eq!(ctx, ctx_ref, "width {width} diverged");
+            assert_eq!(f.stats(), f_ref.stats(), "width {width} stats diverged");
+        }
     }
 }

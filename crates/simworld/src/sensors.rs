@@ -19,6 +19,31 @@
 use crate::geometry::{Pose, Vec2};
 use crate::npc::Npc;
 use crate::track::{Track, LANE_WIDTH};
+use std::cell::RefCell;
+
+/// Per-thread row buffers for [`render_camera_into`]. The rasterizer
+/// stages raw noise hashes (`4 * w` words, channel 3 is padding), the
+/// per-channel pixel noise derived from them, and unquantized channel
+/// values (`3 * w`) as flat rows, so the noise hashing, the hash→amplitude
+/// conversion, and the final quantize are stride-1 loops the
+/// autovectorizer runs wide.
+#[derive(Default)]
+struct RenderScratch {
+    hashes: Vec<u64>,
+    noise: Vec<f64>,
+    vals: Vec<f64>,
+}
+
+thread_local! {
+    /// Scratch reused across renders and scans on this thread: the
+    /// rasterizer row buffers and the flattened NPC footprint segments of
+    /// one LiDAR scan. Both retain capacity between frames, so the
+    /// campaign hot path stays allocation-free in steady state.
+    static RENDER_SCRATCH: RefCell<RenderScratch> = const {
+        RefCell::new(RenderScratch { hashes: Vec::new(), noise: Vec::new(), vals: Vec::new() })
+    };
+    static SEGMENTS: RefCell<Vec<(Vec2, Vec2)>> = const { RefCell::new(Vec::new()) };
+}
 
 /// An 8-bit RGB image.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -227,9 +252,37 @@ fn hash_amp(a: u64, b: u64) -> f64 {
     (h >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
 }
 
+/// Quantize a channel value to a byte: round half away from zero, clamp to
+/// `[0, 255]`.
+///
+/// Bit-equal to `v.round().clamp(0.0, 255.0) as u8` for every input
+/// (including ties, NaN, and infinities) but built from operations LLVM
+/// vectorizes, which `f64::round` and the saturating float→int cast are
+/// not. Three steps, each exact:
+///
+/// 1. `r = floor(v + 0.5)` equals `v.round()` for `v ≥ 0` except when the
+///    add rounds up across an integer boundary (`v` within one ulp below
+///    `k + 0.5`, e.g. `0.49999999999999994`); then `r - 0.5 > v` detects
+///    the overshoot and `r - 1` restores it. The probe must not be
+///    `r - v > 0.5`: that difference itself rounds down to exactly `0.5`
+///    in the overshoot case, while `r - 0.5` is exact for integer-valued
+///    `r` below 2⁵² (and above that the off-by-one from its rounding is
+///    absorbed by the same comparison). An exact tie keeps `r` — round
+///    half *away*. For `v < 0` both forms land ≤ 0 and clamp to 0 either
+///    way.
+/// 2. `max(0)`/`min(255)` clamp; `NaN.max(0.0)` is `0.0`, matching the
+///    `NaN → 0` of the saturating cast.
+/// 3. The result is integer-valued in `[0, 255]`, so adding 2⁵² places it
+///    exactly in the low mantissa bits and the low byte of the bit pattern
+///    *is* the answer.
 #[inline]
 fn quantize(v: f64) -> u8 {
-    v.round().clamp(0.0, 255.0) as u8
+    let r = (v + 0.5).floor();
+    let r = if r - 0.5 > v { r - 1.0 } else { r };
+    // Not `clamp`: `NaN.max(0.0)` is 0.0 (step 2 above), `NaN.clamp` is NaN.
+    #[allow(clippy::manual_clamp)]
+    let r = r.max(0.0).min(255.0);
+    ((r + 6_755_399_441_055_744.0).to_bits() & 0xFF) as u8
 }
 
 /// Render one camera of the scene.
@@ -268,65 +321,94 @@ pub fn render_camera_into(
     let left = fwd.perp();
     let cam_pos = scene.ego.pos;
     let noise_key = scene.frame_seed ^ ((cam as u64) << 56);
+    let noise_amp = cfg.pixel_noise * 2.0;
 
     // --- ground & sky ---
-    for py in 0..h {
-        let yf = py as f64 + 0.5;
-        if yf <= cy + 0.5 {
-            // Sky: vertical gradient, slightly blue-gray.
-            let t = yf / cy;
-            let base = [120.0 + 50.0 * t, 135.0 + 40.0 * t, 150.0 + 30.0 * t];
-            for px in 0..w {
-                let mut rgb = [0u8; 3];
-                for ch in 0..3 {
-                    let n = hash_amp(noise_key, ((px * 4 + ch) * 4096 + py) as u64)
-                        * cfg.pixel_noise
-                        * 2.0;
-                    rgb[ch] = quantize(base[ch] + n);
-                }
-                img.set_pixel(px, py, rgb);
+    RENDER_SCRATCH.with(|cell| {
+        let s = &mut *cell.borrow_mut();
+        s.hashes.resize(4 * w, 0);
+        s.noise.resize(4 * w, 0.0);
+        s.vals.resize(3 * w, 0.0);
+        let RenderScratch { hashes, noise, vals } = s;
+        let (hash_row, noise_row, vals_row) =
+            (&mut hashes[..4 * w], &mut noise[..4 * w], &mut vals[..3 * w]);
+        for py in 0..h {
+            // The noise key `(px * 4 + ch) * 4096 + py` is affine in
+            // `k = px * 4 + ch`, so hashing the whole row as one flat strip
+            // (the `ch = 3` slot is padding) turns the per-pixel hash
+            // chains into a single autovectorizable pass. Two passes —
+            // integer hashes, then hash→amplitude conversion — keep each
+            // loop body in one vector domain.
+            for (k, slot) in hash_row.iter_mut().enumerate() {
+                *slot = mix(noise_key ^ mix((k * 4096 + py) as u64));
             }
-            continue;
-        }
-        // Ground row: view distance from the flat-ground projection.
-        let d = cfg.cam_height * fy / (yf - cy);
-        // Local road frame at the row's approximate arclength. Using the
-        // forward component of the view ray keeps side cameras roughly
-        // consistent.
-        let row_s = scene.ego_s + d * cfg.cam_yaws[cam].cos();
-        let c = scene.track.pos_at(row_s.max(0.0));
-        let tdir = scene.track.dir_at(row_s.max(0.0));
-        let nrm = tdir.perp();
-        for px in 0..w {
-            let l = -((px as f64 + 0.5) - cx) * d / fx;
-            let wp = cam_pos + fwd * d + left * l;
-            let lat = nrm.dot(wp - c);
-            let along = row_s + tdir.dot(wp - c);
+            for (slot, &hv) in noise_row.iter_mut().zip(hash_row.iter()) {
+                *slot = ((hv >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0) * noise_amp;
+            }
+            let row = &mut img.data[py * w * 3..][..w * 3];
+            let yf = py as f64 + 0.5;
+            if yf <= cy + 0.5 {
+                // Sky: vertical gradient, slightly blue-gray.
+                let t = yf / cy;
+                let base = [120.0 + 50.0 * t, 135.0 + 40.0 * t, 150.0 + 30.0 * t];
+                // Stage unquantized channel values flat, then quantize the
+                // whole row in one pass the vectorizer can chew through.
+                for (px, v3) in vals_row.chunks_exact_mut(3).enumerate() {
+                    let n = &noise_row[px * 4..px * 4 + 3];
+                    v3[0] = base[0] + n[0];
+                    v3[1] = base[1] + n[1];
+                    v3[2] = base[2] + n[2];
+                }
+                for (o, &v) in row.iter_mut().zip(vals_row.iter()) {
+                    *o = quantize(v);
+                }
+                continue;
+            }
+            // Ground row: view distance from the flat-ground projection.
+            let d = cfg.cam_height * fy / (yf - cy);
+            // Local road frame at the row's approximate arclength. Using the
+            // forward component of the view ray keeps side cameras roughly
+            // consistent.
+            let row_s = scene.ego_s + d * cfg.cam_yaws[cam].cos();
+            let c = scene.track.pos_at(row_s.max(0.0));
+            let tdir = scene.track.dir_at(row_s.max(0.0));
+            let nrm = tdir.perp();
+            // Row invariants: every pixel of the row shares the same view
+            // depth, so the forward offset, pixel footprint, and marking
+            // half-width hoist out of the pixel loop.
+            let row_base = cam_pos + fwd * d;
             let ground_px_size = d / fx; // meters per pixel at this depth
             let mark_halfwidth = (0.09f64).max(ground_px_size * 0.5);
+            for (px, v3) in vals_row.chunks_exact_mut(3).enumerate() {
+                let l = -((px as f64 + 0.5) - cx) * d / fx;
+                let wp = row_base + left * l;
+                let rel = wp - c;
+                let lat = nrm.dot(rel);
+                let along = row_s + tdir.dot(rel);
 
-            let on_road = (-LANE_WIDTH / 2.0 - 0.3..=1.5 * LANE_WIDTH + 0.3).contains(&lat);
-            let marking = marking_at(lat, along, mark_halfwidth);
-            let base: [f64; 3] = if marking {
-                [205.0, 205.0, 198.0]
-            } else if on_road {
-                [56.0, 56.0, 59.0]
-            } else {
-                [76.0, 94.0, 52.0]
-            };
-            // World-anchored texture (0.5 m cells).
-            let cellx = (wp.x * 2.0).floor() as i64 as u64;
-            let celly = (wp.y * 2.0).floor() as i64 as u64;
-            let tex = hash_amp(cellx, celly) * cfg.texture_amp;
-            let mut rgb = [0u8; 3];
-            for ch in 0..3 {
-                let n =
-                    hash_amp(noise_key, ((px * 4 + ch) * 4096 + py) as u64) * cfg.pixel_noise * 2.0;
-                rgb[ch] = quantize(base[ch] + tex + n);
+                let on_road = (-LANE_WIDTH / 2.0 - 0.3..=1.5 * LANE_WIDTH + 0.3).contains(&lat);
+                let marking = marking_at(lat, along, mark_halfwidth);
+                let base: [f64; 3] = if marking {
+                    [205.0, 205.0, 198.0]
+                } else if on_road {
+                    [56.0, 56.0, 59.0]
+                } else {
+                    [76.0, 94.0, 52.0]
+                };
+                // World-anchored texture (0.5 m cells).
+                let cellx = (wp.x * 2.0).floor() as i64 as u64;
+                let celly = (wp.y * 2.0).floor() as i64 as u64;
+                let tex = hash_amp(cellx, celly) * cfg.texture_amp;
+                let n = &noise_row[px * 4..px * 4 + 3];
+                v3[0] = base[0] + tex + n[0];
+                v3[1] = base[1] + tex + n[1];
+                v3[2] = base[2] + tex + n[2];
             }
-            img.set_pixel(px, py, rgb);
+            for (o, &v) in row.iter_mut().zip(vals_row.iter()) {
+                *o = quantize(v);
+            }
         }
-    }
+    });
 
     // --- vehicles, far to near ---
     // Allocation-free draw-order selection: repeatedly pick the deepest
@@ -364,23 +446,54 @@ pub fn render_camera_into(
         let shade = npc.shade as f64 * 10.0;
         let base =
             [(38.0 + shade) * fade, (42.0 + shade) * fade, (205.0 + shade).min(235.0) * fade];
-        for py in y0..y1 {
-            for px in x0..x1 {
-                // Texture anchored to the vehicle body (4×4 panels) so the
-                // pattern shifts with the projected box.
-                let u = ((px as f64 - x0 as f64) / (x1 - x0).max(1) as f64 * 4.0) as u64;
-                let v = ((py as f64 - y0 as f64) / (y1 - y0).max(1) as f64 * 4.0) as u64;
-                let tex = hash_amp(0xCAFE ^ (i as u64) << 8, u * 16 + v) * 14.0;
-                let mut rgb = [0u8; 3];
-                for ch in 0..3 {
-                    let n = hash_amp(noise_key, ((px * 4 + ch) * 4096 + py) as u64)
-                        * cfg.pixel_noise
-                        * 2.0;
-                    rgb[ch] = quantize(base[ch] + tex + n);
-                }
-                img.set_pixel(px, py, rgb);
+        let span_w = (x1 - x0).max(1) as f64;
+        let span = x1 - x0;
+        // Texture anchored to the vehicle body (4×4 panels) so the pattern
+        // shifts with the projected box. The panel coordinates are the only
+        // inputs to the texture key, so all 16 hashes hoist out of the
+        // pixel loops.
+        let mut panel = [[0.0f64; 4]; 4];
+        for (u, col) in panel.iter_mut().enumerate() {
+            for (v, t) in col.iter_mut().enumerate() {
+                *t = hash_amp(0xCAFE ^ (i as u64) << 8, (u as u64) * 16 + v as u64) * 14.0;
             }
         }
+        RENDER_SCRATCH.with(|cell| {
+            let s = &mut *cell.borrow_mut();
+            s.hashes.resize(4 * w, 0);
+            s.noise.resize(4 * w, 0.0);
+            s.vals.resize(3 * w, 0.0);
+            let RenderScratch { hashes, noise, vals } = s;
+            for py in y0..y1 {
+                let v = ((py as f64 - y0 as f64) / (y1 - y0).max(1) as f64 * 4.0) as usize;
+                // Same flat affine noise strip as the background pass
+                // (`n = hash * pixel_noise * 2.0` equals `hash *
+                // noise_amp`: scaling by 2 commutes with rounding), offset
+                // to the box columns, in the same two vector-domain passes.
+                let hash_box = &mut hashes[..4 * span];
+                let noise_box = &mut noise[..4 * span];
+                for (j, slot) in hash_box.iter_mut().enumerate() {
+                    *slot = mix(noise_key ^ mix(((x0 * 4 + j) * 4096 + py) as u64));
+                }
+                for (slot, &hv) in noise_box.iter_mut().zip(hash_box.iter()) {
+                    *slot = ((hv >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0) * noise_amp;
+                }
+                let vals_box = &mut vals[..3 * span];
+                for (dx, v3) in vals_box.chunks_exact_mut(3).enumerate() {
+                    let px = x0 + dx;
+                    let u = ((px as f64 - x0 as f64) / span_w * 4.0) as usize;
+                    let tex = panel[u][v];
+                    let n = &noise_box[dx * 4..dx * 4 + 3];
+                    v3[0] = (base[0] + tex) + n[0];
+                    v3[1] = (base[1] + tex) + n[1];
+                    v3[2] = (base[2] + tex) + n[2];
+                }
+                let row = &mut img.data[(py * w + x0) * 3..][..span * 3];
+                for (o, &vv) in row.iter_mut().zip(vals_box.iter()) {
+                    *o = quantize(vv);
+                }
+            }
+        });
     };
     if n_npcs <= 128 {
         let mut drawn: u128 = 0;
@@ -423,25 +536,6 @@ fn marking_at(lat: f64, along: f64, halfwidth: f64) -> bool {
     false
 }
 
-/// Cast one LiDAR ray against the NPC footprints; returns range (m).
-fn cast_ray(origin: Vec2, dir: Vec2, scene: &RenderScene<'_>, max_range: f64) -> f64 {
-    let mut best = max_range;
-    for npc in scene.npcs {
-        let fp = npc.footprint(scene.track);
-        let corners = fp.corners();
-        for k in 0..4 {
-            let a = corners[k];
-            let b = corners[(k + 1) % 4];
-            if let Some(t) = ray_segment(origin, dir, a, b) {
-                if t < best {
-                    best = t;
-                }
-            }
-        }
-    }
-    best
-}
-
 /// Ray–segment intersection: returns distance along the ray, if any.
 fn ray_segment(o: Vec2, d: Vec2, a: Vec2, b: Vec2) -> Option<f64> {
     let v = b - a;
@@ -463,16 +557,39 @@ pub fn lidar_scan(cfg: &SensorConfig, scene: &RenderScene<'_>) -> Vec<f32> {
 }
 
 /// [`lidar_scan`] into a caller-owned buffer, reusing its allocation.
+///
+/// NPC footprints are flattened into a per-scan segment list once, so each
+/// of the `lidar_rays` casts is a tight pass over precomputed segments
+/// instead of re-deriving every footprint per ray.
 pub fn lidar_scan_into(cfg: &SensorConfig, scene: &RenderScene<'_>, out: &mut Vec<f32>) {
     let n = cfg.lidar_rays;
-    out.clear();
-    out.extend((0..n).map(|i| {
-        let az = scene.ego.heading + i as f64 / n as f64 * std::f64::consts::TAU;
-        let dir = Vec2::from_heading(az);
-        let r = cast_ray(scene.ego.pos, dir, scene, cfg.lidar_range);
-        let noise = hash_amp(scene.frame_seed ^ 0x11DA, i as u64) * 0.03;
-        (r + noise) as f32
-    }));
+    SEGMENTS.with(|cell| {
+        let mut segs = cell.borrow_mut();
+        segs.clear();
+        for npc in scene.npcs {
+            let fp = npc.footprint(scene.track);
+            let corners = fp.corners();
+            for k in 0..4 {
+                segs.push((corners[k], corners[(k + 1) % 4]));
+            }
+        }
+        let origin = scene.ego.pos;
+        out.clear();
+        out.extend((0..n).map(|i| {
+            let az = scene.ego.heading + i as f64 / n as f64 * std::f64::consts::TAU;
+            let dir = Vec2::from_heading(az);
+            let mut r = cfg.lidar_range;
+            for &(a, b) in segs.iter() {
+                if let Some(t) = ray_segment(origin, dir, a, b) {
+                    if t < r {
+                        r = t;
+                    }
+                }
+            }
+            let noise = hash_amp(scene.frame_seed ^ 0x11DA, i as u64) * 0.03;
+            (r + noise) as f32
+        }));
+    });
 }
 
 #[cfg(test)]
@@ -648,6 +765,36 @@ mod tests {
             let v = hash_amp(i, i * 31);
             assert!((-1.0..=1.0).contains(&v));
             assert_eq!(v, hash_amp(i, i * 31));
+        }
+    }
+
+    /// The branch-free quantizer must agree bit-for-bit with the naive
+    /// `round → clamp → saturating cast` definition everywhere: a dense
+    /// sweep of the clamp range, hash-derived values like the renderer
+    /// feeds it, exact `.5` ties on both sides of zero, near-tie ulp
+    /// neighbours (the case its overshoot correction exists for), and the
+    /// non-finite edge cases.
+    #[test]
+    fn quantize_matches_naive_rounding() {
+        let naive = |v: f64| v.round().clamp(0.0, 255.0) as u8;
+        let mut x = -5.0f64;
+        while x < 261.0 {
+            assert_eq!(quantize(x), naive(x), "sweep at {x}");
+            x += 0.000_37;
+        }
+        for k in 0..100_000u64 {
+            let v = hash_amp(99, k) * 300.0;
+            assert_eq!(quantize(v), naive(v), "hash value {v}");
+            let tie = (k % 257) as f64 + 0.5;
+            assert_eq!(quantize(tie), naive(tie), "tie at {tie}");
+            assert_eq!(quantize(-tie), naive(-tie), "tie at {}", -tie);
+            let below = f64::from_bits(tie.to_bits() - 1);
+            let above = f64::from_bits(tie.to_bits() + 1);
+            assert_eq!(quantize(below), naive(below), "below tie {below:?}");
+            assert_eq!(quantize(above), naive(above), "above tie {above:?}");
+        }
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.0, 0.0] {
+            assert_eq!(quantize(v), naive(v), "edge case {v:?}");
         }
     }
 }
