@@ -14,6 +14,11 @@
 #         in exactly one sanctioned place (runtime::inject, applied by
 #         runtime::simloop); a second mutation site would bypass the
 #         fault-onset bookkeeping and break seed-pure realizations.
+# Gate 4: no time sources in the flight recorder. Flight records and
+#         incident artifacts are part of the bit-identical merge surface;
+#         a single `Instant::now` / `SystemTime` / chrono timestamp in
+#         obs::flight or runtime::flight would make recordings differ
+#         across machines and break the exactly-once incident merge.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -76,7 +81,20 @@ if [[ -n "$frame_hits" ]]; then
     fail=1
 fi
 
+# --- Gate 4: time sources in the flight recorder ------------------------
+# Stricter than Gate 2: the recorder files may not name *any* wall-clock
+# or system-time API, allowlist or not — recordings must be pure
+# functions of the seeds.
+flight_hits=$(grep -rnE 'Instant::now|SystemTime|chrono|time::OffsetDateTime' \
+    crates/obs/src/flight.rs crates/runtime/src/flight.rs || true)
+if [[ -n "$flight_hits" ]]; then
+    echo "lint: time source in the flight recorder (records must be" >&2
+    echo "seed-pure; timestamps break the bit-identical incident merge):" >&2
+    echo "$flight_hits" >&2
+    fail=1
+fi
+
 if [[ $fail -ne 0 ]]; then
     exit 1
 fi
-echo "lint: ok (no stray unwrap(), no unlisted Instant::now, no rogue SensorFrame mutation)"
+echo "lint: ok (no stray unwrap(), no unlisted Instant::now, no rogue SensorFrame mutation, no clock in the flight recorder)"

@@ -212,7 +212,14 @@ impl LoopDriver for SharedFabricPair {
         // Outputs are close (same inputs) but jitter keeps them distinct
         // over several steps; state must not leak between contexts.
         let _ = cb;
-        Ok(TickOutput { controls: ca, pair: None, divergence: None, alarm_raised: false })
+        Ok(TickOutput {
+            controls: ca,
+            pair: None,
+            divergence: None,
+            alarm_raised: false,
+            detector: None,
+            fault_active: false,
+        })
     }
 }
 

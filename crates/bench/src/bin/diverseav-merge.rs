@@ -5,7 +5,7 @@
 //! # validate + merge shards into the Table-I / bench / metrics outputs
 //! diverseav-merge [--td 2.0] [--table PATH] [--bench PATH] \
 //!                 [--deterministic PATH] [--metrics PATH] \
-//!                 [--journal PATH] SHARD.jsonl...
+//!                 [--journal PATH] [--incidents PATH] SHARD.jsonl...
 //!
 //! # append a wall-clock-only entry to a rendered bench document
 //! diverseav-merge --stamp-wall BENCH_campaigns.json \
@@ -17,12 +17,24 @@
 //! or artifacts whose campaign fingerprints disagree all fail hard.
 //! With no output flags, the Table-I text goes to stdout.
 //!
+//! `--incidents PATH` additionally collects the per-shard flight-recorder
+//! sidecars (`SHARD.incidents.jsonl`, written next to each shard
+//! artifact) into one exactly-once merged incident document: every shard
+//! must present a complete sidecar, every incident label on a run line
+//! must have exactly one payload in the shard that owns the run, and any
+//! violation is the same exit-2 validation failure as a bad shard set.
+//!
 //! Exit codes: 0 merged clean, 1 unreadable/unparsable inputs or I/O
 //! failure, 2 shard-set validation failure (overlap / gap / fingerprint
 //! mismatch / incomplete shard).
 
 use diverseav_bench::merge;
-use diverseav_faultinj::{merge_artifacts, parse_artifact, ShardArtifact, ShardError};
+use diverseav_faultinj::{
+    collect_incidents, incident_sidecar_path, merge_artifacts, parse_artifact,
+    parse_incident_artifact, IncidentArtifact, ShardArtifact, ShardError,
+};
+use std::collections::BTreeMap;
+use std::path::Path;
 use std::process::ExitCode;
 
 fn read(path: &str) -> Result<String, String> {
@@ -41,6 +53,7 @@ fn run() -> Result<ExitCode, String> {
     let mut det_path = None;
     let mut metrics_path = None;
     let mut journal_path = None;
+    let mut incidents_path = None;
     let mut stamp = None;
     let mut label = None;
     let mut phase = "ci".to_string();
@@ -61,6 +74,7 @@ fn run() -> Result<ExitCode, String> {
             "--deterministic" => det_path = Some(next(&mut i, "--deterministic")?),
             "--metrics" => metrics_path = Some(next(&mut i, "--metrics")?),
             "--journal" => journal_path = Some(next(&mut i, "--journal")?),
+            "--incidents" => incidents_path = Some(next(&mut i, "--incidents")?),
             "--stamp-wall" => stamp = Some(next(&mut i, "--stamp-wall")?),
             "--label" => label = Some(next(&mut i, "--label")?),
             "--phase" => phase = next(&mut i, "--phase")?,
@@ -93,9 +107,19 @@ fn run() -> Result<ExitCode, String> {
         return Err("no shard artifacts given (pass one or more SHARD.jsonl paths)".into());
     }
     let mut artifacts: Vec<ShardArtifact> = Vec::with_capacity(shards.len());
+    // Sidecars grouped by campaign fingerprint, in shard-argument order.
+    let mut sidecars: BTreeMap<u64, Vec<IncidentArtifact>> = BTreeMap::new();
     for path in &shards {
         let text = read(path)?;
         artifacts.push(parse_artifact(&text).map_err(|e| format!("{path}: {e}"))?);
+        if incidents_path.is_some() {
+            let side = incident_sidecar_path(Path::new(path));
+            let side_str = side.display().to_string();
+            let side_text = read(&side_str)?;
+            let parsed =
+                parse_incident_artifact(&side_text).map_err(|e| format!("{side_str}: {e}"))?;
+            sidecars.entry(parsed.manifest.fingerprint).or_default().push(parsed);
+        }
     }
     let merged = match merge_artifacts(&artifacts) {
         Ok(m) => m,
@@ -134,6 +158,26 @@ fn run() -> Result<ExitCode, String> {
     }
     if let Some(path) = &journal_path {
         write(path, &merge::journal_doc(&merged))?;
+    }
+    if let Some(path) = &incidents_path {
+        let mut doc = String::new();
+        let mut total = 0usize;
+        for m in &merged {
+            let empty = Vec::new();
+            let side = sidecars.get(&m.manifest.fingerprint).unwrap_or(&empty);
+            let collected = match collect_incidents(m, side) {
+                Ok(c) => c,
+                Err(e @ ShardError::Mismatch(_)) => {
+                    eprintln!("diverseav-merge: {e}");
+                    return Ok(ExitCode::from(2));
+                }
+                Err(e) => return Err(e.to_string()),
+            };
+            total += collected.len();
+            doc.push_str(&merge::incidents_doc(m, &collected));
+        }
+        write(path, &doc)?;
+        eprintln!("collected {total} incident(s) into {path}");
     }
     Ok(ExitCode::SUCCESS)
 }

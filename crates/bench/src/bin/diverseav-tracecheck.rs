@@ -6,13 +6,20 @@
 //! diverseav-tracecheck --trace trace.jsonl [--metrics METRICS_campaigns.json]
 //!                      [--chrome trace_chrome.json]
 //!
+//! # flight-recorder forensics over an incident artifact (a shard
+//! # sidecar or a merged incident set); combines with --trace or alone
+//! diverseav-tracecheck --forensics INCIDENTS.jsonl
+//!
 //! # bench-regression check: flag >20 % ticks_per_sec drops
 //! diverseav-tracecheck --baseline BENCH_baseline.json \
-//!                      --bench-diff BENCH_campaigns.json [--threshold 0.20]
+//!                      --bench-diff BENCH_campaigns.json [--bench-diff-pct 20]
 //!
 //! # legacy two-positional form (baseline first)
 //! diverseav-tracecheck --bench-diff BENCH_baseline.json BENCH_campaigns.json
 //! ```
+//!
+//! `--bench-diff-pct N` sets the regression threshold in percent
+//! (default 20; `--threshold 0.20` is the equivalent fractional form).
 //!
 //! Exit codes: 0 clean, 1 on unreadable/malformed/empty inputs —
 //! including a missing or unparsable baseline, which is a hard failure,
@@ -34,6 +41,7 @@ fn run() -> Result<ExitCode, String> {
     let mut chrome_path = None;
     let mut baseline_path: Option<String> = None;
     let mut bench_diff = None;
+    let mut forensics_path = None;
     let mut threshold = 0.20;
     let mut i = 0;
     let next = |i: &mut usize, flag: &str| -> Result<String, String> {
@@ -62,6 +70,13 @@ fn run() -> Result<ExitCode, String> {
                     .parse::<f64>()
                     .map_err(|e| format!("--threshold: {e}"))?;
             }
+            "--bench-diff-pct" => {
+                threshold = next(&mut i, "--bench-diff-pct")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("--bench-diff-pct: {e}"))?
+                    / 100.0;
+            }
+            "--forensics" => forensics_path = Some(next(&mut i, "--forensics")?),
             other => return Err(format!("unknown argument: {other} (see the crate docs)")),
         }
         i += 1;
@@ -107,8 +122,21 @@ fn run() -> Result<ExitCode, String> {
         return Err("--baseline only makes sense together with --bench-diff".into());
     }
 
+    if let Some(forensics_path) = &forensics_path {
+        let incidents = tracecheck::parse_incidents(&read(forensics_path)?).map_err(|errs| {
+            format!("{} parse error(s) in {forensics_path}:\n  {}", errs.len(), errs.join("\n  "))
+        })?;
+        print!("{}", tracecheck::forensics_report(&incidents));
+        if trace_path.is_none() {
+            return Ok(ExitCode::SUCCESS);
+        }
+        println!();
+    }
+
     let Some(trace_path) = trace_path else {
-        return Err("nothing to do: pass --trace PATH or --bench-diff OLD NEW".into());
+        return Err(
+            "nothing to do: pass --trace PATH, --forensics PATH, or --bench-diff OLD NEW".into()
+        );
     };
     let trace = tracecheck::parse_trace(&read(&trace_path)?).map_err(|errs| {
         format!("{} parse error(s) in {trace_path}:\n  {}", errs.len(), errs.join("\n  "))

@@ -11,7 +11,7 @@
 
 use crate::perf::{render_json_with, CampaignTiming};
 use diverseav_analysis::Table;
-use diverseav_faultinj::shard::MergedCampaign;
+use diverseav_faultinj::shard::{IncidentRecord, MergedCampaign};
 use diverseav_faultinj::summarize_merged;
 use diverseav_obs::json::{self, Value};
 use diverseav_obs::{metrics, MetricsSnapshot, RunRecord};
@@ -124,6 +124,31 @@ pub fn metrics_doc(merged: &[MergedCampaign]) -> String {
     }
     let snap = MetricsSnapshot { counters, gauges, phases: BTreeMap::new(), hists };
     metrics::render_json(&snap)
+}
+
+/// Render a merged incident document for one campaign: a
+/// `merged_incidents` header carrying the campaign identity and count,
+/// then one [`IncidentRecord`] line per incident in engine order
+/// (golden before injected, index-ascending — the order
+/// [`diverseav_faultinj::collect_incidents`] returns). Batch numbers are
+/// a shard-resume detail and are not re-rendered here; the document is a
+/// pure function of the campaign seeds.
+pub fn incidents_doc(m: &MergedCampaign, incidents: &[IncidentRecord]) -> String {
+    let mut out = format!(
+        concat!(
+            "{{\"type\": \"merged_incidents\", \"flight_schema_version\": {}, ",
+            "\"campaign\": \"{}\", \"fingerprint\": \"{:016x}\", \"incidents\": {}}}\n",
+        ),
+        diverseav_obs::flight::FLIGHT_SCHEMA_VERSION,
+        diverseav_obs::json::escape(&m.manifest.campaign),
+        m.manifest.fingerprint,
+        incidents.len(),
+    );
+    for rec in incidents {
+        out.push_str(&rec.render_merged());
+        out.push('\n');
+    }
+    out
 }
 
 /// Render the merged run journal (`DIVERSEAV_TRACE`-format JSONL):
@@ -300,6 +325,7 @@ mod tests {
             red_light_violations: 0,
             ticks: 80,
             deadline_misses: 1,
+            incident: None,
             fault: None,
             trajectory: vec![TrajPoint { t: 0.0, pos: Vec2 { x: 0.0, y: 0.0 } }],
         };
@@ -360,6 +386,35 @@ mod tests {
         assert!(lines[0].contains("\"kind\": \"golden\""), "{}", lines[0]);
         assert!(lines[1].contains("\"kind\": \"injected\""), "{}", lines[1]);
         assert!(lines[1].contains("\"outcome\": \"collision\""), "{}", lines[1]);
+    }
+
+    #[test]
+    fn incidents_doc_frames_records_in_engine_order() {
+        let m = merged_fixture();
+        let rec = |kind: &str, index: usize, seed: u64| IncidentRecord {
+            kind: kind.to_string(),
+            index,
+            seed,
+            incident: "crash".to_string(),
+            fault_class: None,
+            fault_onset_time: None,
+            alarm_time: None,
+            flight: Vec::new(),
+        };
+        let incidents =
+            vec![rec("golden", 0, GOLDEN_SEED_BASE), rec("injected", 0, INJECTED_SEED_BASE)];
+        let doc = incidents_doc(&m, &incidents);
+        let lines: Vec<&str> = doc.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"type\": \"merged_incidents\""), "{}", lines[0]);
+        assert!(lines[0].contains("\"fingerprint\": \"000000000000beef\""), "{}", lines[0]);
+        assert!(lines[0].contains("\"incidents\": 2"), "{}", lines[0]);
+        assert!(lines[1].contains("\"kind\": \"golden\""), "{}", lines[1]);
+        assert!(lines[2].contains("\"kind\": \"injected\""), "{}", lines[2]);
+        assert!(!doc.contains("\"batch\""), "merged docs carry no shard-resume state: {doc}");
+        for line in &lines {
+            json::parse(line).expect("every incident-doc line is valid JSON");
+        }
     }
 
     #[test]

@@ -13,15 +13,41 @@
 //!   / Perfetto `"traceEvents"` format, complete `"X"` events, one track
 //!   per engine worker).
 //!
-//! Plus [`bench_diff`], the bench-regression check: diff a fresh
-//! `BENCH_campaigns.json` against a committed baseline and flag entries
-//! whose `ticks_per_sec` dropped by more than a threshold.
+//! Plus two cross-cutting checks:
+//!
+//! * [`bench_diff`] — the bench-regression check: diff a fresh
+//!   `BENCH_campaigns.json` against a committed baseline and flag
+//!   entries whose `ticks_per_sec` dropped by more than a threshold
+//!   (CLI: `--bench-diff-pct`, default 20 %).
+//! * [`forensics_report`] — the flight-recorder post-mortem over an
+//!   incident artifact (a shard sidecar or a merged incident set):
+//!   per-incident score-vs-threshold sparklines with onset and alarm
+//!   markers, a per-fault-class onset → detectable → alarm latency
+//!   decomposition, and never-alarmed incidents ranked by how close the
+//!   detector came to the threshold.
+//!
+//! # Binary exit codes
+//!
+//! The `diverseav-tracecheck` binary maps this library onto three exit
+//! codes, stable for CI consumption:
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0    | all requested reports rendered, no regressions found |
+//! | 1    | unreadable / malformed / empty inputs — including a missing
+//! |      | or unparsable `--baseline`, which is a hard failure, never a
+//! |      | silent pass — or unknown arguments |
+//! | 2    | `--bench-diff` found regressions beyond the threshold (a
+//! |      | warning gate CI can treat separately from hard failure) |
 //!
 //! Everything parses through [`diverseav_obs::json`] (no serde in the
 //! dependency closure) and is pure string → string, so the binary is a
 //! thin argument-parsing shell over testable functions.
 
+use diverseav_faultinj::IncidentRecord;
+use diverseav_obs::flight::{FLAG_ALARM, FLAG_DETECTOR_OBSERVED, FLAG_FAULT_ACTIVE};
 use diverseav_obs::json::{self, Value};
+use diverseav_runtime::SILENT_SCORE_FLOOR;
 use std::collections::BTreeMap;
 
 /// One `"type": "run"` journal line, narrowed to the fields the reports
@@ -435,6 +461,14 @@ pub fn metrics_summary(metrics: &Value) -> String {
         let get = |k: &str| {
             counters.iter().find(|(name, _)| name == k).and_then(|(_, v)| v.as_f64()).unwrap_or(0.0)
         };
+        let dropped = get("journal.dropped");
+        if dropped > 0.0 {
+            out.push_str(&format!(
+                "\nWARNING: the run journal dropped {dropped} line(s) at its cap — the trace \
+                 this snapshot rode along with is TRUNCATED and every journal-derived report \
+                 is missing runs; raise DIVERSEAV_TRACE_CAP and re-run\n",
+            ));
+        }
         let ticks = get("deadline.ticks");
         if ticks > 0.0 {
             out.push_str(&format!(
@@ -534,6 +568,290 @@ pub fn bench_diff_checked(
 /// checked variant so baseline problems fail loudly.
 pub fn bench_diff(baseline: &Value, fresh: &Value, threshold: f64) -> Vec<String> {
     bench_diff_checked(baseline, fresh, threshold).unwrap_or_default()
+}
+
+// -- flight-recorder forensics ----------------------------------------------
+
+/// Simulation tick rate — flight-record tick indices convert to seconds
+/// at this rate (the engine's fixed 40 Hz control loop).
+const TICK_HZ: f64 = 40.0;
+
+/// Sparkline width (ticks are bucketed into this many columns, keeping
+/// the per-bucket maximum score).
+const SPARK_WIDTH: usize = 64;
+
+/// Score-to-glyph ramp: index `round(score * 8)` clamped to the ramp, so
+/// the alarm threshold (score 1.0) renders as `%` and anything above it
+/// as `@`.
+const SPARK_RAMP: &[u8] = b" .:-=+*#%@";
+
+/// Parse an incidents JSONL document — a shard incident sidecar or a
+/// merged incident set. Manifest and footer lines are skipped; every
+/// `"type": "incident"` line must reconstruct. Returns per-line errors
+/// (`line N: <reason>`) like [`parse_trace`].
+pub fn parse_incidents(text: &str) -> Result<Vec<IncidentRecord>, Vec<String>> {
+    let mut out = Vec::new();
+    let mut errors = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = match json::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                errors.push(format!("line {}: {e}", i + 1));
+                continue;
+            }
+        };
+        match v.get("type").and_then(Value::as_str) {
+            Some("incident") => match IncidentRecord::parse(&v) {
+                Ok((_, rec)) => out.push(rec),
+                Err(e) => errors.push(format!("line {}: {e}", i + 1)),
+            },
+            Some("incident_manifest") | Some("merged_incidents") | Some("incidents_done") => {}
+            Some(other) => errors.push(format!("line {}: unknown type {other:?}", i + 1)),
+            None => errors.push(format!("line {}: missing \"type\"", i + 1)),
+        }
+    }
+    if errors.is_empty() {
+        Ok(out)
+    } else {
+        Err(errors)
+    }
+}
+
+/// One incident's detection timeline, extracted from its flight records.
+struct IncidentView {
+    first_tick: u64,
+    last_tick: u64,
+    peak: f64,
+    /// Fault onset, in ticks (from `fault_onset_time`, else the first
+    /// record whose fault-active flag is set).
+    onset_tick: Option<u64>,
+    /// First recorded tick with score at or past the detectability
+    /// floor ([`SILENT_SCORE_FLOOR`]) on an observed detector.
+    detect_tick: Option<u64>,
+    /// Alarm tick (first record with the alarm flag, else `alarm_time`).
+    alarm_tick: Option<u64>,
+}
+
+fn incident_view(rec: &IncidentRecord) -> IncidentView {
+    let first_tick = rec.flight.first().map(|r| r.tick).unwrap_or(0);
+    let last_tick = rec.flight.last().map(|r| r.tick).unwrap_or(first_tick);
+    let peak = rec.flight.iter().map(|r| r.score).filter(|s| s.is_finite()).fold(0.0f64, f64::max);
+    let onset_tick = rec
+        .fault_onset_time
+        .map(|t| (t * TICK_HZ).round() as u64)
+        .or_else(|| rec.flight.iter().find(|r| r.flags & FLAG_FAULT_ACTIVE != 0).map(|r| r.tick));
+    let detect_tick = rec
+        .flight
+        .iter()
+        .find(|r| r.flags & FLAG_DETECTOR_OBSERVED != 0 && r.score >= SILENT_SCORE_FLOOR)
+        .map(|r| r.tick);
+    let alarm_tick = rec
+        .flight
+        .iter()
+        .find(|r| r.flags & FLAG_ALARM != 0)
+        .map(|r| r.tick)
+        .or_else(|| rec.alarm_time.map(|t| (t * TICK_HZ).round() as u64));
+    // The ring holds only the last `capacity` ticks; a floor crossing
+    // that happened before the retained window would otherwise report
+    // the window start as the detection point. An alarm implies the
+    // score was at or above the floor, so detection is never later than
+    // the alarm.
+    let detect_tick = match (detect_tick, alarm_tick) {
+        (Some(d), Some(a)) => Some(d.min(a)),
+        (None, Some(a)) => Some(a),
+        (d, None) => d,
+    };
+    IncidentView { first_tick, last_tick, peak, onset_tick, detect_tick, alarm_tick }
+}
+
+/// The score sparkline and its marker row (`o` onset, `!` alarm), both
+/// the same width.
+fn spark_rows(rec: &IncidentRecord, v: &IncidentView) -> (String, String) {
+    let span = (v.last_tick - v.first_tick + 1).max(1);
+    let width = SPARK_WIDTH.min(span as usize).max(1);
+    let bucket = |tick: u64| {
+        (((tick.saturating_sub(v.first_tick)) as u128 * width as u128 / span as u128) as usize)
+            .min(width - 1)
+    };
+    let mut levels = vec![0.0f64; width];
+    for r in &rec.flight {
+        let b = bucket(r.tick);
+        if r.score.is_finite() && r.score > levels[b] {
+            levels[b] = r.score;
+        }
+    }
+    let ramp_top = SPARK_RAMP.len() - 1;
+    let line: String = levels
+        .iter()
+        .map(|s| SPARK_RAMP[((s * 8.0).round() as usize).min(ramp_top)] as char)
+        .collect();
+    let mut marks = vec![b' '; width];
+    if let Some(t) = v.onset_tick {
+        if t >= v.first_tick && t <= v.last_tick {
+            marks[bucket(t)] = b'o';
+        }
+    }
+    if let Some(t) = v.alarm_tick {
+        if t >= v.first_tick && t <= v.last_tick {
+            marks[bucket(t)] = b'!';
+        }
+    }
+    (line, String::from_utf8(marks).expect("ascii markers"))
+}
+
+fn secs(tick: u64) -> f64 {
+    tick as f64 / TICK_HZ
+}
+
+/// Latency from `from` to `to` in seconds, clamped at 0 (a detector can
+/// cross the floor a tick before the onset record lands in the ring).
+fn lat(from: u64, to: u64) -> f64 {
+    secs(to.saturating_sub(from))
+}
+
+/// Render the flight-recorder post-mortem over a parsed incident set:
+///
+/// 1. Per incident: a score-vs-threshold sparkline over the recorded
+///    window with onset (`o`) and alarm (`!`) markers, plus the
+///    onset → detectable → alarm breakdown.
+/// 2. Per fault class: median time-to-detectability (onset until the
+///    score first reaches the [`SILENT_SCORE_FLOOR`] detectability
+///    floor) vs median time-to-alarm, and the gap between them — how
+///    long evidence sat above the floor before the trend logic
+///    committed.
+/// 3. Never-alarmed incidents ranked by closest approach: peak score and
+///    remaining margin to the threshold, nearest miss first.
+pub fn forensics_report(incidents: &[IncidentRecord]) -> String {
+    if incidents.is_empty() {
+        return String::from("(no incidents — nothing was flushed from any flight ring)\n");
+    }
+    let mut out = format!("== flight-recorder forensics ({} incident(s)) ==\n\n", incidents.len());
+
+    #[derive(Default)]
+    struct ClassStats {
+        incidents: u64,
+        detect: Vec<f64>,
+        alarm: Vec<f64>,
+        never_alarmed: u64,
+    }
+    let mut classes: BTreeMap<String, ClassStats> = BTreeMap::new();
+    let mut never: Vec<(f64, String)> = Vec::new();
+
+    for (i, rec) in incidents.iter().enumerate() {
+        let v = incident_view(rec);
+        let class = rec.fault_class.clone().unwrap_or_else(|| "(no fault)".to_string());
+        out.push_str(&format!(
+            "[{}] {} run {} — {} [{class}]\n",
+            i + 1,
+            rec.kind,
+            rec.index,
+            rec.incident,
+        ));
+        out.push_str(&format!(
+            "  ticks {}..{} ({:.3} s..{:.3} s), {} record(s), peak score {:.3}\n",
+            v.first_tick,
+            v.last_tick,
+            secs(v.first_tick),
+            secs(v.last_tick),
+            rec.flight.len(),
+            v.peak,
+        ));
+        if !rec.flight.is_empty() {
+            let (line, marks) = spark_rows(rec, &v);
+            out.push_str(&format!("  score |{line}| 1.0 (threshold) = '%'\n"));
+            out.push_str(&format!("  mark  |{marks}| o onset, ! alarm\n"));
+        }
+        let c = classes.entry(class).or_default();
+        c.incidents += 1;
+        match (v.onset_tick, v.detect_tick, v.alarm_tick) {
+            (Some(o), d, Some(a)) => {
+                let ttd = d.map(|d| lat(o, d));
+                let tta = lat(o, a);
+                c.alarm.push(tta);
+                if let Some(ttd) = ttd {
+                    c.detect.push(ttd);
+                }
+                out.push_str(&format!(
+                    "  onset {:.3} s -> detectable {} -> alarm +{tta:.3} s\n",
+                    secs(o),
+                    ttd.map(|t| format!("+{t:.3} s")).unwrap_or_else(|| "never".to_string()),
+                ));
+            }
+            (Some(o), d, None) => {
+                c.never_alarmed += 1;
+                never.push((
+                    1.0 - v.peak,
+                    format!("{} run {} ({})", rec.kind, rec.index, rec.incident),
+                ));
+                out.push_str(&format!(
+                    "  onset {:.3} s -> detectable {} -> NEVER ALARMED (margin {:.3})\n",
+                    secs(o),
+                    d.map(|d| format!("+{:.3} s", lat(o, d)))
+                        .unwrap_or_else(|| "never".to_string()),
+                    1.0 - v.peak,
+                ));
+            }
+            (None, _, Some(a)) => {
+                c.alarm.push(0.0);
+                out.push_str(&format!("  no fault onset; alarm at {:.3} s\n", secs(a)));
+            }
+            (None, _, None) => {
+                c.never_alarmed += 1;
+                never.push((
+                    1.0 - v.peak,
+                    format!("{} run {} ({})", rec.kind, rec.index, rec.incident),
+                ));
+                out.push_str(&format!(
+                    "  no fault onset; NEVER ALARMED (margin {:.3})\n",
+                    1.0 - v.peak,
+                ));
+            }
+        }
+        out.push('\n');
+    }
+
+    out.push_str("== per-class decomposition: time-to-detectability vs time-to-alarm ==\n\n");
+    out.push_str(&format!(
+        "{:<20} {:>9} {:>12} {:>11} {:>8} {:>6}\n",
+        "fault class", "incidents", "med detect", "med alarm", "gap", "missed",
+    ));
+    for (class, c) in &mut classes {
+        c.detect.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        c.alarm.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let med_d = sorted_quantile(&c.detect, 0.50);
+        let med_a = sorted_quantile(&c.alarm, 0.50);
+        let (d_str, gap_str) = if c.detect.is_empty() {
+            ("-".to_string(), "-".to_string())
+        } else {
+            (format!("{med_d:.3} s"), format!("{:.3} s", (med_a - med_d).max(0.0)))
+        };
+        let a_str = if c.alarm.is_empty() { "-".to_string() } else { format!("{med_a:.3} s") };
+        out.push_str(&format!(
+            "{class:<20} {:>9} {d_str:>12} {a_str:>11} {gap_str:>8} {:>6}\n",
+            c.incidents, c.never_alarmed,
+        ));
+    }
+
+    out.push_str("\n== never-alarmed incidents by closest approach to the threshold ==\n\n");
+    if never.is_empty() {
+        out.push_str("(every incident alarmed)\n");
+    } else {
+        never.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0).expect("finite margins").then_with(|| a.1.cmp(&b.1))
+        });
+        out.push_str(&format!("{:<5} {:<40} {:>8} {:>8}\n", "rank", "run", "peak", "margin"));
+        for (rank, (margin, who)) in never.iter().enumerate() {
+            out.push_str(&format!(
+                "{:<5} {who:<40} {:>8.3} {margin:>8.3}\n",
+                rank + 1,
+                1.0 - margin,
+            ));
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -727,5 +1045,144 @@ mod tests {
         assert!(warnings[0].contains("wall_secs grew"), "{warnings:?}");
         // Within threshold: no warning.
         assert!(bench_diff_checked(&old, &old, 0.20).unwrap().is_empty());
+    }
+
+    fn spark_record(tick: u64, flags: u8, score: f64) -> diverseav_obs::flight::TickRecord {
+        diverseav_obs::flight::TickRecord {
+            tick,
+            flags,
+            score,
+            slope: 0.0,
+            margin: 1.0 - score,
+            phase_ns: [0; 4],
+            deadline_margin_ns: 0,
+            d_throttle: 0.0,
+            d_brake: 0.0,
+            d_steer: 0.0,
+        }
+    }
+
+    fn synthetic_incident(
+        index: usize,
+        class: &str,
+        onset_tick: u64,
+        alarms: bool,
+    ) -> IncidentRecord {
+        let mut flight = Vec::new();
+        for t in 0..=60u64 {
+            let mut flags = FLAG_DETECTOR_OBSERVED;
+            let mut score = 0.05;
+            if t >= onset_tick {
+                flags |= FLAG_FAULT_ACTIVE;
+                // Ramp: crosses the detectability floor 10 ticks after
+                // onset, the threshold 20 ticks after (if it alarms).
+                let ramp = (t - onset_tick) as f64 / 20.0;
+                score = if alarms { ramp.min(1.2) } else { ramp.min(0.8) };
+            }
+            if alarms && t >= onset_tick + 20 {
+                flags |= FLAG_ALARM;
+            }
+            flight.push(spark_record(t, flags, score));
+        }
+        IncidentRecord {
+            kind: "injected".to_string(),
+            index,
+            seed: 9_000 + index as u64,
+            incident: if alarms { "alarm" } else { "silent-divergence" }.to_string(),
+            fault_class: Some(class.to_string()),
+            fault_onset_time: Some(onset_tick as f64 / 40.0),
+            alarm_time: alarms.then(|| (onset_tick + 20) as f64 / 40.0),
+            flight,
+        }
+    }
+
+    #[test]
+    fn parse_incidents_skips_framing_and_flags_garbage() {
+        let rec = synthetic_incident(0, "dropout", 8, true);
+        let doc = format!(
+            "{}\n{}\n{}\n",
+            "{\"type\": \"merged_incidents\", \"incidents\": 1}",
+            rec.render_merged(),
+            "{\"type\": \"incidents_done\", \"incidents\": 1}",
+        );
+        let parsed = parse_incidents(&doc).expect("framing lines are skipped");
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].render_merged(), rec.render_merged());
+
+        let errs = parse_incidents("{\"type\": \"mystery\"}\nnot json\n").unwrap_err();
+        assert_eq!(errs.len(), 2, "{errs:?}");
+        assert!(errs[0].starts_with("line 1:"), "{errs:?}");
+    }
+
+    #[test]
+    fn forensics_decomposes_onset_to_detect_to_alarm() {
+        let incidents = vec![
+            synthetic_incident(0, "dropout", 8, true),
+            synthetic_incident(1, "dropout", 12, true),
+            synthetic_incident(2, "noise", 10, false),
+        ];
+        let report = forensics_report(&incidents);
+        // Onset at tick 8 = 0.2 s; floor crossed 10 ticks (0.25 s) later;
+        // alarm 20 ticks (0.5 s) later.
+        assert!(
+            report.contains("onset 0.200 s -> detectable +0.250 s -> alarm +0.500 s"),
+            "{report}"
+        );
+        // Per-class table: dropout has two alarmed incidents, noise none.
+        assert!(report.contains("time-to-detectability vs time-to-alarm"), "{report}");
+        assert!(report.contains("dropout"), "{report}");
+        assert!(report.contains("NEVER ALARMED"), "{report}");
+        // The never-alarmed ranking names the noise run with its margin
+        // to the threshold (peak 0.8 -> margin 0.2).
+        assert!(report.contains("closest approach"), "{report}");
+        assert!(report.contains("injected run 2"), "{report}");
+        assert!(report.contains("0.200"), "{report}");
+        // Sparkline rows carry both markers.
+        assert!(report.contains("o onset, ! alarm"), "{report}");
+        let marks = report
+            .lines()
+            .find(|l| l.trim_start().starts_with("mark") && l.contains('!'))
+            .expect("an alarmed incident renders an alarm marker");
+        assert!(marks.contains('o'), "{marks}");
+    }
+
+    #[test]
+    fn forensics_handles_empty_sets() {
+        assert!(forensics_report(&[]).contains("no incidents"));
+    }
+
+    #[test]
+    fn journal_drop_warning_is_loud() {
+        let dropped = json::parse(
+            "{\"type\": \"metrics\", \"counters\": {\"journal.dropped\": 2, \"deadline.ticks\": 0}}",
+        )
+        .unwrap();
+        let out = metrics_summary(&dropped);
+        assert!(out.contains("WARNING"), "{out}");
+        assert!(out.contains("dropped 2 line(s)"), "{out}");
+        assert!(out.contains("DIVERSEAV_TRACE_CAP"), "{out}");
+
+        let clean =
+            json::parse("{\"type\": \"metrics\", \"counters\": {\"journal.dropped\": 0}}").unwrap();
+        assert!(!metrics_summary(&clean).contains("WARNING"));
+    }
+
+    /// End-to-end: force real drops through the journal's line cap and
+    /// feed the registry snapshot — the document the binary consumes —
+    /// through the summary.
+    #[test]
+    fn journal_drop_warning_fires_on_a_real_forced_drop() {
+        use diverseav_obs::{journal, metrics};
+        let base = journal::len();
+        journal::set_capacity(base + 1);
+        for i in 0..3 {
+            journal::append_line(format!("{{\"type\": \"cap_probe\", \"i\": {i}}}"));
+        }
+        journal::set_capacity(1 << 20);
+        let snap = json::parse(&metrics::render_json(&metrics::snapshot()))
+            .expect("registry snapshot renders valid JSON");
+        let out = metrics_summary(&snap);
+        assert!(out.contains("WARNING"), "forced drops must surface loudly:\n{out}");
+        assert!(out.contains("TRUNCATED"), "{out}");
     }
 }

@@ -3,7 +3,7 @@
 //! wired as a drop-in ADS (Fig 2 of the paper).
 
 use crate::actuation::{Divergence, VehState};
-use crate::detector::{DetectorConfig, DetectorModel, OnlineDetector};
+use crate::detector::{DetectorConfig, DetectorModel, DetectorTelemetry, OnlineDetector};
 use crate::distributor::AgentMode;
 use crate::fusion::FusionPolicy;
 use diverseav_agent::{AgentConfig, AgentError, SensorimotorAgent};
@@ -86,6 +86,11 @@ pub struct TickOutput {
     pub divergence: Option<Divergence>,
     /// Whether the error detector raised its alarm on this tick.
     pub alarm_raised: bool,
+    /// Detector internals for this tick (`None` when no detector is
+    /// attached or it had nothing to observe).
+    pub detector: Option<DetectorTelemetry>,
+    /// Whether an armed fabric fault had corrupted state by this tick.
+    pub fault_active: bool,
 }
 
 /// A DiverseAV-enabled (or baseline) autonomous driving system.
@@ -321,7 +326,16 @@ impl Ads {
             _ => (false, false, 0),
         };
         self.last_work = TickWork { gpu_instr, cpu_instr, detector_observed, detect_ns };
-        Ok(TickOutput { controls, pair, divergence, alarm_raised })
+        let detector =
+            if detector_observed { self.detector.as_ref().map(|d| d.telemetry()) } else { None };
+        Ok(TickOutput {
+            controls,
+            pair,
+            divergence,
+            alarm_raised,
+            detector,
+            fault_active: self.fault_activated(),
+        })
     }
 
     /// Work accounting for the most recent [`Ads::tick`] (zeroed before

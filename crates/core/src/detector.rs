@@ -268,6 +268,22 @@ impl SmoothedDivergence {
     }
 }
 
+/// Per-observation detector telemetry, refreshed on every
+/// [`OnlineDetector::observe`] call (including after the alarm has
+/// latched) — the flight recorder's view of the detector's internals.
+#[derive(Copy, Clone, Debug, PartialEq, Default)]
+pub struct DetectorTelemetry {
+    /// Normalized divergence score: max over channels of smoothed
+    /// divergence / threshold. 1.0 is the magnitude alarm line.
+    pub score: f64,
+    /// EWMA of the score's first difference (0.0 when the trend path is
+    /// disabled).
+    pub slope: f64,
+    /// Whether the trend path was armed on this observation (slope above
+    /// threshold with the score past the arming floor).
+    pub armed: bool,
+}
+
 /// A runtime detector instance: the learned model plus online state.
 #[derive(Clone, Debug)]
 pub struct OnlineDetector {
@@ -279,6 +295,8 @@ pub struct OnlineDetector {
     prev_score: f64,
     /// EWMA of the score derivative (trend path).
     ewma_slope: f64,
+    /// Telemetry of the latest observation.
+    last: DetectorTelemetry,
 }
 
 impl OnlineDetector {
@@ -288,7 +306,15 @@ impl OnlineDetector {
     /// sweep harness trains one model per `rw`).
     pub fn new(model: DetectorModel, cfg: DetectorConfig) -> Self {
         let window = SmoothedDivergence::new(cfg.rw);
-        OnlineDetector { model, cfg, window, alarm_at: None, prev_score: 0.0, ewma_slope: 0.0 }
+        OnlineDetector {
+            model,
+            cfg,
+            window,
+            alarm_at: None,
+            prev_score: 0.0,
+            ewma_slope: 0.0,
+            last: DetectorTelemetry::default(),
+        }
     }
 
     /// Feed one divergence observation at time `t`; returns `true` if this
@@ -304,11 +330,14 @@ impl OnlineDetector {
     /// The first exceedance also increments the process-global
     /// `detector.alarms` counter (at most once per run — alarm events,
     /// not ticks), surfacing alarm totals in `METRICS_campaigns.json`.
+    ///
+    /// Every observation — before *and* after the alarm latches —
+    /// refreshes [`telemetry`](OnlineDetector::telemetry), so the flight
+    /// recorder keeps seeing the score trajectory through the end of the
+    /// run. The alarm itself is unaffected: once `alarm_at` is set it
+    /// never moves and the counter never fires again.
     pub fn observe(&mut self, state: &VehState, div: Divergence, t: f64) -> bool {
         let sm = self.window.push(div);
-        if self.alarm_at.is_some() {
-            return false;
-        }
         let mut magnitude = false;
         let mut score = 0.0_f64;
         for ch in 0..3 {
@@ -329,12 +358,22 @@ impl OnlineDetector {
             }
             None => false,
         };
+        self.last = DetectorTelemetry { score, slope: self.ewma_slope, armed: trend };
+        if self.alarm_at.is_some() {
+            return false;
+        }
         if magnitude || trend {
             self.alarm_at = Some(t);
             diverseav_obs::metrics::counter_add("detector.alarms", 1);
             return true;
         }
         false
+    }
+
+    /// Telemetry of the most recent observation (zeroed before the
+    /// first).
+    pub fn telemetry(&self) -> DetectorTelemetry {
+        self.last
     }
 
     /// Time the alarm was first raised, if ever.
@@ -633,6 +672,31 @@ mod tests {
             .collect();
         let cfg = cfg.with_trend(TrendConfig::default());
         assert_eq!(OnlineDetector::replay(&model, cfg, &stream), None);
+    }
+
+    #[test]
+    fn telemetry_tracks_every_observation_even_after_the_alarm() {
+        let runs = vec![vec![sample(5.0, 0.0, 0.1)]];
+        let mut cfg = DetectorConfig::default().with_rw(1);
+        cfg.margin = 1.0;
+        let model = DetectorModel::train(&runs, &cfg);
+        let mut det = OnlineDetector::new(model, cfg.with_trend(TrendConfig::default()));
+        assert_eq!(det.telemetry(), DetectorTelemetry::default(), "zeroed before observing");
+
+        assert!(det.observe(
+            &state(5.0, 0.0),
+            Divergence { throttle: 0.5, ..Default::default() },
+            0.1
+        ));
+        let at_alarm = det.telemetry();
+        assert!(at_alarm.score > 1.0, "alarm tick scores past the alarm line");
+        assert_eq!(det.alarm_time(), Some(0.1));
+
+        // Post-alarm observations keep refreshing telemetry without
+        // moving the latched alarm.
+        assert!(!det.observe(&state(5.0, 0.0), Divergence::default(), 0.2));
+        assert!(det.telemetry().score < at_alarm.score, "score tracked past the alarm");
+        assert_eq!(det.alarm_time(), Some(0.1), "alarm time never moves");
     }
 
     #[test]

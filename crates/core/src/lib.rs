@@ -48,6 +48,8 @@ pub mod fusion;
 
 pub use actuation::{Divergence, VehState, CHANNELS};
 pub use ads::{Ads, AdsConfig, ProcessorUnit, TickOutput, TickWork};
-pub use detector::{DetectorConfig, DetectorModel, OnlineDetector, TrainSample, TrendConfig};
+pub use detector::{
+    DetectorConfig, DetectorModel, DetectorTelemetry, OnlineDetector, TrainSample, TrendConfig,
+};
 pub use distributor::AgentMode;
 pub use fusion::FusionPolicy;

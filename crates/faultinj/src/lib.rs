@@ -59,14 +59,15 @@ pub use outcome::{
 pub use plan::{generate_plan, FaultModelKind, PlanConfig};
 // Sensor-fault realizations live in the runtime crate (the injector is a
 // `SimLoop` hook); re-exported here so campaign code has one import root.
-pub use diverseav_runtime::{SensorFault, SensorFaultKind};
+pub use diverseav_runtime::{IncidentKind, SensorFault, SensorFaultKind};
 pub use runner::{
     run_experiment, run_experiment_observed, run_record, FaultSpec, RunConfig, RunResult,
     Termination,
 };
 pub use shard::{
-    campaign_fingerprint, campaign_units, execute_shard, execute_shard_limited, merge_artifacts,
-    parse_artifact, summarize_merged, training_units, unit_shard, BatchMark, MergedCampaign,
-    MetricsSlice, RunUnit, ShardArtifact, ShardConfig, ShardError, ShardManifest, ShardPerf,
-    ShardRun, ShardSpec, ShardStatus, SHARD_SCHEMA_VERSION,
+    campaign_fingerprint, campaign_units, collect_incidents, execute_shard, execute_shard_limited,
+    incident_sidecar_path, merge_artifacts, parse_artifact, parse_incident_artifact,
+    summarize_merged, training_units, unit_shard, BatchMark, IncidentArtifact, IncidentManifest,
+    IncidentRecord, MergedCampaign, MetricsSlice, RunUnit, ShardArtifact, ShardConfig, ShardError,
+    ShardManifest, ShardPerf, ShardRun, ShardSpec, ShardStatus, SHARD_SCHEMA_VERSION,
 };

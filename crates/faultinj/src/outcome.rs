@@ -214,6 +214,8 @@ mod tests {
             red_light_violations: 0,
             ticks: 0,
             deadline_misses: 0,
+            incident: None,
+            flight: Vec::new(),
             trajectory: traj_pts,
             training: Vec::new(),
             actuation: Vec::new(),

@@ -158,6 +158,8 @@ mod tests {
             red_light_violations: 0,
             ticks: 0,
             deadline_misses: 0,
+            incident: None,
+            flight: Vec::new(),
             trajectory: Vec::new(),
             training: Vec::new(),
             actuation: Vec::new(),

@@ -4,9 +4,10 @@
 use diverseav::{Ads, AdsConfig, AgentMode, DetectorConfig, DetectorModel, TrainSample};
 use diverseav_agent::AgentConfig;
 use diverseav_fabric::{FaultModel, Op, Profile};
+use diverseav_obs::flight::TickRecord;
 use diverseav_runtime::{
-    FrameInjector, LoopObserver, PerfObserver, ProfilingObserver, SensorFault, SimLoop,
-    TrainingCollector,
+    FlightRecorder, FrameInjector, IncidentKind, LoopObserver, PerfObserver, ProfilingObserver,
+    SensorFault, SimLoop, TrainingCollector,
 };
 use diverseav_simworld::{Scenario, SensorConfig, TrajPoint, World, TICK_HZ};
 use std::fmt;
@@ -133,6 +134,14 @@ pub struct RunResult {
     /// Ticks whose modeled latency exceeded the 25 ms control budget
     /// (0 when profiling is off; see `DIVERSEAV_PROFILE`).
     pub deadline_misses: u64,
+    /// Why this run's flight recording was flushed (`None` for
+    /// unremarkable runs; see
+    /// [`IncidentKind`](diverseav_runtime::IncidentKind)).
+    pub incident: Option<IncidentKind>,
+    /// The drained flight recording — the last
+    /// [`DEFAULT_RING_CAPACITY`](diverseav_obs::flight::DEFAULT_RING_CAPACITY)
+    /// ticks, oldest first. Empty unless `incident` is set.
+    pub flight: Vec<TickRecord>,
     /// Recorded ego trajectory.
     pub trajectory: Vec<TrajPoint>,
     /// Recorded divergence stream (if requested): training data for golden
@@ -265,17 +274,19 @@ pub fn run_experiment_observed(cfg: &RunConfig, extra: &mut [&mut dyn LoopObserv
     let mut collector = TrainingCollector::new(cfg.collect_training, capacity);
     let mut perf = PerfObserver::new();
     let mut profiling = ProfilingObserver::new(cfg.scenario.name);
+    let mut flight = FlightRecorder::new();
     let mut sim = SimLoop::new(world, ads);
     if let Some(sf) = sensor_fault {
         sim.set_injector(FrameInjector::new(sf));
     }
     let termination = {
-        let mut observers: Vec<&mut dyn LoopObserver> = Vec::with_capacity(3 + extra.len());
+        let mut observers: Vec<&mut dyn LoopObserver> = Vec::with_capacity(4 + extra.len());
         observers.push(&mut collector);
         observers.push(&mut perf);
         if profiling.enabled() {
             observers.push(&mut profiling);
         }
+        observers.push(&mut flight);
         for obs in extra.iter_mut() {
             observers.push(&mut **obs);
         }
@@ -288,6 +299,11 @@ pub fn run_experiment_observed(cfg: &RunConfig, extra: &mut [&mut dyn LoopObserv
     let stats = |p: Profile| ads.unit_stats(p, 0).expect("unit 0 exists in every mode");
     let gpu_stats = stats(Profile::Gpu);
     let cpu_stats = stats(Profile::Cpu);
+    let fault_activated = ads.fault_activated() || injector_activated;
+    // The black-box rule: unremarkable runs drop their recording, runs
+    // that ended badly keep the drained window for the incident artifact.
+    let incident = flight.classify(&termination, fault_activated);
+    let flight = if incident.is_some() { flight.drain() } else { Vec::new() };
     RunResult {
         scenario: cfg.scenario.name,
         mode: cfg.mode,
@@ -297,12 +313,14 @@ pub fn run_experiment_observed(cfg: &RunConfig, extra: &mut [&mut dyn LoopObserv
         end_time: world.time(),
         collision_time: world.collision_time(),
         alarm_time: ads.alarm_time(),
-        fault_activated: ads.fault_activated() || injector_activated,
+        fault_activated,
         fault_onset_time,
         min_cvip: world.min_cvip(),
         red_light_violations: world.red_light_violations(),
         ticks: perf.ticks(),
         deadline_misses: profiling.stats().misses,
+        incident,
+        flight,
         trajectory: world.trajectory().to_vec(),
         training: collector.training,
         actuation: collector.actuation,

@@ -27,6 +27,17 @@
 //! campaign is bit-identical to [`run_campaign_cached`] output for any
 //! shard count, batch size, thread count, or kill/resume schedule.
 //!
+//! Runs that end in an *incident* (see
+//! [`IncidentKind`](diverseav_runtime::IncidentKind)) additionally flush
+//! their flight recording into an **incident sidecar** next to the shard
+//! artifact ([`incident_sidecar_path`]): one manifest line plus one
+//! [`IncidentRecord`] line per incident, committed at the same batch
+//! cadence as the main artifact (sidecar lines land *before* the batch
+//! marker, so a kill never commits a batch whose incident payloads are
+//! missing). The run line itself carries only the incident label; the
+//! merge validates sidecar payloads against those labels exactly-once
+//! via [`collect_incidents`].
+//!
 //! [`run_campaign_cached`]: crate::campaign::run_campaign_cached
 
 use crate::cache::sensor_fingerprint;
@@ -39,6 +50,7 @@ use crate::outcome::{classify_parts, mean_trajectory, OutcomeClass};
 use crate::plan::{generate_plan, PlanConfig};
 use crate::runner::{run_experiment, FaultSpec, RunConfig, RunResult};
 use diverseav_fabric::FaultModel;
+use diverseav_obs::flight::{self, TickRecord};
 use diverseav_obs::json::{self, Value};
 use diverseav_obs::{metrics, profile, FaultSite, HistSnapshot, TimeSource};
 use diverseav_runtime::DeadlineStats;
@@ -47,13 +59,14 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::fs;
 use std::io::Write;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 /// Version stamped into every shard artifact; bumped whenever the line
 /// format changes incompatibly. The merger refuses other versions.
 /// v2 added `fault_onset_time` to run lines (sensor-boundary faults).
-pub const SHARD_SCHEMA_VERSION: u32 = 2;
+/// v3 added `incident` to run lines and the incident sidecar.
+pub const SHARD_SCHEMA_VERSION: u32 = 3;
 
 /// Everything that can go wrong sharding or merging.
 #[derive(Debug)]
@@ -246,6 +259,10 @@ pub struct ShardRun {
     pub ticks: u64,
     /// Ticks over the 25 ms control budget.
     pub deadline_misses: u64,
+    /// [`IncidentKind`](diverseav_runtime::IncidentKind) label when the
+    /// run flushed its flight recording (`None` for unremarkable runs).
+    /// The payload itself lives in the incident sidecar.
+    pub incident: Option<String>,
     /// Injection site, if any.
     pub fault: Option<FaultSite>,
     /// Recorded ego trajectory.
@@ -301,6 +318,7 @@ impl ShardRun {
             red_light_violations: r.red_light_violations,
             ticks: r.ticks,
             deadline_misses: r.deadline_misses,
+            incident: r.incident.map(|k| k.label().to_string()),
             fault,
             trajectory: r.trajectory.clone(),
         }
@@ -355,10 +373,11 @@ impl ShardRun {
             self.red_light_violations,
         ));
         s.push_str(&format!(
-            "\"ticks\": {}, \"deadline_misses\": {}, \"fault\": {fault}, \
-             \"trajectory\": [{}]}}",
+            "\"ticks\": {}, \"deadline_misses\": {}, \"incident\": {}, \
+             \"fault\": {fault}, \"trajectory\": [{}]}}",
             json::u64_str(self.ticks),
             json::u64_str(self.deadline_misses),
+            json::opt_str(self.incident.as_deref()),
             traj.join(", "),
         ));
         s
@@ -424,6 +443,7 @@ impl ShardRun {
                 red_light_violations: req_usize(v, "red_light_violations")? as u32,
                 ticks: req_u64_str(v, "ticks")?,
                 deadline_misses: req_u64_str(v, "deadline_misses")?,
+                incident: opt_str_member(v, "incident")?,
                 fault,
                 trajectory,
             },
@@ -800,6 +820,235 @@ pub fn parse_artifact(text: &str) -> Result<ShardArtifact, ShardError> {
     Ok(ShardArtifact { manifest, runs, batches, complete, committed_lines })
 }
 
+// -- incident sidecar -------------------------------------------------------
+
+/// Where a shard keeps its incident payloads: `<artifact>.incidents.jsonl`
+/// next to the shard artifact (`runs.jsonl` -> `runs.incidents.jsonl`).
+pub fn incident_sidecar_path(artifact: &Path) -> PathBuf {
+    artifact.with_extension("incidents.jsonl")
+}
+
+/// First line of an incident sidecar: which shard of which campaign the
+/// payloads belong to, under which record encoding.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IncidentManifest {
+    /// Flight-record encoding version
+    /// ([`FLIGHT_SCHEMA_VERSION`](diverseav_obs::flight::FLIGHT_SCHEMA_VERSION)).
+    pub flight_schema_version: u32,
+    /// Shard artifact version the sidecar rides along with.
+    pub shard_schema_version: u32,
+    /// [`campaign_fingerprint`] of the campaign.
+    pub fingerprint: u64,
+    /// The campaign's injection-plan seed.
+    pub plan_seed: u64,
+    /// This shard's index.
+    pub shard_index: usize,
+    /// Total shard count.
+    pub shard_count: usize,
+}
+
+impl IncidentManifest {
+    /// The sidecar manifest matching a shard manifest.
+    pub fn for_shard(m: &ShardManifest) -> IncidentManifest {
+        IncidentManifest {
+            flight_schema_version: flight::FLIGHT_SCHEMA_VERSION,
+            shard_schema_version: m.schema_version,
+            fingerprint: m.fingerprint,
+            plan_seed: m.plan_seed,
+            shard_index: m.shard_index,
+            shard_count: m.shard_count,
+        }
+    }
+
+    /// Render as the sidecar's first line.
+    pub fn render(&self) -> String {
+        format!(
+            "{{\"type\": \"incident_manifest\", \"flight_schema_version\": {}, \
+             \"shard_schema_version\": {}, \"fingerprint\": \"{:016x}\", \
+             \"plan_seed\": \"{:016x}\", \"shard_index\": {}, \"shard_count\": {}}}",
+            self.flight_schema_version,
+            self.shard_schema_version,
+            self.fingerprint,
+            self.plan_seed,
+            self.shard_index,
+            self.shard_count,
+        )
+    }
+
+    /// Parse a sidecar manifest line; rejects wrong types and versions.
+    pub fn parse(v: &Value) -> Result<IncidentManifest, String> {
+        let ty = req_str(v, "type")?;
+        if ty != "incident_manifest" {
+            return Err(format!("not an incident manifest (type {ty:?})"));
+        }
+        let flight_schema_version = req_usize(v, "flight_schema_version")? as u32;
+        if flight_schema_version != flight::FLIGHT_SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported flight schema version {flight_schema_version} \
+                 (this build reads version {})",
+                flight::FLIGHT_SCHEMA_VERSION
+            ));
+        }
+        let shard_schema_version = req_usize(v, "shard_schema_version")? as u32;
+        if shard_schema_version != SHARD_SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported shard schema version {shard_schema_version} \
+                 (this build reads version {SHARD_SCHEMA_VERSION})"
+            ));
+        }
+        Ok(IncidentManifest {
+            flight_schema_version,
+            shard_schema_version,
+            fingerprint: req_hex64(v, "fingerprint")?,
+            plan_seed: req_hex64(v, "plan_seed")?,
+            shard_index: req_usize(v, "shard_index")?,
+            shard_count: req_usize(v, "shard_count")?,
+        })
+    }
+}
+
+/// One incident's flushed flight recording, flattened for the sidecar:
+/// enough run identity to join it back to its shard-run line, the
+/// detection timeline inputs forensics needs, and the drained ring.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IncidentRecord {
+    /// `"golden"` or `"injected"`.
+    pub kind: String,
+    /// Engine index within its kind.
+    pub index: usize,
+    /// The run seed (validated against the engine's seed law on merge).
+    pub seed: u64,
+    /// [`IncidentKind`](diverseav_runtime::IncidentKind) label.
+    pub incident: String,
+    /// Fault-class label (sensor class, `"transient"` / `"permanent"`
+    /// for fabric faults, `None` for golden runs).
+    pub fault_class: Option<String>,
+    /// First corrupted-frame/register time, if the fault activated.
+    pub fault_onset_time: Option<f64>,
+    /// Detector alarm time, if raised.
+    pub alarm_time: Option<f64>,
+    /// The drained flight ring, oldest record first.
+    pub flight: Vec<TickRecord>,
+}
+
+impl IncidentRecord {
+    /// Flatten a live [`RunResult`]'s incident, if it had one.
+    pub fn from_result(kind: &str, index: usize, r: &RunResult) -> Option<IncidentRecord> {
+        let incident = r.incident?;
+        let fault_class = r.fault.map(|f| match f {
+            FaultSpec::Fabric { model: FaultModel::Transient { .. }, .. } => {
+                "transient".to_string()
+            }
+            FaultSpec::Fabric { model: FaultModel::Permanent { .. }, .. } => {
+                "permanent".to_string()
+            }
+            FaultSpec::Sensor(sf) => sf.kind.label().to_string(),
+        });
+        Some(IncidentRecord {
+            kind: kind.to_string(),
+            index,
+            seed: r.seed,
+            incident: incident.label().to_string(),
+            fault_class,
+            fault_onset_time: r.fault_onset_time,
+            alarm_time: r.alarm_time,
+            flight: r.flight.clone(),
+        })
+    }
+
+    fn render_fields(&self) -> String {
+        let records: Vec<String> = self.flight.iter().map(flight::render_record).collect();
+        format!(
+            "\"kind\": \"{}\", \"index\": {}, \"seed\": {}, \"incident\": \"{}\", \
+             \"fault_class\": {}, \"fault_onset_time\": {}, \"alarm_time\": {}, \
+             \"flight\": [{}]",
+            json::escape(&self.kind),
+            self.index,
+            self.seed,
+            json::escape(&self.incident),
+            json::opt_str(self.fault_class.as_deref()),
+            json::opt_f64_bits(self.fault_onset_time),
+            json::opt_f64_bits(self.alarm_time),
+            records.join(", "),
+        )
+    }
+
+    /// Render as one sidecar line within batch `batch`.
+    pub fn render_line(&self, batch: usize) -> String {
+        format!("{{\"type\": \"incident\", \"batch\": {batch}, {}}}", self.render_fields())
+    }
+
+    /// Render without the shard-local batch tag (merged incident sets).
+    pub fn render_merged(&self) -> String {
+        format!("{{\"type\": \"incident\", {}}}", self.render_fields())
+    }
+
+    /// Parse a line rendered by [`Self::render_line`] or
+    /// [`Self::render_merged`]; returns `(batch, record)` with batch 0
+    /// for merged lines.
+    pub fn parse(v: &Value) -> Result<(usize, IncidentRecord), String> {
+        let batch = if v.get("batch").is_some() { req_usize(v, "batch")? } else { 0 };
+        let arr = req(v, "flight")?.as_arr().ok_or("flight must be an array")?;
+        let mut records = Vec::with_capacity(arr.len());
+        for rv in arr {
+            records.push(flight::parse_record(rv)?);
+        }
+        Ok((
+            batch,
+            IncidentRecord {
+                kind: req_str(v, "kind")?,
+                index: req_usize(v, "index")?,
+                seed: req_usize(v, "seed")? as u64,
+                incident: req_str(v, "incident")?,
+                fault_class: opt_str_member(v, "fault_class")?,
+                fault_onset_time: opt_f64_bits_member(v, "fault_onset_time")?,
+                alarm_time: opt_f64_bits_member(v, "alarm_time")?,
+                flight: records,
+            },
+        ))
+    }
+}
+
+/// A parsed incident sidecar.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IncidentArtifact {
+    /// The manifest line.
+    pub manifest: IncidentManifest,
+    /// `(batch, record)` pairs in file order.
+    pub records: Vec<(usize, IncidentRecord)>,
+    /// Whether the `incidents_done` footer was present.
+    pub complete: bool,
+}
+
+/// Parse an incident sidecar. Like [`parse_artifact`], the manifest must
+/// parse; after that the first malformed line — a torn write — truncates
+/// the file (the resume path drops records of uncommitted batches).
+pub fn parse_incident_artifact(text: &str) -> Result<IncidentArtifact, ShardError> {
+    let mut lines = text.lines();
+    let first =
+        lines.next().ok_or_else(|| ShardError::Parse("empty incident sidecar".to_string()))?;
+    let mv =
+        json::parse(first).map_err(|e| ShardError::Parse(format!("incident manifest: {e}")))?;
+    let manifest = IncidentManifest::parse(&mv).map_err(ShardError::Parse)?;
+    let mut records = Vec::new();
+    let mut complete = false;
+    for line in lines {
+        let Ok(v) = json::parse(line) else { break };
+        match v.get("type").and_then(Value::as_str) {
+            Some("incident") => {
+                let Ok(pair) = IncidentRecord::parse(&v) else { break };
+                records.push(pair);
+            }
+            Some("incidents_done") => {
+                complete = true;
+                break;
+            }
+            _ => break,
+        }
+    }
+    Ok(IncidentArtifact { manifest, records, complete })
+}
+
 /// What [`execute_shard`] did.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct ShardStatus {
@@ -946,9 +1195,47 @@ pub fn execute_shard_limited(
         }
     }
 
+    // The incident sidecar resumes in lockstep with the main artifact:
+    // a committed batch's payloads are retained, anything later (a torn
+    // write, or lines from a batch that will re-run) is dropped. A shard
+    // with committed batches but no readable, matching sidecar cannot be
+    // resumed — its incident payloads are gone.
+    let inc_path = incident_sidecar_path(path);
+    let inc_manifest = IncidentManifest::for_shard(&manifest);
+    let mut inc_prefix = format!("{}\n", inc_manifest.render());
+    let mut incident_count = 0usize;
+    if done_batches > 0 {
+        let text = fs::read_to_string(&inc_path).map_err(|e| {
+            ShardError::Mismatch(format!(
+                "checkpoint at {} has committed batches but its incident sidecar {} is \
+                 unreadable ({e}); delete both to restart the shard",
+                path.display(),
+                inc_path.display()
+            ))
+        })?;
+        let art = parse_incident_artifact(&text)?;
+        if art.manifest != inc_manifest {
+            return Err(ShardError::Mismatch(format!(
+                "incident sidecar at {} was written by a different shard configuration; \
+                 refusing to resume over it",
+                inc_path.display()
+            )));
+        }
+        for (b, rec) in &art.records {
+            if *b < done_batches {
+                inc_prefix.push_str(&rec.render_line(*b));
+                inc_prefix.push('\n');
+                incident_count += 1;
+            }
+        }
+    }
+
     let mut file = fs::File::create(path)?;
     file.write_all(prefix.as_bytes())?;
     file.flush()?;
+    let mut inc_file = fs::File::create(&inc_path)?;
+    inc_file.write_all(inc_prefix.as_bytes())?;
+    inc_file.flush()?;
 
     let threads = thread_count();
     let mut executed = 0usize;
@@ -966,11 +1253,14 @@ pub fn execute_shard_limited(
         }
         let wall = Instant::now();
         let before = MetricsSlice::capture();
-        let results: Vec<ShardRun> = par_map(chunk, |unit| match *unit {
-            RunUnit::Golden(0) => ShardRun::from_result("golden", 0, &profile_run),
+        let flatten = |kind: &str, i: usize, r: &RunResult| {
+            (ShardRun::from_result(kind, i, r), IncidentRecord::from_result(kind, i, r))
+        };
+        let results: Vec<(ShardRun, Option<IncidentRecord>)> = par_map(chunk, |unit| match *unit {
+            RunUnit::Golden(0) => flatten("golden", 0, &profile_run),
             RunUnit::Golden(i) => {
                 let r = run_experiment(&run_cfg(cfg, &scenario, GOLDEN_SEED_BASE + i as u64, None));
-                ShardRun::from_result("golden", i, &r)
+                flatten("golden", i, &r)
             }
             RunUnit::Injected(i) => {
                 let r = run_experiment(&run_cfg(
@@ -979,7 +1269,7 @@ pub fn execute_shard_limited(
                     INJECTED_SEED_BASE + i as u64,
                     Some(plan[i]),
                 ));
-                ShardRun::from_result("injected", i, &r)
+                flatten("injected", i, &r)
             }
             RunUnit::Training { .. } => {
                 panic!("training units are partition support only; campaigns never run them")
@@ -992,8 +1282,23 @@ pub fn execute_shard_limited(
         }
         cumulative.add(&batch_delta);
 
+        // Sidecar payloads land before the batch marker: a kill between
+        // the two re-runs the batch and truncates the orphaned payloads,
+        // never the reverse (a committed batch missing its payloads).
+        let mut inc_out = String::new();
+        for (_, inc) in &results {
+            if let Some(rec) = inc {
+                inc_out.push_str(&rec.render_line(b));
+                inc_out.push('\n');
+                incident_count += 1;
+            }
+        }
+        if !inc_out.is_empty() {
+            inc_file.write_all(inc_out.as_bytes())?;
+            inc_file.flush()?;
+        }
         let mut out = String::new();
-        for r in &results {
+        for (r, _) in &results {
             out.push_str(&r.render_line(b));
             out.push('\n');
         }
@@ -1009,6 +1314,9 @@ pub fn execute_shard_limited(
         file.flush()?;
         executed += 1;
     }
+    let inc_footer = format!("{{\"type\": \"incidents_done\", \"incidents\": {incident_count}}}\n");
+    inc_file.write_all(inc_footer.as_bytes())?;
+    inc_file.flush()?;
     let footer = format!(
         "{{\"type\": \"shard_done\", \"batches\": {}, \"runs\": {}}}\n",
         total_batches,
@@ -1283,6 +1591,134 @@ pub fn summarize_merged(m: &MergedCampaign, td: f64) -> TableRow {
     row
 }
 
+/// Validate a merged campaign's incident sidecars and assemble its
+/// incident set, in engine order (golden runs by index, then injected).
+///
+/// The run lines are the source of truth: every merged run whose
+/// `incident` label is set must have exactly one sidecar payload with
+/// the same label, sitting in the shard that owns the run, under the
+/// engine's seed law — and nothing else. Any violation (missing payload,
+/// duplicate, label disagreement, payload for an unremarkable run,
+/// foreign fingerprint, incomplete or missing sidecar) is a
+/// [`ShardError::Mismatch`], so a merged incident set is exactly-once by
+/// construction.
+pub fn collect_incidents(
+    merged: &MergedCampaign,
+    sidecars: &[IncidentArtifact],
+) -> Result<Vec<IncidentRecord>, ShardError> {
+    let m = &merged.manifest;
+    let n = m.shard_count;
+    let mut seen = vec![false; n];
+    for a in sidecars {
+        let im = &a.manifest;
+        if im.fingerprint != m.fingerprint || im.plan_seed != m.plan_seed {
+            return Err(ShardError::Mismatch(format!(
+                "campaign {:?}: incident sidecar carries fingerprint {:016x} \
+                 (campaign is {:016x})",
+                m.campaign, im.fingerprint, m.fingerprint
+            )));
+        }
+        if im.shard_count != n || im.shard_index >= n {
+            return Err(ShardError::Mismatch(format!(
+                "campaign {:?}: incident sidecar claims shard {}/{} (campaign has {n})",
+                m.campaign, im.shard_index, im.shard_count
+            )));
+        }
+        if seen[im.shard_index] {
+            return Err(ShardError::Mismatch(format!(
+                "campaign {:?}: incident sidecar for shard {} supplied more than once",
+                m.campaign, im.shard_index
+            )));
+        }
+        seen[im.shard_index] = true;
+        if !a.complete {
+            return Err(ShardError::Mismatch(format!(
+                "campaign {:?}: incident sidecar for shard {} is incomplete \
+                 (no incidents_done footer)",
+                m.campaign, im.shard_index
+            )));
+        }
+    }
+    if let Some(missing) = seen.iter().position(|s| !s) {
+        return Err(ShardError::Mismatch(format!(
+            "campaign {:?}: incident sidecar for shard {missing}/{n} is missing",
+            m.campaign
+        )));
+    }
+
+    // Expected payloads, from the merged run lines. Rank 0 = golden,
+    // 1 = injected, so the BTreeMap key order is engine order.
+    let mut expected: BTreeMap<(u8, usize), &str> = BTreeMap::new();
+    for (rank, runs) in [(0u8, &merged.golden), (1u8, &merged.injected)] {
+        for r in runs.iter() {
+            if let Some(label) = &r.incident {
+                expected.insert((rank, r.index), label.as_str());
+            }
+        }
+    }
+    let mut out: BTreeMap<(u8, usize), IncidentRecord> = BTreeMap::new();
+    for a in sidecars {
+        for (_, rec) in &a.records {
+            let (rank, unit, base) = match rec.kind.as_str() {
+                "golden" => (0u8, RunUnit::Golden(rec.index), GOLDEN_SEED_BASE),
+                "injected" => (1u8, RunUnit::Injected(rec.index), INJECTED_SEED_BASE),
+                other => {
+                    return Err(ShardError::Mismatch(format!(
+                        "campaign {:?}: unknown incident run kind {other:?}",
+                        m.campaign
+                    )))
+                }
+            };
+            let home = unit_shard(m.plan_seed, unit, n);
+            if home != a.manifest.shard_index {
+                return Err(ShardError::Mismatch(format!(
+                    "campaign {:?}: incident of {} run {} belongs to shard {home} but \
+                     appears in shard {}",
+                    m.campaign, rec.kind, rec.index, a.manifest.shard_index
+                )));
+            }
+            if rec.seed != base + rec.index as u64 {
+                return Err(ShardError::Mismatch(format!(
+                    "campaign {:?}: incident of {} run {} carries seed {} \
+                     (engine law says {})",
+                    m.campaign,
+                    rec.kind,
+                    rec.index,
+                    rec.seed,
+                    base + rec.index as u64
+                )));
+            }
+            match expected.remove(&(rank, rec.index)) {
+                Some(label) if label == rec.incident => {}
+                Some(label) => {
+                    return Err(ShardError::Mismatch(format!(
+                        "campaign {:?}: {} run {} is a {label:?} incident on its run line \
+                         but {:?} in the sidecar",
+                        m.campaign, rec.kind, rec.index, rec.incident
+                    )))
+                }
+                None => {
+                    return Err(ShardError::Mismatch(format!(
+                        "campaign {:?}: sidecar payload for {} run {} has no matching \
+                         incident on its run line (duplicate or spurious)",
+                        m.campaign, rec.kind, rec.index
+                    )))
+                }
+            }
+            out.insert((rank, rec.index), rec.clone());
+        }
+    }
+    if let Some(((rank, index), label)) = expected.into_iter().next() {
+        let kind = if rank == 0 { "golden" } else { "injected" };
+        return Err(ShardError::Mismatch(format!(
+            "campaign {:?}: {kind} run {index} is a {label:?} incident but no sidecar \
+             carries its payload",
+            m.campaign
+        )));
+    }
+    Ok(out.into_values().collect())
+}
+
 // -- line-level parse helpers -----------------------------------------------
 
 fn req<'a>(v: &'a Value, key: &str) -> Result<&'a Value, String> {
@@ -1314,6 +1750,16 @@ fn req_u64_str(v: &Value, key: &str) -> Result<u64, String> {
 
 fn req_f64_bits(v: &Value, key: &str) -> Result<f64, String> {
     json::parse_f64_bits(req(v, key)?).map_err(|e| format!("member {key:?}: {e}"))
+}
+
+fn opt_str_member(v: &Value, key: &str) -> Result<Option<String>, String> {
+    match req(v, key)? {
+        Value::Null => Ok(None),
+        other => other
+            .as_str()
+            .map(|s| Some(s.to_string()))
+            .ok_or_else(|| format!("member {key:?} must be a string or null")),
+    }
 }
 
 fn opt_f64_bits_member(v: &Value, key: &str) -> Result<Option<f64>, String> {
@@ -1405,6 +1851,7 @@ mod tests {
             red_light_violations: 1,
             ticks: 51,
             deadline_misses: 2,
+            incident: Some("crash".to_string()),
             fault: Some(FaultSite {
                 profile: "GPU".to_string(),
                 unit: 0,
@@ -1527,6 +1974,7 @@ mod tests {
             red_light_violations: 0,
             ticks: 10,
             deadline_misses: 0,
+            incident: None,
             fault: None,
             trajectory: vec![TrajPoint { t: 0.0, pos: Vec2 { x: 0.0, y: 0.0 } }],
         };
@@ -1555,6 +2003,150 @@ mod tests {
                 runs,
             })
             .collect()
+    }
+
+    fn sample_incident(kind: &str, index: usize, seed: u64, label: &str) -> IncidentRecord {
+        IncidentRecord {
+            kind: kind.to_string(),
+            index,
+            seed,
+            incident: label.to_string(),
+            fault_class: Some("dropout".to_string()),
+            fault_onset_time: Some(0.425),
+            alarm_time: None,
+            flight: vec![TickRecord {
+                tick: 17,
+                flags: flight::FLAG_FAULT_ACTIVE | flight::FLAG_DETECTOR_OBSERVED,
+                score: 0.75,
+                slope: -0.0,
+                margin: 0.25,
+                phase_ns: [1, 2, 3, 4],
+                deadline_margin_ns: -1_024,
+                d_throttle: f64::INFINITY,
+                d_brake: 0.0,
+                d_steer: f64::from_bits(0x7FF8_0000_0000_0001),
+            }],
+        }
+    }
+
+    #[test]
+    fn incident_record_round_trips_bit_exactly() {
+        let rec = sample_incident("injected", 3, INJECTED_SEED_BASE + 3, "silent-divergence");
+        let v = json::parse(&rec.render_line(5)).expect("incident line parses");
+        let (batch, back) = IncidentRecord::parse(&v).expect("incident reconstructs");
+        assert_eq!(batch, 5);
+        // NaN in d_steer: compare bit images, then the PartialEq-safe rest.
+        assert_eq!(back.flight[0].d_steer.to_bits(), rec.flight[0].d_steer.to_bits());
+        assert_eq!(back.flight[0].slope.to_bits(), (-0.0f64).to_bits());
+        assert_eq!(back.flight[0].deadline_margin_ns, -1_024);
+        assert_eq!((back.kind.as_str(), back.index, back.seed), ("injected", 3, rec.seed));
+        assert_eq!(back.incident, rec.incident);
+        assert_eq!(back.fault_class, rec.fault_class);
+
+        // Merged lines have no batch tag and parse as batch 0.
+        let v = json::parse(&rec.render_merged()).expect("merged line parses");
+        let (batch, _) = IncidentRecord::parse(&v).expect("merged line reconstructs");
+        assert_eq!(batch, 0);
+    }
+
+    #[test]
+    fn incident_sidecar_parses_and_rejects_other_versions() {
+        let m = IncidentManifest {
+            flight_schema_version: flight::FLIGHT_SCHEMA_VERSION,
+            shard_schema_version: SHARD_SCHEMA_VERSION,
+            fingerprint: 0xFACE,
+            plan_seed: 0x1234_5678,
+            shard_index: 1,
+            shard_count: 2,
+        };
+        let rec = sample_incident("golden", 0, GOLDEN_SEED_BASE, "hang");
+        let text = format!(
+            "{}\n{}\n{{\"type\": \"incidents_done\", \"incidents\": 1}}\n",
+            m.render(),
+            rec.render_line(0)
+        );
+        let art = parse_incident_artifact(&text).expect("sidecar parses");
+        assert_eq!(art.manifest, m);
+        assert_eq!(art.records.len(), 1);
+        assert!(art.complete);
+
+        // A torn tail truncates, the committed prefix survives.
+        let torn = format!("{}\n{}\n{{\"type\": \"inci", m.render(), rec.render_line(0));
+        let art = parse_incident_artifact(&torn).expect("torn sidecar parses");
+        assert_eq!(art.records.len(), 1);
+        assert!(!art.complete);
+
+        let bumped = text.replace(
+            &format!("\"flight_schema_version\": {}", flight::FLIGHT_SCHEMA_VERSION),
+            &format!("\"flight_schema_version\": {}", flight::FLIGHT_SCHEMA_VERSION + 1),
+        );
+        assert!(parse_incident_artifact(&bumped).is_err(), "future versions must be refused");
+    }
+
+    #[test]
+    fn collect_incidents_is_exactly_once() {
+        let mut arts = synthetic_artifacts(2);
+        // Declare one incident on a run line and find who owns the run.
+        let plan_seed = arts[0].manifest.plan_seed;
+        let home = unit_shard(plan_seed, RunUnit::Injected(1), 2);
+        let victim = arts
+            .iter_mut()
+            .flat_map(|a| a.runs.iter_mut())
+            .find(|r| r.kind == "injected" && r.index == 1)
+            .expect("injected run 1 exists");
+        victim.incident = Some("deadline-burst".to_string());
+        let merged = merge_artifacts(&arts).expect("clean shards merge");
+        let payload = sample_incident("injected", 1, INJECTED_SEED_BASE + 1, "deadline-burst");
+        let sidecar = |i: usize, records: Vec<(usize, IncidentRecord)>| IncidentArtifact {
+            manifest: IncidentManifest::for_shard(&arts[i].manifest),
+            records,
+            complete: true,
+        };
+        let sidecars = vec![
+            sidecar(0, if home == 0 { vec![(0, payload.clone())] } else { Vec::new() }),
+            sidecar(1, if home == 1 { vec![(0, payload.clone())] } else { Vec::new() }),
+        ];
+
+        let got = collect_incidents(&merged[0], &sidecars).expect("valid incident set");
+        assert_eq!(got.len(), 1);
+        // NaN payload: compare rendered bytes, not PartialEq.
+        assert_eq!(got[0].render_merged(), payload.render_merged());
+
+        // Missing payload.
+        let empty = vec![sidecar(0, Vec::new()), sidecar(1, Vec::new())];
+        let err = collect_incidents(&merged[0], &empty).expect_err("missing payload");
+        assert!(err.to_string().contains("no sidecar"), "{err}");
+
+        // Payload without a matching run-line label.
+        let spurious_rec = sample_incident("golden", 0, GOLDEN_SEED_BASE, "hang");
+        let g_home = unit_shard(plan_seed, RunUnit::Golden(0), 2);
+        let mut spurious = sidecars.clone();
+        spurious[g_home].records.push((0, spurious_rec));
+        let err = collect_incidents(&merged[0], &spurious).expect_err("spurious payload");
+        assert!(err.to_string().contains("no matching"), "{err}");
+
+        // Label disagreement.
+        let mut wrong = sidecars.clone();
+        wrong[home].records[0].1.incident = "hang".to_string();
+        let err = collect_incidents(&merged[0], &wrong).expect_err("label mismatch");
+        assert!(err.to_string().contains("sidecar"), "{err}");
+
+        // Payload in the wrong shard.
+        let mut misplaced = sidecars.clone();
+        let rec = misplaced[home].records.remove(0);
+        misplaced[1 - home].records.push(rec);
+        let err = collect_incidents(&merged[0], &misplaced).expect_err("wrong shard");
+        assert!(err.to_string().contains("belongs to shard"), "{err}");
+
+        // Incomplete sidecar.
+        let mut torn = sidecars.clone();
+        torn[0].complete = false;
+        let err = collect_incidents(&merged[0], &torn).expect_err("incomplete sidecar");
+        assert!(err.to_string().contains("incomplete"), "{err}");
+
+        // Missing sidecar entirely.
+        let err = collect_incidents(&merged[0], &sidecars[..1]).expect_err("missing sidecar");
+        assert!(err.to_string().contains("missing"), "{err}");
     }
 
     #[test]

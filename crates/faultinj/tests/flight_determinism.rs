@@ -1,0 +1,124 @@
+//! Determinism gate for the flight recorder: incident payloads (the
+//! drained per-run flight rings) must be pure functions of the campaign
+//! seeds — bit-identical across `DIVERSEAV_THREADS` settings and across
+//! shard/monolithic execution — so incident artifacts can ride the shard
+//! partitioner and the exactly-once merge unchanged. The recorder
+//! carries no wall-clock state (lint Gate 4 enforces the absence of time
+//! sources at the source level; this test enforces it at the bit level).
+
+use diverseav::{AgentMode, DetectorConfig, DetectorModel};
+use diverseav_fabric::Profile;
+use diverseav_faultinj::{
+    collect_incidents, collect_training_runs, execute_shard, incident_sidecar_path,
+    merge_artifacts, parse_artifact, parse_incident_artifact, run_campaign_with_traces, Campaign,
+    CampaignScale, FaultModelKind, IncidentRecord, SensorFaultKind, ShardConfig, ShardSpec,
+};
+use diverseav_simworld::{ScenarioKind, SensorConfig};
+use std::sync::Mutex;
+
+/// Serializes the tests that mutate `DIVERSEAV_THREADS` (process-global).
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn tiny_scale() -> CampaignScale {
+    CampaignScale {
+        n_transient: 4,
+        permanent_repeats: 1,
+        golden_runs: 2,
+        long_route_duration: 20.0,
+        training_runs: 1,
+    }
+}
+
+fn sensor_campaign(class: SensorFaultKind) -> Campaign {
+    Campaign {
+        scenario: ScenarioKind::LeadSlowdown,
+        target: Profile::Gpu,
+        kind: FaultModelKind::Sensor(class),
+        mode: AgentMode::RoundRobin,
+    }
+}
+
+/// Train the paper's detector on the fault-free runs — detector
+/// telemetry is what the recorder packs into every tick, so the
+/// incident-payload comparison must exercise it.
+fn detector() -> (DetectorModel, DetectorConfig) {
+    let tr = collect_training_runs(AgentMode::RoundRobin, &tiny_scale(), SensorConfig::default());
+    let cfg = DetectorConfig::default().with_rw(3);
+    (DetectorModel::train(&tr, &cfg), cfg)
+}
+
+/// Run a detector-equipped campaign and render every incident payload in
+/// the lossless bit-hex line encoding, so comparisons are bit-exact
+/// (including NaN payloads, which `PartialEq` would mishandle).
+fn render_incident_lines(campaign: Campaign) -> Vec<String> {
+    let r = run_campaign_with_traces(
+        campaign,
+        &tiny_scale(),
+        Some(detector()),
+        SensorConfig::default(),
+        false,
+    );
+    let mut out = Vec::new();
+    for (kind, runs) in [("golden", &r.golden), ("injected", &r.injected)] {
+        for (i, run) in runs.iter().enumerate() {
+            if let Some(rec) = IncidentRecord::from_result(kind, i, run) {
+                out.push(rec.render_line(0));
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn incident_payloads_are_bit_identical_across_thread_counts() {
+    let _guard = ENV_LOCK.lock().expect("env lock");
+    let campaign = sensor_campaign(SensorFaultKind::Dropout);
+    std::env::set_var("DIVERSEAV_THREADS", "1");
+    let single = render_incident_lines(campaign);
+    std::env::set_var("DIVERSEAV_THREADS", "4");
+    let multi = render_incident_lines(campaign);
+    std::env::remove_var("DIVERSEAV_THREADS");
+    assert!(!single.is_empty(), "campaign produced no incidents — the comparison would be vacuous");
+    assert_eq!(single, multi, "flight recordings vary with DIVERSEAV_THREADS");
+}
+
+#[test]
+fn sharded_and_monolithic_incident_sets_agree_bit_for_bit() {
+    let _guard = ENV_LOCK.lock().expect("env lock");
+    std::env::remove_var("DIVERSEAV_THREADS");
+    let campaign = sensor_campaign(SensorFaultKind::OutlierBurst);
+    let dir = std::env::temp_dir().join(format!("flight_determinism_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    // Collect the campaign's incidents from an n-shard split, for both
+    // n=1 (the monolithic layout) and n=3.
+    let collect = |count: usize, tag: &str| {
+        let mut artifacts = Vec::new();
+        let mut sidecars = Vec::new();
+        for index in 0..count {
+            let cfg = ShardConfig {
+                campaign,
+                scale: tiny_scale(),
+                sensor: SensorConfig::default(),
+                spec: ShardSpec { index, count },
+                batch_size: 2,
+            };
+            let path = dir.join(format!("{tag}_shard{index}.jsonl"));
+            execute_shard(&cfg, &path).expect("shard executes");
+            let text = std::fs::read_to_string(&path).expect("artifact readable");
+            artifacts.push(parse_artifact(&text).expect("artifact parses"));
+            let side = std::fs::read_to_string(incident_sidecar_path(&path))
+                .expect("every shard writes an incident sidecar");
+            sidecars.push(parse_incident_artifact(&side).expect("sidecar parses"));
+        }
+        let merged = merge_artifacts(&artifacts).expect("shards merge");
+        assert_eq!(merged.len(), 1);
+        let collected = collect_incidents(&merged[0], &sidecars).expect("incident sets collect");
+        collected.iter().map(IncidentRecord::render_merged).collect::<Vec<String>>()
+    };
+
+    let monolithic = collect(1, "mono");
+    let sharded = collect(3, "split");
+    assert_eq!(monolithic, sharded, "shard/monolithic incident payloads diverge");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -26,6 +26,11 @@
 //!   profiling time source: a deterministic work-based cost model
 //!   (default, bit-identical across thread counts), host wall clock, or
 //!   off.
+//! * [`flight`] — flight-recorder primitives: a fixed-capacity
+//!   overwrite-oldest ring of packed per-tick records (detector score,
+//!   trend state, modeled phase latencies, actuator deltas — no
+//!   timestamps) plus a lossless bit-hex JSONL codec for incident
+//!   artifacts.
 //!
 //! Determinism contract: observability is *read-only* with respect to
 //! campaign outcomes. Run results are pure functions of their explicit
@@ -34,6 +39,7 @@
 //! differential test in `tests/parallel.rs` asserts campaign outputs
 //! are bit-identical with tracing on and off at any thread count.
 
+pub mod flight;
 pub mod hist;
 pub mod journal;
 pub mod json;
@@ -41,6 +47,7 @@ pub mod metrics;
 pub mod profile;
 pub mod trace;
 
+pub use flight::{FlightRing, TickRecord};
 pub use hist::{HistSnapshot, Histogram};
 pub use journal::{FaultSite, RunRecord};
 pub use metrics::MetricsSnapshot;

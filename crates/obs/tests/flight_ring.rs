@@ -1,0 +1,119 @@
+//! Property tests for the flight-recorder ring and its lossless codec,
+//! driven by the offline `proptest` shim.
+//!
+//! The incident artifacts only mean something if (a) the ring's
+//! retention window is exact — capacity C holding N > C pushes keeps
+//! precisely the *last* C, oldest-first — and (b) the drained records
+//! survive the JSONL round trip bit-for-bit, NaN payloads and signed
+//! zeros included.
+
+use diverseav_obs::flight::{self, FlightRing, TickRecord};
+use diverseav_obs::json;
+use proptest::prelude::*;
+
+/// SplitMix64 — arbitrary-but-deterministic record fields from (seed,
+/// tick), covering every f64 bit pattern class (NaNs, infinities,
+/// subnormals, -0.0) without depending on the shim's NaN-avoiding
+/// `Arbitrary for f64`.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A record's exact bit image — NaN-proof equality for assertions
+/// (`PartialEq` on f64 fields says NaN != NaN).
+#[allow(clippy::type_complexity)]
+fn bits(r: &TickRecord) -> (u64, u8, u64, u64, u64, [u64; 4], i64, u64, u64, u64) {
+    (
+        r.tick,
+        r.flags,
+        r.score.to_bits(),
+        r.slope.to_bits(),
+        r.margin.to_bits(),
+        r.phase_ns,
+        r.deadline_margin_ns,
+        r.d_throttle.to_bits(),
+        r.d_brake.to_bits(),
+        r.d_steer.to_bits(),
+    )
+}
+
+fn synth_record(seed: u64, tick: u64) -> TickRecord {
+    let h = |k: u64| mix(seed ^ tick.wrapping_mul(0x10001) ^ k);
+    TickRecord {
+        tick,
+        flags: (h(1) & 0x1F) as u8,
+        score: f64::from_bits(h(2)),
+        slope: f64::from_bits(h(3)),
+        margin: f64::from_bits(h(4)),
+        phase_ns: [h(5), h(6), h(7), h(8)],
+        deadline_margin_ns: h(9) as i64,
+        d_throttle: f64::from_bits(h(10)),
+        d_brake: f64::from_bits(h(11)),
+        d_steer: f64::from_bits(h(12)),
+    }
+}
+
+proptest! {
+    /// A ring of capacity C holding N pushes retains exactly the last
+    /// min(N, C) records, in push order.
+    #[test]
+    fn ring_retains_exactly_the_last_capacity_records(
+        seed in any::<u64>(),
+        capacity in 1usize..64,
+        pushes in 0usize..200,
+    ) {
+        let mut ring = FlightRing::new(capacity);
+        for t in 0..pushes as u64 {
+            ring.push(synth_record(seed, t));
+        }
+        prop_assert_eq!(ring.capacity(), capacity);
+        prop_assert_eq!(ring.pushed(), pushes as u64);
+        let want = pushes.min(capacity);
+        prop_assert_eq!(ring.len(), want, "retention must be min(N, C)");
+        let drained = ring.drain_ordered();
+        prop_assert_eq!(drained.len(), want);
+        let first = pushes - want;
+        for (i, r) in drained.iter().enumerate() {
+            let tick = (first + i) as u64;
+            prop_assert_eq!(
+                bits(r), bits(&synth_record(seed, tick)),
+                "slot {} must hold the record pushed at tick {}", i, tick
+            );
+        }
+    }
+
+    /// Drained records survive render → parse bit-exactly for arbitrary
+    /// bit patterns in every f64 field (the codec is the only thing
+    /// between a live ring and a merged incident artifact).
+    #[test]
+    fn drained_records_round_trip_bit_exactly(
+        seed in any::<u64>(),
+        capacity in 1usize..32,
+        pushes in 1usize..96,
+    ) {
+        let mut ring = FlightRing::new(capacity);
+        for t in 0..pushes as u64 {
+            ring.push(synth_record(seed, t));
+        }
+        for r in ring.drain_ordered() {
+            let line = flight::render_record(&r);
+            let v = json::parse(&line)
+                .map_err(|e| TestCaseError(format!("record line must parse: {e}")))?;
+            let back = flight::parse_record(&v)
+                .map_err(|e| TestCaseError(format!("record must reconstruct: {e}")))?;
+            prop_assert_eq!(back.tick, r.tick);
+            prop_assert_eq!(back.flags, r.flags);
+            prop_assert_eq!(back.score.to_bits(), r.score.to_bits());
+            prop_assert_eq!(back.slope.to_bits(), r.slope.to_bits());
+            prop_assert_eq!(back.margin.to_bits(), r.margin.to_bits());
+            prop_assert_eq!(back.phase_ns, r.phase_ns);
+            prop_assert_eq!(back.deadline_margin_ns, r.deadline_margin_ns);
+            prop_assert_eq!(back.d_throttle.to_bits(), r.d_throttle.to_bits());
+            prop_assert_eq!(back.d_brake.to_bits(), r.d_brake.to_bits());
+            prop_assert_eq!(back.d_steer.to_bits(), r.d_steer.to_bits());
+        }
+    }
+}

@@ -1,0 +1,329 @@
+//! The per-run flight recorder: an always-on, allocation-free
+//! [`LoopObserver`] feeding a [`FlightRing`] of packed
+//! [`TickRecord`]s, plus the incident classifier that decides when the
+//! ring is worth draining.
+//!
+//! Every tick the recorder packs the detector's normalized score, trend
+//! slope and armed state, the threshold margin, the fault-activation
+//! flag, the **modeled** per-phase latencies and deadline margin, and
+//! the fused actuator deltas into one fixed-size record. Latencies come
+//! from [`ProfilingObserver::modeled_phases`] unconditionally — even
+//! under `DIVERSEAV_PROFILE=wall` — and records carry no timestamps, so
+//! a recording is a pure function of the run's seeds: bit-identical
+//! across `DIVERSEAV_THREADS` and sharded vs. monolithic execution
+//! (`ci/lint.sh` Gate 4 greps this module for wall-clock calls).
+//!
+//! Most runs end quietly and their ring is simply dropped. A run that
+//! ends badly — see [`IncidentKind`] — has its ring drained into a
+//! schema-versioned incident artifact by the faultinj runner, giving
+//! every alarm, hang, crash, deadline burst, and silent-divergence
+//! verdict a per-tick narrative.
+
+use crate::profiling::{ProfilingObserver, DEADLINE_NS};
+use crate::simloop::{LoopObserver, Termination, TickContext};
+use diverseav_obs::flight::{
+    FlightRing, TickRecord, DEFAULT_RING_CAPACITY, FLAG_ALARM, FLAG_DEADLINE_MISS,
+    FLAG_DETECTOR_OBSERVED, FLAG_FAULT_ACTIVE, FLAG_TREND_ARMED,
+};
+use diverseav_simworld::Controls;
+
+/// Consecutive modeled deadline misses that qualify a run as a
+/// [`IncidentKind::DeadlineBurst`] incident. Eight ticks ≡ 200 ms of
+/// sustained lateness at 40 Hz — well past transient jitter, short
+/// enough to catch bursts that recover before the run ends.
+pub const DEADLINE_BURST_TICKS: u64 = 8;
+
+/// Peak normalized score an un-alarmed faulty run must have reached for
+/// a [`IncidentKind::SilentDivergence`] verdict: halfway to the alarm
+/// line. Below this the fault was benign at the actuation boundary, not
+/// silently dangerous.
+pub const SILENT_SCORE_FLOOR: f64 = 0.5;
+
+/// Why a run's flight recording was flushed into an incident artifact.
+///
+/// Classification is deterministic and mutually exclusive, in this
+/// precedence order (a hanged run that also alarmed is a `Hang`: the
+/// platform-level verdict subsumes the detector-level one).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum IncidentKind {
+    /// A fabric exhausted its watchdog (platform-detected hang).
+    Hang,
+    /// A fabric trapped (platform-detected crash).
+    Crash,
+    /// The error detector raised its alarm.
+    Alarm,
+    /// ≥ [`DEADLINE_BURST_TICKS`] consecutive modeled deadline misses.
+    DeadlineBurst,
+    /// A fault activated, no alarm fired, and the normalized score still
+    /// reached [`SILENT_SCORE_FLOOR`] — the near-miss the
+    /// `no_silent_divergence` gate exists to catch.
+    SilentDivergence,
+}
+
+impl IncidentKind {
+    /// Every kind, in classification precedence order.
+    pub const ALL: [IncidentKind; 5] = [
+        IncidentKind::Hang,
+        IncidentKind::Crash,
+        IncidentKind::Alarm,
+        IncidentKind::DeadlineBurst,
+        IncidentKind::SilentDivergence,
+    ];
+
+    /// Stable kebab-case artifact label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            IncidentKind::Hang => "hang",
+            IncidentKind::Crash => "crash",
+            IncidentKind::Alarm => "alarm",
+            IncidentKind::DeadlineBurst => "deadline-burst",
+            IncidentKind::SilentDivergence => "silent-divergence",
+        }
+    }
+
+    /// Inverse of [`label`](IncidentKind::label).
+    pub fn from_label(label: &str) -> Option<IncidentKind> {
+        IncidentKind::ALL.into_iter().find(|k| k.label() == label)
+    }
+}
+
+impl std::fmt::Display for IncidentKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The flight-recorder [`LoopObserver`]: one per run, attached
+/// automatically by the faultinj runner.
+///
+/// Steady-state recording allocates zero bytes — the ring buffer is
+/// sized at construction and `on_tick` performs only arithmetic and
+/// stores (covered by the `zero_alloc` integration test).
+pub struct FlightRecorder {
+    ring: FlightRing,
+    prev_controls: Option<Controls>,
+    miss_streak: u64,
+    max_miss_streak: u64,
+    peak_score: f64,
+    alarmed: bool,
+}
+
+impl FlightRecorder {
+    /// A recorder retaining the last [`DEFAULT_RING_CAPACITY`] ticks.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_RING_CAPACITY)
+    }
+
+    /// A recorder with an explicit retention window (tests).
+    pub fn with_capacity(capacity: usize) -> Self {
+        FlightRecorder {
+            ring: FlightRing::new(capacity),
+            prev_controls: None,
+            miss_streak: 0,
+            max_miss_streak: 0,
+            peak_score: 0.0,
+            alarmed: false,
+        }
+    }
+
+    /// The ring of retained records.
+    pub fn ring(&self) -> &FlightRing {
+        &self.ring
+    }
+
+    /// Drain the retained window oldest-first (the incident-flush path;
+    /// allocates, so call only after the run ended).
+    pub fn drain(&self) -> Vec<TickRecord> {
+        self.ring.drain_ordered()
+    }
+
+    /// Peak normalized divergence score seen over the whole run (not
+    /// just the retained window).
+    pub fn peak_score(&self) -> f64 {
+        self.peak_score
+    }
+
+    /// Longest run of consecutive modeled deadline misses.
+    pub fn max_miss_streak(&self) -> u64 {
+        self.max_miss_streak
+    }
+
+    /// Classify the finished run against the incident triggers, in
+    /// precedence order: hang, crash, alarm, deadline burst, silent
+    /// divergence. `None` means the run was unremarkable and its
+    /// recording can be dropped.
+    ///
+    /// `fault_activated` covers both fault boundaries (fabric faults via
+    /// [`TickOutput::fault_active`](diverseav::TickOutput::fault_active),
+    /// sensor faults via the runner's injector accounting).
+    pub fn classify(
+        &self,
+        termination: &Termination,
+        fault_activated: bool,
+    ) -> Option<IncidentKind> {
+        if termination.is_hang() {
+            return Some(IncidentKind::Hang);
+        }
+        if termination.is_hang_or_crash() {
+            return Some(IncidentKind::Crash);
+        }
+        if self.alarmed {
+            return Some(IncidentKind::Alarm);
+        }
+        if self.max_miss_streak >= DEADLINE_BURST_TICKS {
+            return Some(IncidentKind::DeadlineBurst);
+        }
+        if fault_activated && self.peak_score >= SILENT_SCORE_FLOOR {
+            return Some(IncidentKind::SilentDivergence);
+        }
+        None
+    }
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LoopObserver for FlightRecorder {
+    fn on_tick(&mut self, ctx: &TickContext<'_>) {
+        let phase_ns = ProfilingObserver::modeled_phases(ctx);
+        let total: u64 = phase_ns.iter().sum();
+        let miss = total > DEADLINE_NS;
+        if miss {
+            self.miss_streak += 1;
+            self.max_miss_streak = self.max_miss_streak.max(self.miss_streak);
+        } else {
+            self.miss_streak = 0;
+        }
+
+        let (score, slope, armed) = match ctx.out.detector {
+            Some(tel) => (tel.score, tel.slope, tel.armed),
+            None => (0.0, 0.0, false),
+        };
+        self.peak_score = self.peak_score.max(score);
+        self.alarmed |= ctx.out.alarm_raised;
+
+        let mut flags = 0u8;
+        if ctx.out.detector.is_some() {
+            flags |= FLAG_DETECTOR_OBSERVED;
+        }
+        if armed {
+            flags |= FLAG_TREND_ARMED;
+        }
+        if ctx.out.alarm_raised {
+            flags |= FLAG_ALARM;
+        }
+        if ctx.fault_active {
+            flags |= FLAG_FAULT_ACTIVE;
+        }
+        if miss {
+            flags |= FLAG_DEADLINE_MISS;
+        }
+
+        let prev = self.prev_controls.unwrap_or(ctx.out.controls);
+        let c = ctx.out.controls;
+        self.ring.push(TickRecord {
+            tick: self.ring.pushed(),
+            flags,
+            score,
+            slope,
+            margin: 1.0 - score,
+            phase_ns,
+            deadline_margin_ns: DEADLINE_NS as i64 - total as i64,
+            d_throttle: c.throttle - prev.throttle,
+            d_brake: c.brake - prev.brake,
+            d_steer: c.steer - prev.steer,
+        });
+        self.prev_controls = Some(c);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simloop::SimLoop;
+    use diverseav::{Ads, AdsConfig, AgentMode};
+    use diverseav_simworld::{lead_slowdown, SensorConfig, World};
+
+    fn record_run(mode: AgentMode, seed: u64) -> (FlightRecorder, Termination) {
+        let mut scenario = lead_slowdown();
+        scenario.duration = 1.0;
+        let world = World::new(scenario, SensorConfig::default(), seed);
+        let ads = Ads::new(AdsConfig::for_mode(mode, seed));
+        let mut rec = FlightRecorder::new();
+        let mut sim = SimLoop::new(world, ads);
+        let term = sim.run_observed(&mut [&mut rec]);
+        (rec, term)
+    }
+
+    #[test]
+    fn records_one_tick_per_frame_with_modeled_margins() {
+        let (rec, term) = record_run(AgentMode::RoundRobin, 51);
+        assert_eq!(term, Termination::Completed);
+        assert_eq!(rec.ring().pushed(), 40, "one record per 40 Hz frame over 1 s");
+        for (i, r) in rec.ring().iter().enumerate() {
+            assert_eq!(r.tick, i as u64, "ticks are consecutive from 0");
+            assert!(r.phase_ns.iter().sum::<u64>() > 0, "modeled phases populated");
+            assert!(!r.deadline_miss(), "round-robin holds the budget");
+            assert!(r.deadline_margin_ns > 0);
+            assert!(!r.fault_active() && !r.alarm(), "clean run");
+        }
+        assert_eq!(rec.classify(&term, false), None, "clean run is no incident");
+    }
+
+    #[test]
+    fn duplicate_mode_is_a_deadline_burst_incident() {
+        let (rec, term) = record_run(AgentMode::Duplicate, 51);
+        assert!(rec.max_miss_streak() >= DEADLINE_BURST_TICKS, "FD misses every tick");
+        assert!(rec.ring().iter().all(|r| r.deadline_miss() && r.deadline_margin_ns < 0));
+        assert_eq!(rec.classify(&term, false), Some(IncidentKind::DeadlineBurst));
+    }
+
+    #[test]
+    fn recordings_are_bit_identical_for_equal_seeds() {
+        let (a, _) = record_run(AgentMode::RoundRobin, 77);
+        let (b, _) = record_run(AgentMode::RoundRobin, 77);
+        let av: Vec<String> = a.ring().iter().map(diverseav_obs::flight::render_record).collect();
+        let bv: Vec<String> = b.ring().iter().map(diverseav_obs::flight::render_record).collect();
+        assert_eq!(av, bv, "flight recording is a pure function of the seed");
+    }
+
+    #[test]
+    fn classification_precedence_is_stable() {
+        use diverseav_agent::AgentError;
+        use diverseav_fabric::{Profile, Trap};
+        let mut rec = FlightRecorder::new();
+        rec.alarmed = true;
+        rec.max_miss_streak = DEADLINE_BURST_TICKS + 1;
+        rec.peak_score = 1.0;
+        let hang = Termination::Trap(AgentError { fabric: Profile::Cpu, trap: Trap::Watchdog });
+        let crash = Termination::Trap(AgentError {
+            fabric: Profile::Gpu,
+            trap: Trap::OutOfBounds { addr: 3 },
+        });
+        assert_eq!(rec.classify(&hang, true), Some(IncidentKind::Hang));
+        assert_eq!(rec.classify(&crash, true), Some(IncidentKind::Crash));
+        assert_eq!(rec.classify(&Termination::Completed, true), Some(IncidentKind::Alarm));
+        rec.alarmed = false;
+        assert_eq!(rec.classify(&Termination::Completed, true), Some(IncidentKind::DeadlineBurst));
+        rec.max_miss_streak = 0;
+        assert_eq!(
+            rec.classify(&Termination::Completed, true),
+            Some(IncidentKind::SilentDivergence)
+        );
+        assert_eq!(rec.classify(&Termination::Completed, false), None, "no fault, no verdict");
+        rec.peak_score = SILENT_SCORE_FLOOR / 2.0;
+        assert_eq!(rec.classify(&Termination::Completed, true), None, "benign fault");
+    }
+
+    #[test]
+    fn incident_labels_round_trip() {
+        for kind in IncidentKind::ALL {
+            assert_eq!(IncidentKind::from_label(kind.label()), Some(kind));
+            assert_eq!(kind.to_string(), kind.label());
+        }
+        assert_eq!(IncidentKind::from_label("nonsense"), None);
+    }
+}

@@ -29,16 +29,22 @@
 //!   (25 ms) deadline accounting via [`ProfilingObserver`], deterministic
 //!   by default (modeled time source) and wall-clock on request
 //!   (`DIVERSEAV_PROFILE=wall`).
+//! - **[`flight`]** — the per-run flight recorder: an always-on,
+//!   allocation-free [`FlightRecorder`] observer packing detector and
+//!   deadline telemetry into a fixed ring, drained into incident
+//!   artifacts when a run ends in an [`IncidentKind`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod flight;
 pub mod inject;
 pub mod observers;
 pub mod profiling;
 pub mod registry;
 pub mod simloop;
 
+pub use flight::{FlightRecorder, IncidentKind, DEADLINE_BURST_TICKS, SILENT_SCORE_FLOOR};
 pub use inject::{FrameInjector, SensorFault, SensorFaultKind};
 pub use observers::{PerfObserver, TrainingCollector};
 pub use profiling::{DeadlineStats, ProfilingObserver, DEADLINE_NS};

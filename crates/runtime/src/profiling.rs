@@ -158,8 +158,12 @@ impl ProfilingObserver {
         }
     }
 
-    /// The modeled per-phase costs of one tick.
-    fn modeled_phases(ctx: &TickContext<'_>) -> [u64; 4] {
+    /// The modeled per-phase costs of one tick: `[sense, driver, detect,
+    /// step]` in ns, a pure function of the tick's work. Public because
+    /// the flight recorder ([`crate::FlightRecorder`]) records modeled
+    /// latencies unconditionally — even under `DIVERSEAV_PROFILE=wall` —
+    /// so incident artifacts never carry wall-clock values.
+    pub fn modeled_phases(ctx: &TickContext<'_>) -> [u64; 4] {
         let pixels: usize = ctx.frame.cameras.iter().map(|c| c.width() * c.height()).sum();
         let rays = ctx.frame.lidar.as_ref().map_or(0, |r| r.len());
         let TickWork { gpu_instr, cpu_instr, detector_observed, .. } = ctx.work;

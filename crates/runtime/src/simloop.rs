@@ -162,6 +162,8 @@ impl<F: FnMut(&World) -> Controls> LoopDriver for PolicyDriver<F> {
             pair: None,
             divergence: None,
             alarm_raised: false,
+            detector: None,
+            fault_active: false,
         })
     }
 }
@@ -213,7 +215,14 @@ impl LoopDriver for AgentDriver {
             detect_ns: 0,
         };
         self.prev_instr = totals;
-        Ok(TickOutput { controls, pair: None, divergence: None, alarm_raised: false })
+        Ok(TickOutput {
+            controls,
+            pair: None,
+            divergence: None,
+            alarm_raised: false,
+            detector: None,
+            fault_active: false,
+        })
     }
 
     fn last_tick_work(&self) -> TickWork {
@@ -237,6 +246,11 @@ pub struct TickContext<'a> {
     /// The driver's work accounting for this frame (zero for unmetered
     /// drivers).
     pub work: TickWork,
+    /// Whether *any* injected fault — fabric-level
+    /// ([`TickOutput::fault_active`]) or sensor-boundary (the loop's
+    /// [`FrameInjector`](crate::FrameInjector)) — had corrupted state by
+    /// this tick.
+    pub fault_active: bool,
     /// The world *before* stepping (ground truth for CVIP etc.).
     pub world: &'a World,
 }
@@ -353,6 +367,8 @@ impl<D: LoopDriver> SimLoop<D> {
                             obs.on_phase(LoopPhase::Detect, work.detect_ns);
                         }
                     }
+                    let fault_active =
+                        out.fault_active || self.injector.as_ref().is_some_and(|i| i.activated());
                     for obs in observers.iter_mut() {
                         obs.on_tick(&TickContext {
                             t: t_now,
@@ -361,6 +377,7 @@ impl<D: LoopDriver> SimLoop<D> {
                             hint,
                             out: &out,
                             work,
+                            fault_active,
                             world: &self.world,
                         });
                         if out.alarm_raised {

@@ -9,9 +9,16 @@
 //! allocator; an observer samples the counter each tick and the test
 //! asserts the per-tick delta hits zero once buffers have grown to their
 //! steady-state sizes.
+//!
+//! The flight recorder rides along on every observed run (the runner
+//! attaches it as a stock observer), so the end-to-end test gates its
+//! per-tick write path too; a second test drives the ring through
+//! several wraparounds directly to pin the no-allocation contract of
+//! `FlightRing::push` itself.
 
 use diverseav::AgentMode;
 use diverseav_faultinj::{run_experiment_observed, RunConfig};
+use diverseav_obs::flight::{FlightRing, TickRecord, DEFAULT_RING_CAPACITY};
 use diverseav_runtime::{LoopObserver, TickContext};
 use diverseav_simworld::lead_slowdown;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -90,4 +97,32 @@ fn steady_state_ticks_are_allocation_free() {
         total, 0,
         "heap allocations after warm-up (per-tick deltas from tick {WARMUP}): {steady:?}"
     );
+}
+
+/// `FlightRing::push` must never allocate — not while filling, and not
+/// across wraparound — so the recorder can run on every tick of every
+/// campaign run without perturbing the steady-state gate above.
+#[test]
+fn flight_ring_push_is_allocation_free_across_wraparound() {
+    let mut ring = FlightRing::new(DEFAULT_RING_CAPACITY);
+    let template = TickRecord {
+        tick: 0,
+        flags: 0b1111,
+        score: 0.75,
+        slope: -0.003,
+        margin: 0.25,
+        phase_ns: [1_000, 2_000, 3_000, 4_000],
+        deadline_margin_ns: -5_000,
+        d_throttle: 0.1,
+        d_brake: 0.0,
+        d_steer: -0.02,
+    };
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for t in 0..4 * DEFAULT_RING_CAPACITY as u64 {
+        ring.push(TickRecord { tick: t, ..template });
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(after - before, 0, "flight-ring pushes allocated {} time(s)", after - before);
+    assert_eq!(ring.len(), DEFAULT_RING_CAPACITY);
+    assert_eq!(ring.pushed(), 4 * DEFAULT_RING_CAPACITY as u64);
 }
